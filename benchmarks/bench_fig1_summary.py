@@ -1,0 +1,58 @@
+"""Fig. 1: the paper's headline summary panels.
+
+Composes all four panels from the shared session runs: (a) the per-step
+NRE curve on Chicago Taxi at (70, 20, 5), (b) the ART-vs-RAE trade-off,
+(c) the forecasting AFE bars, (d) the scalability line.  The benchmark
+times the panel assembly.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.experiments import format_series, format_table
+from repro.experiments.summary import Fig1Result
+
+
+def test_bench_fig1(benchmark, imputation_grid, forecast_cells, scalability_result):
+    result = benchmark.pedantic(
+        lambda: Fig1Result(
+            imputation=imputation_grid,
+            forecasting=forecast_cells,
+            scalability=scalability_result,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["Fig. 1(a): Chicago Taxi (70, 20, 5), per-step NRE"]
+    for name, series in result.panel_a_series().items():
+        lines.append("  " + format_series(f"{name:10s}", series))
+    report("\n".join(lines))
+
+    report(
+        format_table(
+            ["Algorithm", "ART (s)", "RAE"],
+            [[n, t, e] for n, t, e in result.panel_b_tradeoff()],
+            title="Fig. 1(b): speed vs accuracy on Chicago Taxi (70, 20, 5)",
+        )
+    )
+    report(
+        format_table(
+            ["Algorithm (setting)", "AFE"],
+            [[label, afe] for label, afe in result.panel_c_bars()],
+            title="Fig. 1(c): forecasting error on Chicago Taxi",
+        )
+    )
+    report(
+        f"Fig. 1(d): scalability linear-fit R^2 = "
+        f"{result.scalability.entries_r2:.4f}"
+    )
+    report(
+        f"Fig. 1(b) headline: SOFIA is "
+        f"{result.sofia_speedup_vs_second_most_accurate():.1f}x faster than "
+        f"the second-most accurate competitor (paper: 935x on MATLAB)"
+    )
+
+    # Headline shape: SOFIA has the lowest RAE in panel (b).
+    tradeoff = {name: rae for name, _, rae in result.panel_b_tradeoff()}
+    assert min(tradeoff, key=tradeoff.get) == "SOFIA"

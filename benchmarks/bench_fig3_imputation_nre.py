@@ -1,0 +1,50 @@
+"""Fig. 3: per-step imputation NRE across datasets, settings, algorithms.
+
+Reports the downsampled NRE curves for every (dataset, setting) cell of
+the grid and asserts the paper's shape: SOFIA is the most accurate in
+every cell.  The benchmark times one SOFIA dynamic step on the Chicago
+stand-in.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.baselines import SofiaImputer
+from repro.experiments import SMALL_SCALE, dataset_stream, format_series
+from repro.experiments.imputation import sofia_config_for_rank
+from repro.streams import CorruptionSpec, TensorStream, corrupt
+
+
+def test_bench_fig3(benchmark, imputation_grid):
+    grid = imputation_grid
+    lines = ["Fig. 3: per-step NRE (downsampled), small preset"]
+    datasets = sorted({c.dataset for c in grid.cells})
+    for dataset in datasets:
+        for setting in SMALL_SCALE.settings:
+            lines.append(f"- {dataset} {setting.label}")
+            for cell in grid.cells:
+                if cell.dataset == dataset and cell.setting == setting:
+                    lines.append(
+                        "  "
+                        + format_series(f"{cell.algorithm:10s}", cell.nre_series)
+                    )
+    report("\n".join(lines))
+
+    # Paper shape: SOFIA most accurate in every dataset x setting cell.
+    winners = grid.winners()
+    assert all(w == "SOFIA" for w in winners.values()), winners
+
+    # Benchmark one dynamic step (the Lemma-2 kernel).
+    ds = dataset_stream("chicago_taxi", SMALL_SCALE)
+    corrupted = corrupt(ds.data, CorruptionSpec(70, 20, 5), seed=0)
+    observed = TensorStream(
+        data=corrupted.observed, mask=corrupted.mask, period=ds.period
+    )
+    algo = SofiaImputer(
+        sofia_config_for_rank(SMALL_SCALE.ranks["chicago_taxi"], ds.period)
+    )
+    algo.initialize(*observed.startup(3 * ds.period))
+    y = observed.subtensor(3 * ds.period)
+    mask = observed.mask_at(3 * ds.period)
+    out = benchmark(lambda: algo.step(y, mask))
+    assert out.shape == observed.subtensor_shape

@@ -1,0 +1,91 @@
+"""Fig. 5: average running time per subtensor.
+
+Reports the ART of every algorithm per (dataset, setting) from the
+shared grid run, plus the paper's headline ratio (SOFIA's speed-up over
+the second-most accurate method).  The parametrized benchmarks time one
+streaming step of each algorithm on the same warmed-up Chicago stream,
+which is the honest pytest-benchmark analogue of Fig. 5.
+"""
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.baselines import Mast, Olstec, OnlineSGD, OrMstc, SofiaImputer
+from repro.experiments import SMALL_SCALE, dataset_stream, format_table
+from repro.experiments.imputation import sofia_config_for_rank
+from repro.streams import CorruptionSpec, TensorStream, corrupt
+
+_ALGOS = {
+    "SOFIA": lambda rank, period: SofiaImputer(
+        sofia_config_for_rank(rank, period)
+    ),
+    "OnlineSGD": lambda rank, period: OnlineSGD(rank, seed=0),
+    "OLSTEC": lambda rank, period: Olstec(rank, seed=0),
+    "MAST": lambda rank, period: Mast(rank, seed=0),
+    "OR-MSTC": lambda rank, period: OrMstc(rank, seed=0),
+}
+
+
+def test_bench_fig5_art_report(benchmark, imputation_grid):
+    grid = imputation_grid
+    datasets = sorted({c.dataset for c in grid.cells})
+    algorithms = sorted({c.algorithm for c in grid.cells})
+
+    def aggregate():
+        rows = []
+        ratios = []
+        for dataset in datasets:
+            for setting in SMALL_SCALE.settings:
+                cells = {
+                    c.algorithm: c
+                    for c in grid.cells
+                    if c.dataset == dataset and c.setting == setting
+                }
+                row = [dataset, setting.label] + [
+                    cells[a].art_seconds * 1e3 for a in algorithms
+                ]
+                second_most_accurate = min(
+                    (c for name, c in cells.items() if name != "SOFIA"),
+                    key=lambda c: c.rae,
+                )
+                ratio = second_most_accurate.art_seconds / max(
+                    cells["SOFIA"].art_seconds, 1e-12
+                )
+                ratios.append(ratio)
+                row.append(f"{ratio:.1f}x")
+                rows.append(row)
+        return rows, ratios
+
+    rows, ratios = benchmark(aggregate)
+    report(
+        format_table(
+            ["Dataset", "Setting"]
+            + [f"{a} (ms)" for a in algorithms]
+            + ["speedup vs 2nd-acc"],
+            rows,
+            title="Fig. 5: average running time per subtensor, small preset",
+        )
+    )
+    report(
+        f"SOFIA speed-up over the second-most accurate: up to "
+        f"{max(ratios):.0f}x (paper reports up to 935x on MATLAB/larger data)"
+    )
+    # Shape assertion: SOFIA is at least as fast as the second-most
+    # accurate competitor in most cells.
+    assert np.median(ratios) >= 1.0
+
+
+@pytest.mark.parametrize("name", list(_ALGOS))
+def test_bench_fig5_step(benchmark, name):
+    ds = dataset_stream("chicago_taxi", SMALL_SCALE)
+    corrupted = corrupt(ds.data, CorruptionSpec(50, 20, 4), seed=0)
+    observed = TensorStream(
+        data=corrupted.observed, mask=corrupted.mask, period=ds.period
+    )
+    algo = _ALGOS[name](SMALL_SCALE.ranks["chicago_taxi"], ds.period)
+    algo.initialize(*observed.startup(3 * ds.period))
+    y = observed.subtensor(3 * ds.period)
+    mask = observed.mask_at(3 * ds.period)
+    out = benchmark(lambda: algo.step(y, mask))
+    assert out.shape == observed.subtensor_shape

@@ -1,0 +1,65 @@
+"""Fig. 7: linear scalability of the dynamic updates.
+
+Reports total dynamic-update time against entries per subtensor (7a) and
+cumulative time against time steps (7b), with the R² of the linear fits
+(Lemma 2 predicts straight lines).  The benchmark times one dynamic step
+at the largest sweep size.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.baselines import SofiaImputer
+from repro.core import SofiaConfig
+from repro.datasets import scalability_stream
+from repro.experiments import format_table
+
+
+def test_bench_fig7(benchmark, scalability_result):
+    result = scalability_result
+    rows = [
+        [int(entries), seconds]
+        for entries, seconds in zip(
+            result.entries_per_step, result.total_seconds
+        )
+    ]
+    report(
+        format_table(
+            ["Entries per subtensor", "Total dynamic time (s)"],
+            rows,
+            title="Fig. 7(a): running time vs entries per time step",
+        )
+    )
+    quarters = np.linspace(
+        0, len(result.cumulative_steps) - 1, 5
+    ).round().astype(int)
+    report(
+        format_table(
+            ["Steps processed", "Cumulative time (s)"],
+            [
+                [int(result.cumulative_steps[i]), result.cumulative_seconds[i]]
+                for i in quarters
+            ],
+            title="Fig. 7(b): cumulative time vs number of time steps",
+        )
+    )
+    report(
+        f"Linear-fit R^2: vs entries {result.entries_r2:.4f}, "
+        f"vs steps {result.steps_r2:.4f} (Lemma 2 predicts ~1.0)"
+    )
+    assert result.entries_r2 > 0.9
+    assert result.steps_r2 > 0.99
+
+    # Benchmark one dynamic step at the largest size.
+    stream = scalability_stream(100, 50, 40, period=10, seed=0)
+    algo = SofiaImputer(
+        SofiaConfig(rank=5, period=10, lambda1=0.1, lambda2=0.1,
+                    max_outer_iters=50, tol=1e-4)
+    )
+    mask = np.ones(stream.data.shape[:-1], dtype=bool)
+    algo.initialize(
+        [stream.data[..., t] for t in range(30)], [mask] * 30
+    )
+    y = stream.data[..., 30]
+    out = benchmark(lambda: algo.step(y, mask))
+    assert out.shape == (100, 50)

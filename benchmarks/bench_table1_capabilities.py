@@ -1,0 +1,31 @@
+"""Table I: the capability matrix of all ten algorithms.
+
+Regenerates the paper's qualitative comparison from the ``capabilities``
+records every algorithm class declares, and verifies the headline claim
+that only SOFIA satisfies every criterion.
+"""
+
+from conftest import report
+
+from repro.experiments import table1_capabilities, table1_text
+
+
+def test_bench_table1(benchmark):
+    text = benchmark(table1_text)
+    report(text)
+
+    rows = table1_capabilities()
+    sofia = rows[-1]
+    assert sofia.name == "SOFIA"
+    flags = (
+        "imputation",
+        "forecasting",
+        "robust_missing",
+        "robust_outliers",
+        "online",
+        "seasonality_aware",
+        "trend_aware",
+    )
+    assert all(getattr(sofia, f) for f in flags)
+    for caps in rows[:-1]:
+        assert not all(getattr(caps, f) for f in flags), caps.name

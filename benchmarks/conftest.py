@@ -1,0 +1,61 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Expensive experiment runs (the Figs. 3-5 grid, the Fig. 6 forecasting
+sweep, the Fig. 7 scalability sweep) are session-scoped so the bench
+files share one run.  Reproduction tables are collected through
+:func:`report` and printed in the terminal summary, so
+``pytest benchmarks/ --benchmark-only`` shows the paper-style rows next
+to the timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    SMALL_SCALE,
+    run_forecasting_experiment,
+    run_imputation_grid,
+    run_scalability,
+)
+
+_REPORTS: list[str] = []
+
+
+def report(text: str) -> None:
+    """Queue a reproduction table for the end-of-run summary."""
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction output")
+    for block in _REPORTS:
+        terminalreporter.write_line(block)
+        terminalreporter.write_line("")
+
+
+@pytest.fixture(scope="session")
+def imputation_grid():
+    """The Figs. 3-5 grid at the small preset (shared by three benches)."""
+    return run_imputation_grid(scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def forecast_cells():
+    """The Fig. 6 sweep at the small preset."""
+    return run_forecasting_experiment(scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def scalability_result():
+    """The Fig. 7 sweep (reduced from 500x500x5000).
+
+    Sizes start at ~10k entries per subtensor so the entry-proportional
+    work dominates the fixed per-step overhead (below that the curve is
+    flat and the linear fit is meaningless).
+    """
+    return run_scalability(
+        row_sizes=(100, 200, 300, 400, 500), n_cols=100, n_steps=150
+    )

@@ -1,0 +1,78 @@
+"""Anomaly detection: SOFIA's outlier tensor as a live anomaly detector.
+
+A byproduct of SOFIA's robustness machinery (Eq. 21): every step yields
+an explicit outlier subtensor ``O_t`` — the part of the observation that
+deviates from the forecast by more than ``k`` error scales.  This
+example streams network traffic with injected incidents (link floods)
+and shows that the entries flagged by ``O_t`` recover the injected
+anomalies with high precision/recall, while the completed tensor stays
+clean.
+
+Run with::
+
+    python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro.core import Sofia, SofiaConfig
+from repro.datasets import load_dataset
+from repro.tensor import relative_error
+
+
+def main() -> None:
+    ds = load_dataset("network_traffic", n_routers=12, period=24, n_seasons=9,
+                      seed=0)
+    data = ds.data
+    period = ds.period
+    print(f"dataset: {ds.info.title} stand-in, shape {ds.shape}, m={period}")
+
+    # Inject incidents into the live phase: each incident floods one
+    # origin-destination pair for one step with traffic far above normal.
+    rng = np.random.default_rng(42)
+    t_init = 3 * period
+    n_steps = data.shape[-1]
+    corrupted = data.copy()
+    injected = np.zeros(data.shape, dtype=bool)
+    n_incidents = 60
+    times = rng.integers(t_init, n_steps, n_incidents)
+    sources = rng.integers(0, data.shape[0], n_incidents)
+    dests = rng.integers(0, data.shape[1], n_incidents)
+    for s, d, t in zip(sources, dests, times):
+        corrupted[s, d, t] += 4.0 * data.max()
+        injected[s, d, t] = True
+    print(f"injected {injected.sum()} single-entry incidents")
+
+    config = SofiaConfig(
+        rank=5, period=period, lambda1=0.1, lambda2=0.1,
+        max_outer_iters=300, tol=1e-6,
+    )
+    sofia = Sofia(config)
+    sofia.initialize([corrupted[..., t] for t in range(t_init)])
+
+    true_positives = false_positives = false_negatives = 0
+    completion_errors = []
+    for t in range(t_init, n_steps):
+        step = sofia.step(corrupted[..., t])
+        # Flag entries whose outlier estimate is large relative to the
+        # data scale (incidents are several times the normal maximum).
+        flagged = np.abs(step.outliers) > 0.5 * data.max()
+        truth_t = injected[..., t]
+        true_positives += int(np.sum(flagged & truth_t))
+        false_positives += int(np.sum(flagged & ~truth_t))
+        false_negatives += int(np.sum(~flagged & truth_t))
+        completion_errors.append(relative_error(step.completed, data[..., t]))
+
+    precision = true_positives / max(true_positives + false_positives, 1)
+    recall = true_positives / max(true_positives + false_negatives, 1)
+    print(f"\nanomaly detection: precision {precision:.2f}, recall {recall:.2f}")
+    print(
+        f"completion quality despite incidents: mean NRE "
+        f"{np.mean(completion_errors):.4f}"
+    )
+    if precision > 0.8 and recall > 0.8:
+        print("=> the outlier tensor isolates the incidents cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Taxi-demand imputation: recovering missing OD flows in real time.
+
+The scenario from the paper's introduction: a city collects hourly
+origin-destination taxi counts, but entries go missing (network
+failures) and some are corrupted (logging errors).  SOFIA runs online,
+filling the gaps as each hour's matrix arrives, and we compare its
+imputation error against the strongest streaming competitors on exactly
+the same stream.
+
+Run with::
+
+    python examples/taxi_imputation.py
+"""
+
+import numpy as np
+
+from repro.baselines import Mast, Olstec, OnlineSGD, OrMstc, SofiaImputer
+from repro.core import SofiaConfig
+from repro.datasets import load_dataset
+from repro.experiments import format_table
+from repro.streams import (
+    CorruptionSpec,
+    TensorStream,
+    corrupt,
+    run_imputation,
+)
+
+
+def main() -> None:
+    # Chicago-style stand-in: 15x15 zones, hourly with daily period.
+    ds = load_dataset("chicago_taxi", n_zones=15, period=24, n_seasons=9, seed=0)
+    print(f"dataset: {ds.info.title} stand-in, shape {ds.shape}, m={ds.period}")
+
+    # The paper's harshest setting: 70% missing, 20% outliers at 5x max.
+    setting = CorruptionSpec(70, 20, 5)
+    corrupted = corrupt(ds.data, setting, seed=1)
+    observed = TensorStream(
+        data=corrupted.observed, mask=corrupted.mask, period=ds.period
+    )
+    truth = TensorStream.fully_observed(ds.data, period=ds.period)
+    print(f"corruption: {setting.label}")
+
+    rank = 10
+    startup = 3 * ds.period
+    algorithms = [
+        SofiaImputer(
+            SofiaConfig(rank=rank, period=ds.period, lambda1=0.1, lambda2=0.1,
+                        max_outer_iters=300, tol=1e-6)
+        ),
+        OnlineSGD(rank, seed=0),
+        Olstec(rank, seed=0),
+        Mast(rank, seed=0),
+        OrMstc(rank, seed=0),
+    ]
+    rows = []
+    for algo in algorithms:
+        result = run_imputation(algo, observed, truth, startup_steps=startup)
+        rows.append(
+            [result.name, result.rae, result.art_seconds * 1e3,
+             float(np.mean(result.nre_series[-24:]))]
+        )
+    print()
+    print(
+        format_table(
+            ["Algorithm", "RAE", "ART (ms/step)", "NRE last day"],
+            rows,
+            title=f"Streaming imputation on {ds.info.title} at {setting.label}",
+        )
+    )
+    best = min(rows, key=lambda r: r[1])
+    print(f"\nmost accurate: {best[0]}")
+
+
+if __name__ == "__main__":
+    main()

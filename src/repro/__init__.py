@@ -1,0 +1,46 @@
+"""SOFIA: robust factorization of real-world tensor streams (ICDE 2021).
+
+A from-scratch Python reproduction of Lee & Shin, *Robust Factorization of
+Real-world Tensor Streams with Patterns, Missing Values, and Outliers*
+(ICDE 2021), including the SOFIA algorithm, all seven compared baselines,
+the corruption/evaluation harness, and synthetic stand-ins for the paper's
+four real-world datasets.
+
+Public entry points::
+
+    from repro import Sofia, SofiaConfig
+    from repro.datasets import load_dataset
+    from repro.streams import CorruptionSpec, corrupt_stream, StreamRunner
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    ConfigError,
+    ConvergenceError,
+    DatasetError,
+    NotFittedError,
+    ReproError,
+    ShapeError,
+)
+
+__all__ = [
+    "ConfigError",
+    "ConvergenceError",
+    "DatasetError",
+    "NotFittedError",
+    "ReproError",
+    "ShapeError",
+    "Sofia",
+    "SofiaConfig",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # the subpackages are being assembled.
+    if name in ("Sofia", "SofiaConfig"):
+        from repro.core import Sofia, SofiaConfig
+
+        return {"Sofia": Sofia, "SofiaConfig": SofiaConfig}[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,47 @@
+"""Baseline algorithms: the paper's seven competitors plus batch methods.
+
+Imputation competitors (Fig. 3-5): :class:`OnlineSGD`, :class:`Olstec`,
+:class:`Mast`, :class:`OrMstc`, :class:`Brst`.
+Forecasting competitors (Fig. 6): :class:`Smf`, :class:`Cphw`.
+Batch references: :func:`vanilla_als` ([43]), :func:`cp_wopt` ([9]).
+:class:`SofiaImputer` adapts the core algorithm to the same interface.
+"""
+
+from repro.baselines.adapters import SofiaImputer
+from repro.baselines.als_vanilla import vanilla_als
+from repro.baselines.base import (
+    Capabilities,
+    ColdStartMixin,
+    StreamingForecaster,
+    StreamingImputer,
+    solve_temporal_weights,
+)
+from repro.baselines.brst import Brst
+from repro.baselines.cp_wopt import CpWoptResult, cp_wopt, cp_wopt_gradient
+from repro.baselines.cphw import Cphw
+from repro.baselines.mast import Mast
+from repro.baselines.olstec import Olstec
+from repro.baselines.online_sgd import OnlineSGD
+from repro.baselines.or_mstc import OrMstc, group_soft_threshold
+from repro.baselines.smf import Smf
+
+__all__ = [
+    "Brst",
+    "Capabilities",
+    "ColdStartMixin",
+    "Cphw",
+    "CpWoptResult",
+    "Mast",
+    "Olstec",
+    "OnlineSGD",
+    "OrMstc",
+    "Smf",
+    "SofiaImputer",
+    "StreamingForecaster",
+    "StreamingImputer",
+    "cp_wopt",
+    "cp_wopt_gradient",
+    "group_soft_threshold",
+    "solve_temporal_weights",
+    "vanilla_als",
+]

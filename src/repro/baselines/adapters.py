@@ -1,0 +1,49 @@
+"""Adapter exposing SOFIA through the baseline runner interface."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import Capabilities, StreamingForecaster
+from repro.core import Sofia, SofiaConfig
+
+__all__ = ["SofiaImputer"]
+
+
+class SofiaImputer(StreamingForecaster):
+    """SOFIA wrapped as a :class:`StreamingForecaster` for the runner.
+
+    The wrapped :class:`repro.core.Sofia` instance is exposed as
+    :attr:`sofia` for inspection (factors, error scales, outliers).
+    """
+
+    name = "SOFIA"
+    capabilities = Capabilities(
+        name="SOFIA",
+        imputation=True,
+        forecasting=True,
+        robust_missing=True,
+        robust_outliers=True,
+        online=True,
+        seasonality_aware=True,
+        trend_aware=True,
+    )
+
+    def __init__(self, config: SofiaConfig):
+        self.config = config
+        self.sofia = Sofia(config)
+
+    def initialize(
+        self,
+        subtensors: Sequence[np.ndarray],
+        masks: Sequence[np.ndarray],
+    ) -> None:
+        self.sofia.initialize(list(subtensors), list(masks))
+
+    def step(self, subtensor: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        return self.sofia.step(subtensor, mask).completed
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        return self.sofia.forecast(horizon)

@@ -1,0 +1,64 @@
+"""Vanilla ALS for incomplete tensors ([43], the Fig. 2 baseline).
+
+Plain masked alternating least squares without smoothness or outlier
+handling — exactly what :func:`repro.core.als.sofia_als` degenerates to
+with the smoothness terms disabled.  Exposed both as a batch function and
+as the initialization engine for the batch baselines (CPHW).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.als import AlsResult, sofia_als
+from repro.core.config import SofiaConfig
+from repro.tensor import random_factors
+
+__all__ = ["vanilla_als"]
+
+
+def vanilla_als(
+    tensor: np.ndarray,
+    mask: np.ndarray,
+    rank: int,
+    *,
+    max_iters: int = 200,
+    tol: float = 1e-6,
+    seed: int | None = 0,
+    init_scale: float = 0.1,
+) -> AlsResult:
+    """Factorize an incomplete tensor with plain masked ALS.
+
+    Parameters
+    ----------
+    tensor, mask:
+        Data (time last, by convention) and observation indicator.
+    rank:
+        CP rank.
+    max_iters, tol:
+        ALS sweep cap and fitness-change tolerance.
+    seed, init_scale:
+        Random initialization control.
+
+    Returns
+    -------
+    repro.core.als.AlsResult
+    """
+    config = SofiaConfig(
+        rank=rank,
+        period=1,
+        lambda1=0.0,
+        lambda2=0.0,
+        max_als_iters=max_iters,
+        tol=tol,
+        seed=seed,
+    )
+    init = random_factors(tensor.shape, rank, seed=seed, scale=init_scale)
+    return sofia_als(
+        tensor,
+        mask,
+        np.zeros_like(np.asarray(tensor, dtype=np.float64)),
+        init,
+        config,
+        smooth=False,
+    )

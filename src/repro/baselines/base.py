@@ -1,0 +1,132 @@
+"""Shared machinery for the streaming baselines.
+
+Every algorithm in :mod:`repro.baselines` implements
+:class:`StreamingImputer` (and forecasters additionally implement
+:class:`StreamingForecaster`), matching the runner protocols in
+:mod:`repro.streams.runner`.  Algorithms that have no batch
+initialization phase — OnlineSGD, OLSTEC, & co., which the paper runs
+with ``t_i = 0`` — inherit :class:`ColdStartMixin`, which simply feeds
+the start-up window through ``step``.
+
+The :class:`Capabilities` record reproduces a row of the paper's
+Table I.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = [
+    "Capabilities",
+    "ColdStartMixin",
+    "StreamingForecaster",
+    "StreamingImputer",
+    "random_initial_factors",
+    "solve_temporal_weights",
+]
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """One row of the paper's Table I."""
+
+    name: str
+    imputation: bool
+    forecasting: bool
+    robust_missing: bool
+    robust_outliers: bool
+    online: bool
+    seasonality_aware: bool
+    trend_aware: bool
+
+
+class StreamingImputer(abc.ABC):
+    """Base class for streaming tensor completion algorithms."""
+
+    #: Display name used in result tables.
+    name: str = "base"
+    #: Table I row for this algorithm.
+    capabilities: Capabilities
+
+    @abc.abstractmethod
+    def initialize(
+        self,
+        subtensors: Sequence[np.ndarray],
+        masks: Sequence[np.ndarray],
+    ) -> None:
+        """Consume the start-up window."""
+
+    @abc.abstractmethod
+    def step(self, subtensor: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Consume one subtensor; return the completed reconstruction."""
+
+
+class StreamingForecaster(StreamingImputer):
+    """A streaming algorithm that can forecast future subtensors."""
+
+    @abc.abstractmethod
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` subtensors,
+        shape ``(horizon, *subtensor_shape)``."""
+
+
+class ColdStartMixin:
+    """Initialization for algorithms the paper runs with ``t_i = 0``:
+    the start-up subtensors are processed like any other step."""
+
+    def initialize(
+        self,
+        subtensors: Sequence[np.ndarray],
+        masks: Sequence[np.ndarray],
+    ) -> None:
+        for y_t, mask_t in zip(subtensors, masks):
+            self.step(y_t, mask_t)
+
+
+def solve_temporal_weights(
+    subtensor: np.ndarray,
+    mask: np.ndarray,
+    factors: Sequence[np.ndarray],
+    *,
+    ridge: float = 1e-6,
+) -> np.ndarray:
+    """Masked least-squares for the temporal weight vector ``w_t``.
+
+    Solves ``min_w ||Ω_t ⊛ (Y_t - [[factors; w]])||² + ridge ||w||²``.
+    The design row for an observed entry ``(i_1, ..., i_{N-1})`` is the
+    Hadamard product of the matching factor rows.  This is the building
+    block every streaming CP baseline shares.
+    """
+    y = np.asarray(subtensor, dtype=np.float64)
+    m = np.asarray(mask, dtype=bool)
+    if y.shape != m.shape:
+        raise ShapeError(f"mask shape {m.shape} != subtensor {y.shape}")
+    rank = factors[0].shape[1]
+    coords = np.nonzero(m)
+    if coords[0].size == 0:
+        return np.zeros(rank)
+    design = np.ones((coords[0].size, rank))
+    for axis, factor in enumerate(factors):
+        design *= factor[coords[axis], :]
+    gram = design.T @ design + ridge * np.eye(rank)
+    rhs = design.T @ y[coords]
+    try:
+        return np.linalg.solve(gram, rhs)
+    except np.linalg.LinAlgError:
+        return np.linalg.lstsq(gram, rhs, rcond=None)[0]
+
+
+def random_initial_factors(
+    shape: Sequence[int],
+    rank: int,
+    rng: np.random.Generator,
+    scale: float = 0.1,
+) -> list[np.ndarray]:
+    """Small random factors for cold-start streaming baselines."""
+    return [rng.normal(0.0, scale, size=(d, rank)) for d in shape]

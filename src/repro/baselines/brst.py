@@ -1,0 +1,152 @@
+"""BRST: Bayesian robust streaming tensor factorization [14].
+
+Zhang & Hawkins fit a probabilistic CP model with (a) automatic rank
+determination through ARD (automatic relevance determination) priors on
+the components, and (b) a sparse outlier term, using streaming
+variational Bayes.  This implementation keeps the two essential
+mechanisms in MAP form:
+
+* per-component ARD precisions ``γ_r`` re-estimated from the component
+  energies after every step; components whose precision explodes are
+  pruned (their columns zeroed) — rank determination;
+* a Laplace-prior outlier tensor updated by soft-thresholding of the
+  residual.
+
+The paper reports that BRST "wrongly estimated that the rank is 0 in all
+the tensor streams" under the experimental corruption (§VI-C) and
+excludes its curves; :attr:`estimated_rank` exposes the same diagnosis
+for our benches, which report it the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    Capabilities,
+    ColdStartMixin,
+    StreamingImputer,
+    random_initial_factors,
+    solve_temporal_weights,
+)
+from repro.core.outliers import soft_threshold
+from repro.exceptions import ShapeError
+from repro.tensor import kruskal_to_tensor
+
+__all__ = ["Brst"]
+
+
+class Brst(ColdStartMixin, StreamingImputer):
+    """Streaming variational-Bayes-style robust factorization with ARD.
+
+    Parameters
+    ----------
+    rank:
+        Initial (maximum) CP rank; ARD may prune components.
+    ard_threshold:
+        Components with mean energy below this fraction of the largest
+        component are pruned.
+    outlier_scale:
+        Laplace-prior scale: residuals beyond this multiple of the
+        residual MAD are absorbed as outliers.
+    learning_rate:
+        Step size of the (normalized) MAP factor updates.
+    seed:
+        Seed for the lazy initialization.
+    """
+
+    name = "BRST"
+    capabilities = Capabilities(
+        name="BRST",
+        imputation=True,
+        forecasting=False,
+        robust_missing=True,
+        robust_outliers=True,
+        online=True,
+        seasonality_aware=False,
+        trend_aware=False,
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        *,
+        ard_threshold: float = 1e-3,
+        outlier_scale: float = 3.0,
+        learning_rate: float = 0.5,
+        seed: int | None = 0,
+    ):
+        if rank < 1:
+            raise ShapeError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+        self.ard_threshold = ard_threshold
+        self.outlier_scale = outlier_scale
+        self.learning_rate = learning_rate
+        self._rng = np.random.default_rng(seed)
+        self._factors: list[np.ndarray] | None = None
+        self._active = np.ones(rank, dtype=bool)
+
+    @property
+    def estimated_rank(self) -> int:
+        """Number of components ARD has kept alive."""
+        return int(self._active.sum())
+
+    def _ensure_factors(self, shape: tuple[int, ...]) -> list[np.ndarray]:
+        if self._factors is None:
+            self._factors = random_initial_factors(
+                shape, self.rank, self._rng, scale=0.3
+            )
+        return self._factors
+
+    def _ard_prune(self) -> None:
+        """Re-estimate component energies; zero out irrelevant ones."""
+        energies = np.ones(self.rank)
+        for factor in self._factors:
+            energies *= np.sum(factor * factor, axis=0) / factor.shape[0]
+        peak = float(energies.max())
+        if peak <= 0:
+            self._active[:] = False
+            return
+        self._active = energies >= self.ard_threshold * peak
+        for factor in self._factors:
+            factor[:, ~self._active] = 0.0
+
+    def step(self, subtensor: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        y = np.asarray(subtensor, dtype=np.float64)
+        m = np.asarray(mask, dtype=bool)
+        factors = self._ensure_factors(y.shape)
+
+        weights = solve_temporal_weights(y, m, factors)
+        prediction = kruskal_to_tensor(factors, weights=weights)
+        residual = np.where(m, y - prediction, 0.0)
+
+        # Sparse outlier update: MAD-scaled soft threshold (Laplace MAP).
+        observed_residuals = residual[m]
+        mad = float(np.median(np.abs(observed_residuals))) if (
+            observed_residuals.size
+        ) else 0.0
+        outliers = soft_threshold(residual, self.outlier_scale * max(mad, 1e-12))
+        cleaned_residual = residual - outliers
+
+        from repro.tensor import khatri_rao, unfold
+
+        n_modes = len(factors)
+        updated = []
+        for mode in range(n_modes):
+            others = [factors[l] for l in range(n_modes) if l != mode]
+            if others:
+                kr = khatri_rao(others) * weights[None, :]
+                gradient = unfold(cleaned_residual, mode) @ kr
+            else:
+                kr = weights[None, :]
+                gradient = cleaned_residual[:, None] * weights[None, :]
+            lipschitz = max(float(np.sum(kr * kr)), 1e-12)
+            updated.append(
+                factors[mode]
+                + 2.0 * (self.learning_rate / lipschitz) * gradient
+            )
+        self._factors = updated
+        self._ard_prune()
+        weights = solve_temporal_weights(y, m, self._factors)
+        weights[~self._active] = 0.0
+        return kruskal_to_tensor(self._factors, weights=weights)

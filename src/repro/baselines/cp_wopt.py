@@ -1,0 +1,108 @@
+"""CP-WOPT: batch weighted CP factorization via first-order optimization.
+
+Acar et al. [9] pose completion as direct minimization of
+``f({U}) = 0.5 ||Ω ⊛ (Y - [[U]])||_F²`` over all factor matrices at once
+and solve it with a gradient-based method.  This implementation uses
+scipy's L-BFGS-B on the flattened factors with the exact gradient
+``∂f/∂U^(n) = -R_(n) · KR(others)`` where ``R = Ω ⊛ (Y - [[U]])``.
+
+CP-WOPT is a *batch* method (Table I row: imputation yes, online no); it
+serves as a reference completion baseline and a gradient-correctness
+check for the ALS engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.exceptions import ShapeError
+from repro.tensor import khatri_rao, kruskal_to_tensor, random_factors, unfold
+from repro.tensor.validation import check_mask
+
+__all__ = ["CpWoptResult", "cp_wopt", "cp_wopt_gradient"]
+
+
+@dataclass(frozen=True)
+class CpWoptResult:
+    """Outcome of a CP-WOPT run."""
+
+    factors: list[np.ndarray] = field(repr=False)
+    completed: np.ndarray = field(repr=False)
+    loss: float
+    n_iterations: int
+    converged: bool
+
+
+def _split(theta: np.ndarray, shape: tuple[int, ...], rank: int):
+    factors = []
+    offset = 0
+    for dim in shape:
+        factors.append(theta[offset:offset + dim * rank].reshape(dim, rank))
+        offset += dim * rank
+    return factors
+
+
+def cp_wopt_gradient(
+    tensor: np.ndarray,
+    mask: np.ndarray,
+    factors: list[np.ndarray],
+) -> tuple[float, list[np.ndarray]]:
+    """Loss and exact gradient of the weighted CP objective."""
+    residual = np.where(mask, tensor - kruskal_to_tensor(factors), 0.0)
+    loss = 0.5 * float(np.sum(residual**2))
+    grads = []
+    n_modes = len(factors)
+    for mode in range(n_modes):
+        others = [factors[l] for l in range(n_modes) if l != mode]
+        if others:
+            grads.append(-unfold(residual, mode) @ khatri_rao(others))
+        else:
+            grads.append(-residual[:, None] * np.ones((1, factors[0].shape[1])))
+    return loss, grads
+
+
+def cp_wopt(
+    tensor: np.ndarray,
+    mask: np.ndarray,
+    rank: int,
+    *,
+    max_iters: int = 500,
+    tol: float = 1e-8,
+    seed: int | None = 0,
+    init_scale: float = 0.1,
+) -> CpWoptResult:
+    """Complete an incomplete tensor by weighted CP optimization.
+
+    Parameters mirror :func:`repro.baselines.als_vanilla.vanilla_als`.
+    """
+    y = np.asarray(tensor, dtype=np.float64)
+    m = check_mask(mask, y.shape)
+    if y.ndim < 2:
+        raise ShapeError("cp_wopt needs at least a 2-way tensor")
+    init = random_factors(y.shape, rank, seed=seed, scale=init_scale)
+    shape = y.shape
+
+    def objective(theta: np.ndarray):
+        factors = _split(theta, shape, rank)
+        loss, grads = cp_wopt_gradient(y, m, factors)
+        return loss, np.concatenate([g.ravel() for g in grads])
+
+    x0 = np.concatenate([f.ravel() for f in init])
+    result = minimize(
+        objective,
+        x0,
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": max_iters, "ftol": tol, "gtol": 1e-10},
+    )
+    factors = _split(result.x, shape, rank)
+    return CpWoptResult(
+        factors=factors,
+        completed=kruskal_to_tensor(factors),
+        loss=float(result.fun),
+        n_iterations=int(result.nit),
+        converged=bool(result.success),
+    )

@@ -1,0 +1,119 @@
+"""CPHW: batch CP factorization + Holt-Winters forecasting [17].
+
+Dunlavy et al. factorize the full (so far accumulated) tensor with CP
+and extend the temporal factor matrix with the Holt-Winters method to
+predict future slices.  It is a *batch* algorithm: the factorization is
+recomputed from the complete history at forecast time, which is why the
+paper notes "it needs to be rerun from scratch at each time step"
+(§VI-E) and only compares its forecasting accuracy.
+
+No outlier handling: corrupted entries flow straight into the factors
+and from there into the forecast — the Fig. 6 weakness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.als_vanilla import vanilla_als
+from repro.baselines.base import Capabilities, StreamingForecaster
+from repro.core.initialization import stack_subtensors
+from repro.exceptions import ShapeError
+from repro.forecast.fitting import fit_holt_winters
+from repro.tensor import kruskal_to_tensor
+
+__all__ = ["Cphw"]
+
+
+class Cphw(StreamingForecaster):
+    """Batch CP + Holt-Winters forecaster.
+
+    Parameters
+    ----------
+    rank:
+        CP rank.
+    period:
+        Seasonal period for the Holt-Winters extension.
+    max_iters, tol:
+        Batch ALS controls.
+    seed:
+        Factor initialization seed.
+    """
+
+    name = "CPHW"
+    capabilities = Capabilities(
+        name="CPHW",
+        imputation=False,
+        forecasting=True,
+        robust_missing=True,
+        robust_outliers=False,
+        online=False,
+        seasonality_aware=True,
+        trend_aware=True,
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        period: int,
+        *,
+        max_iters: int = 200,
+        tol: float = 1e-6,
+        seed: int | None = 0,
+    ):
+        if rank < 1 or period < 1:
+            raise ShapeError("rank and period must be >= 1")
+        self.rank = rank
+        self.period = period
+        self.max_iters = max_iters
+        self.tol = tol
+        self.seed = seed
+        self._history: list[np.ndarray] = []
+        self._mask_history: list[np.ndarray] = []
+
+    def initialize(
+        self,
+        subtensors: Sequence[np.ndarray],
+        masks: Sequence[np.ndarray],
+    ) -> None:
+        for y_t, mask_t in zip(subtensors, masks):
+            self._history.append(np.asarray(y_t, dtype=np.float64))
+            self._mask_history.append(np.asarray(mask_t, dtype=bool))
+
+    def step(self, subtensor: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Batch method: accumulate; the 'completion' is the raw input."""
+        self._history.append(np.asarray(subtensor, dtype=np.float64))
+        self._mask_history.append(np.asarray(mask, dtype=bool))
+        return self._history[-1]
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Factorize the accumulated tensor and extend with HW (Eq. 28)."""
+        if len(self._history) < 2 * self.period:
+            raise ShapeError(
+                "CPHW needs at least two seasons of history to forecast"
+            )
+        tensor = stack_subtensors(self._history)
+        mask = stack_subtensors(self._mask_history).astype(bool)
+        result = vanilla_als(
+            tensor,
+            mask,
+            self.rank,
+            max_iters=self.max_iters,
+            tol=self.tol,
+            seed=self.seed,
+        )
+        temporal = result.factors[-1]
+        fits = [
+            fit_holt_winters(temporal[:, r], self.period)
+            for r in range(self.rank)
+        ]
+        forecasts = np.stack([f.forecast(horizon) for f in fits], axis=1)
+        return np.stack(
+            [
+                kruskal_to_tensor(result.factors[:-1], weights=forecasts[h])
+                for h in range(horizon)
+            ],
+            axis=0,
+        )

@@ -1,0 +1,134 @@
+"""MAST: multi-aspect streaming tensor completion [13] (temporal growth).
+
+Song et al. handle tensors that grow along several modes at once with an
+ADMM scheme whose core ingredients are (a) a least-squares data fit on
+the newly arrived entries, (b) a proximal anchor pulling the factors
+toward their previous values (weighted by a forgetting factor), and
+(c) low-rank regularization.  The paper's experiments (and ours) only
+grow the temporal mode, so this implementation specializes to that case:
+each step solves
+
+``min_{U, w}  ||Ω_t ⊛ (Y_t - [[U; w]])||² + α Σ_n ||U^(n) - U^(n)_prev||²
++ γ (Σ_n ||U^(n)||² + ||w||²)``
+
+by one pass of regularized row-wise least squares per factor, which is
+the ADMM iteration's primal update with the dual fixed (documented
+simplification, DESIGN.md §4).  No outlier model (Table I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    Capabilities,
+    ColdStartMixin,
+    StreamingImputer,
+    random_initial_factors,
+    solve_temporal_weights,
+)
+from repro.exceptions import ShapeError
+from repro.tensor import kruskal_to_tensor
+
+__all__ = ["Mast"]
+
+
+class Mast(ColdStartMixin, StreamingImputer):
+    """Streaming completion with proximal anchoring to previous factors.
+
+    Parameters
+    ----------
+    rank:
+        CP rank.
+    alpha:
+        Proximal weight tying factors to their previous values; plays the
+        role of MAST's forgetting-weighted history term.
+    gamma:
+        Low-rank (ridge) regularization weight.
+    seed:
+        Seed for the lazy random initialization.
+    """
+
+    name = "MAST"
+    capabilities = Capabilities(
+        name="MAST",
+        imputation=True,
+        forecasting=False,
+        robust_missing=True,
+        robust_outliers=False,
+        online=True,
+        seasonality_aware=False,
+        trend_aware=False,
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        *,
+        alpha: float = 1.0,
+        gamma: float = 1e-3,
+        seed: int | None = 0,
+    ):
+        if rank < 1:
+            raise ShapeError(f"rank must be >= 1, got {rank}")
+        if alpha < 0 or gamma < 0:
+            raise ShapeError("alpha and gamma must be non-negative")
+        self.rank = rank
+        self.alpha = alpha
+        self.gamma = gamma
+        self._rng = np.random.default_rng(seed)
+        self._factors: list[np.ndarray] | None = None
+
+    def _ensure_factors(self, shape: tuple[int, ...]) -> list[np.ndarray]:
+        if self._factors is None:
+            self._factors = random_initial_factors(
+                shape, self.rank, self._rng, scale=0.5
+            )
+        return self._factors
+
+    def _update_factor_rows(
+        self,
+        y: np.ndarray,
+        m: np.ndarray,
+        factors: list[np.ndarray],
+        mode: int,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Regularized row-wise LS for one non-temporal factor."""
+        rank = self.rank
+        coords = np.nonzero(m)
+        design = np.ones((coords[0].size, rank)) * weights[None, :]
+        for axis, factor in enumerate(factors):
+            if axis != mode:
+                design *= factor[coords[axis], :]
+        dim = factors[mode].shape[0]
+        gram = np.zeros((dim, rank, rank))
+        rhs = np.zeros((dim, rank))
+        np.add.at(gram, coords[mode], design[:, :, None] * design[:, None, :])
+        np.add.at(rhs, coords[mode], y[coords][:, None] * design)
+        prox = self.alpha + self.gamma
+        updated = factors[mode].copy()
+        eye = np.eye(rank)
+        for i in range(dim):
+            lhs = gram[i] + prox * eye
+            target = rhs[i] + self.alpha * factors[mode][i]
+            try:
+                updated[i] = np.linalg.solve(lhs, target)
+            except np.linalg.LinAlgError:
+                updated[i] = np.linalg.lstsq(lhs, target, rcond=None)[0]
+        return updated
+
+    def step(self, subtensor: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        y = np.asarray(subtensor, dtype=np.float64)
+        m = np.asarray(mask, dtype=bool)
+        factors = self._ensure_factors(y.shape)
+
+        weights = solve_temporal_weights(y, m, factors, ridge=self.gamma)
+        updated = list(factors)
+        for mode in range(len(factors)):
+            updated[mode] = self._update_factor_rows(
+                y, m, updated, mode, weights
+            )
+        self._factors = updated
+        weights = solve_temporal_weights(y, m, self._factors, ridge=self.gamma)
+        return kruskal_to_tensor(self._factors, weights=weights)

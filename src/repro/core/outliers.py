@@ -1,0 +1,81 @@
+"""Outlier estimation and error-scale tracking (paper Eq. 12, 21, 22).
+
+These are the tensor-valued extensions of the robust-HW primitives in
+:mod:`repro.forecast.robust`: outliers are whatever part of the observed
+residual survives the Huber clipping, and each entry carries its own
+exponentially smoothed error scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecast.robust import biweight_rho, huber_psi
+from repro.tensor.validation import check_mask, check_same_shape
+
+__all__ = ["estimate_outliers", "soft_threshold", "update_error_scale"]
+
+
+def soft_threshold(values: np.ndarray, threshold: float) -> np.ndarray:
+    """Element-wise soft-thresholding ``sign(x) max(|x| - λ, 0)`` (Eq. 12).
+
+    This is the proximal operator of ``λ ||·||_1`` and is how the
+    initialization phase refreshes its outlier tensor (Alg. 1 line 8).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    return np.sign(arr) * np.maximum(np.abs(arr) - threshold, 0.0)
+
+
+def estimate_outliers(
+    observed: np.ndarray,
+    predicted: np.ndarray,
+    sigma: np.ndarray,
+    mask: np.ndarray,
+    *,
+    k: float = 2.0,
+) -> np.ndarray:
+    """Estimate the outlier subtensor ``O_t`` (Eq. 21).
+
+    ``O_t = Y_t - Yhat - ψ((Y_t - Yhat)/Σ) Σ`` on observed entries: the
+    residual in excess of ``k`` error scales.  Missing entries carry no
+    outlier (zero).
+    """
+    y = np.asarray(observed, dtype=np.float64)
+    yhat = np.asarray(predicted, dtype=np.float64)
+    sg = np.asarray(sigma, dtype=np.float64)
+    check_same_shape(y, yhat, names=("observed", "predicted"))
+    check_same_shape(y, sg, names=("observed", "sigma"))
+    m = check_mask(mask, y.shape)
+    residual = y - yhat
+    outliers = residual - huber_psi(residual / sg, k) * sg
+    return np.where(m, outliers, 0.0)
+
+
+def update_error_scale(
+    observed: np.ndarray,
+    predicted: np.ndarray,
+    sigma: np.ndarray,
+    mask: np.ndarray,
+    *,
+    phi: float,
+    k: float = 2.0,
+    ck: float = 2.52,
+) -> np.ndarray:
+    """Advance the error-scale tensor ``Σ_t`` (Eq. 22).
+
+    Observed entries follow the biweight recursion
+    ``Σ_t² = φ ρ((Y - Yhat)/Σ_{t-1}) Σ_{t-1}² + (1 - φ) Σ_{t-1}²``;
+    missing entries keep their previous scale.  Note the ordering used by
+    SOFIA: the caller estimates ``O_t`` with ``Σ_{t-1}`` *before* this
+    update, so one extreme outlier cannot contaminate the scale it is
+    judged against (paper §V-C1).
+    """
+    y = np.asarray(observed, dtype=np.float64)
+    yhat = np.asarray(predicted, dtype=np.float64)
+    sg = np.asarray(sigma, dtype=np.float64)
+    check_same_shape(y, yhat, names=("observed", "predicted"))
+    check_same_shape(y, sg, names=("observed", "sigma"))
+    m = check_mask(mask, y.shape)
+    rho = biweight_rho((y - yhat) / sg, k, ck)
+    updated_sq = phi * rho * sg**2 + (1.0 - phi) * sg**2
+    return np.where(m, np.sqrt(updated_sq), sg)

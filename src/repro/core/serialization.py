@@ -1,0 +1,84 @@
+"""Save/load SOFIA model state as ``.npz`` archives.
+
+An initialized :class:`repro.core.Sofia` can be checkpointed mid-stream
+and restored later — the archive holds the non-temporal factors, the
+temporal ring buffer, the vector Holt-Winters state, the error-scale
+tensor, the step counter, and the configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import SofiaConfig
+from repro.core.model import SofiaModelState
+from repro.core.sofia import Sofia
+from repro.exceptions import NotFittedError, ShapeError
+from repro.forecast.vector_hw import VectorHoltWinters
+
+__all__ = ["load_sofia", "save_sofia"]
+
+_FORMAT_VERSION = 1
+
+
+def save_sofia(sofia: Sofia, path: str | Path) -> None:
+    """Checkpoint an initialized SOFIA model to ``path`` (npz)."""
+    if not sofia.is_initialized:
+        raise NotFittedError("cannot save an uninitialized SOFIA model")
+    state = sofia.state
+    arrays: dict[str, np.ndarray] = {
+        "temporal_buffer": state.temporal_buffer,
+        "sigma": state.sigma,
+        "hw_level": state.hw.level,
+        "hw_trend": state.hw.trend,
+        "hw_seasonal": state.hw.seasonal,
+        "hw_alpha": state.hw.alpha,
+        "hw_beta": state.hw.beta,
+        "hw_gamma": state.hw.gamma,
+        "t": np.asarray(state.t),
+        "n_factors": np.asarray(len(state.non_temporal)),
+        "format_version": np.asarray(_FORMAT_VERSION),
+    }
+    for i, factor in enumerate(state.non_temporal):
+        arrays[f"factor_{i}"] = factor
+    config_json = json.dumps(dataclasses.asdict(sofia.config))
+    arrays["config_json"] = np.frombuffer(
+        config_json.encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_sofia(path: str | Path) -> Sofia:
+    """Restore a SOFIA model checkpointed by :func:`save_sofia`."""
+    with np.load(Path(path)) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ShapeError(
+                f"unsupported checkpoint format version {version}"
+            )
+        config_json = bytes(archive["config_json"].tobytes()).decode("utf-8")
+        config = SofiaConfig(**json.loads(config_json))
+        n_factors = int(archive["n_factors"])
+        non_temporal = [archive[f"factor_{i}"] for i in range(n_factors)]
+        hw = VectorHoltWinters(
+            level=archive["hw_level"],
+            trend=archive["hw_trend"],
+            seasonal=archive["hw_seasonal"],
+            alpha=archive["hw_alpha"],
+            beta=archive["hw_beta"],
+            gamma=archive["hw_gamma"],
+        )
+        state = SofiaModelState(
+            non_temporal=non_temporal,
+            temporal_buffer=archive["temporal_buffer"],
+            hw=hw,
+            sigma=archive["sigma"],
+            t=int(archive["t"]),
+        )
+    sofia = Sofia(config)
+    sofia._state = state
+    return sofia

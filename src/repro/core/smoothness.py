@@ -1,0 +1,92 @@
+"""Smoothness constraint matrices and penalties (paper Eq. 10, [40]).
+
+``L_i`` is the ``(I_N - i) × I_N`` lag-``i`` difference operator: row ``n``
+has ``+1`` at column ``n`` and ``-1`` at column ``n + i``.  Minimizing
+``||L_1 U||_F^2`` enforces temporal (lag-1) smoothness of the temporal
+factor matrix and ``||L_m U||_F^2`` enforces seasonal (lag-``m``)
+smoothness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError, ShapeError
+
+__all__ = [
+    "difference_matrix",
+    "neighbor_count",
+    "neighbor_sum",
+    "smoothness_penalty",
+]
+
+
+def difference_matrix(length: int, lag: int) -> np.ndarray:
+    """Build the lag-``lag`` difference matrix ``L_lag`` for ``length`` rows.
+
+    Returns a ``(length - lag, length)`` matrix; a ``(0, length)`` matrix
+    when ``lag >= length`` (the penalty then vanishes, which is the correct
+    degenerate behaviour for very short series).
+    """
+    if length < 1:
+        raise ConfigError(f"length must be >= 1, got {length}")
+    if lag < 1:
+        raise ConfigError(f"lag must be >= 1, got {lag}")
+    rows = max(length - lag, 0)
+    matrix = np.zeros((rows, length))
+    idx = np.arange(rows)
+    matrix[idx, idx] = 1.0
+    matrix[idx, idx + lag] = -1.0
+    return matrix
+
+
+def smoothness_penalty(temporal_factor: np.ndarray, lag: int) -> float:
+    """``||L_lag U||_F^2 = Σ_i ||u_i - u_{i+lag}||^2`` without forming L."""
+    u = np.asarray(temporal_factor, dtype=np.float64)
+    if u.ndim != 2:
+        raise ShapeError(f"temporal factor must be a matrix, got ndim={u.ndim}")
+    if lag < 1:
+        raise ConfigError(f"lag must be >= 1, got {lag}")
+    if lag >= u.shape[0]:
+        return 0.0
+    diffs = u[:-lag] - u[lag:]
+    return float(np.sum(diffs * diffs))
+
+
+def neighbor_count(index: int, length: int, lag: int) -> int:
+    """Number of lag-``lag`` neighbors of ``index`` inside ``[0, length)``.
+
+    This is the diagonal coefficient multiplicity in the temporal row
+    update (paper Eq. 17-18): each existing neighbor contributes one
+    ``λ I_R`` to the left-hand side.
+    """
+    if not 0 <= index < length:
+        raise ShapeError(f"index {index} out of range for length {length}")
+    count = 0
+    if index - lag >= 0:
+        count += 1
+    if index + lag < length:
+        count += 1
+    return count
+
+
+def neighbor_sum(
+    temporal_factor: np.ndarray, index: int, lag: int
+) -> np.ndarray:
+    """Sum of the lag-``lag`` neighbor rows of row ``index``.
+
+    The right-hand side of the temporal row update (Eq. 17) adds
+    ``λ (u_{i-lag} + u_{i+lag})``, keeping only neighbors that exist.
+    Rows are read from the *current* matrix, i.e. Gauss-Seidel style, as
+    in Algorithm 2's sequential row sweep.
+    """
+    u = np.asarray(temporal_factor, dtype=np.float64)
+    length = u.shape[0]
+    if not 0 <= index < length:
+        raise ShapeError(f"index {index} out of range for length {length}")
+    total = np.zeros(u.shape[1])
+    if index - lag >= 0:
+        total += u[index - lag]
+    if index + lag < length:
+        total += u[index + lag]
+    return total

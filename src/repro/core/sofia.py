@@ -1,0 +1,207 @@
+"""Public facade of the SOFIA algorithm (paper §V).
+
+Typical usage::
+
+    from repro import Sofia, SofiaConfig
+
+    sofia = Sofia(SofiaConfig(rank=5, period=24))
+    sofia.initialize(startup_subtensors, startup_masks)   # Alg. 1 + HW fit
+    for y_t, mask_t in stream:
+        step = sofia.step(y_t, mask_t)                    # Alg. 3
+        completed = step.completed                        # imputation
+    future = sofia.forecast(horizon=24)                   # Eq. 28
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import SofiaConfig
+from repro.core.dynamic import dynamic_step
+from repro.core.initialization import (
+    InitializationResult,
+    initialize,
+    stack_subtensors,
+)
+from repro.core.model import SofiaModelState, SofiaStep
+from repro.exceptions import NotFittedError, ShapeError
+from repro.forecast.fitting import fit_holt_winters
+from repro.forecast.vector_hw import VectorHoltWinters
+from repro.tensor import kruskal_to_tensor
+from repro.tensor.validation import check_mask
+
+__all__ = ["Sofia"]
+
+
+class Sofia:
+    """Seasonality-aware Outlier-robust Factorization of Incomplete
+    streAming tensors.
+
+    The object is driven in two phases: :meth:`initialize` consumes the
+    first ``t_i = init_seasons * period`` subtensors in one batch
+    (Alg. 1 + §V-B), then :meth:`step` processes each subsequent subtensor
+    online (Alg. 3).  :meth:`forecast` extrapolates beyond the last
+    consumed step (Eq. 28).
+    """
+
+    def __init__(self, config: SofiaConfig):
+        self.config = config
+        self._state: SofiaModelState | None = None
+        self._init_result: InitializationResult | None = None
+
+    # ------------------------------------------------------------------
+    # Phase 1-2: initialization + Holt-Winters fitting
+    # ------------------------------------------------------------------
+    def initialize(
+        self,
+        subtensors: Sequence[np.ndarray],
+        masks: Sequence[np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        """Run the initialization phase on the start-up subtensors.
+
+        Parameters
+        ----------
+        subtensors:
+            The first ``t_i`` subtensors (``t_i = config.init_steps``; more
+            are accepted and all are used).
+        masks:
+            Matching observation masks; ``None`` means fully observed.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            The completed (imputed) start-up subtensors.
+        """
+        if len(subtensors) < self.config.init_steps:
+            raise ShapeError(
+                f"initialization needs at least {self.config.init_steps} "
+                f"subtensors (= init_seasons * period), got {len(subtensors)}"
+            )
+        tensor = stack_subtensors(subtensors)
+        if masks is None:
+            mask = np.ones(tensor.shape, dtype=bool)
+        else:
+            mask = stack_subtensors(
+                [check_mask(m_t) for m_t in masks]
+            ).astype(bool)
+
+        result = initialize(tensor, mask, self.config)
+        self._init_result = result
+        temporal = result.factors[-1]
+
+        fits = [
+            fit_holt_winters(temporal[:, r], self.config.period)
+            for r in range(self.config.rank)
+        ]
+        hw = VectorHoltWinters.from_fits(fits)
+
+        sigma = np.full(
+            tuple(f.shape[0] for f in result.factors[:-1]),
+            self.config.initial_sigma,
+        )
+        self._state = SofiaModelState(
+            non_temporal=[f.copy() for f in result.factors[:-1]],
+            temporal_buffer=temporal[-self.config.period:].copy(),
+            hw=hw,
+            sigma=sigma,
+            t=temporal.shape[0],
+        )
+        completed = result.completed
+        return [completed[..., i] for i in range(completed.shape[-1])]
+
+    # ------------------------------------------------------------------
+    # Phase 3: dynamic updates
+    # ------------------------------------------------------------------
+    def step(
+        self, subtensor: np.ndarray, mask: np.ndarray | None = None
+    ) -> SofiaStep:
+        """Consume one new subtensor ``Y_t`` online (Alg. 3).
+
+        Parameters
+        ----------
+        subtensor:
+            The incoming data slice (non-temporal shape).
+        mask:
+            Observation mask; ``None`` means fully observed.
+
+        Returns
+        -------
+        SofiaStep
+            Completed subtensor, outlier estimate, and diagnostics.
+        """
+        state = self._require_state()
+        y = np.asarray(subtensor, dtype=np.float64)
+        if mask is None:
+            mask = np.ones(y.shape, dtype=bool)
+        return dynamic_step(state, y, mask, self.config)
+
+    def run(
+        self,
+        stream: Iterable[tuple[np.ndarray, np.ndarray | None]],
+    ) -> list[SofiaStep]:
+        """Consume ``(subtensor, mask)`` pairs; returns all step results."""
+        return [self.step(y_t, m_t) for y_t, m_t in stream]
+
+    def impute(
+        self, subtensor: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Process one subtensor and return it with missing entries filled.
+
+        Observed entries are kept verbatim; missing ones come from the
+        reconstruction ``X̂_t``.
+        """
+        y = np.asarray(subtensor, dtype=np.float64)
+        if mask is None:
+            mask = np.ones(y.shape, dtype=bool)
+        m = check_mask(mask, y.shape)
+        step = self.step(y, m)
+        return np.where(m, y, step.completed)
+
+    # ------------------------------------------------------------------
+    # Forecasting
+    # ------------------------------------------------------------------
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` subtensors (Eq. 28).
+
+        Returns an array of shape ``(horizon, *subtensor_shape)`` built
+        from the most recent non-temporal factors and the HW forecast of
+        the temporal vectors.
+        """
+        state = self._require_state()
+        u_future = state.hw.forecast(horizon)  # (horizon, R)
+        return np.stack(
+            [
+                kruskal_to_tensor(state.non_temporal, weights=u_future[h])
+                for h in range(horizon)
+            ],
+            axis=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_initialized(self) -> bool:
+        return self._state is not None
+
+    @property
+    def state(self) -> SofiaModelState:
+        """The live model state (factors, HW components, error scales)."""
+        return self._require_state()
+
+    @property
+    def initialization(self) -> InitializationResult:
+        """Details of the initialization phase (Alg. 1 outcome)."""
+        if self._init_result is None:
+            raise NotFittedError("call initialize() first")
+        return self._init_result
+
+    def _require_state(self) -> SofiaModelState:
+        if self._state is None:
+            raise NotFittedError(
+                "SOFIA has not been initialized; call initialize() with the "
+                "start-up subtensors first"
+            )
+        return self._state

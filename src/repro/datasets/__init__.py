@@ -1,0 +1,51 @@
+"""Datasets: synthetic stand-ins for the paper's four real-world streams
+plus fully synthetic generators for Fig. 2 and Fig. 7.
+
+Importing this package registers all four stand-ins, so::
+
+    from repro.datasets import load_dataset, list_datasets
+    ds = load_dataset("chicago_taxi")
+"""
+
+from repro.datasets.base import (
+    Dataset,
+    DatasetInfo,
+    dataset_info,
+    list_datasets,
+    load_dataset,
+    register_dataset,
+)
+from repro.datasets.chicago_taxi import CHICAGO_TAXI_INFO, generate_chicago_taxi
+from repro.datasets.intel_lab import INTEL_LAB_INFO, generate_intel_lab
+from repro.datasets.network_traffic import (
+    NETWORK_TRAFFIC_INFO,
+    generate_network_traffic,
+)
+from repro.datasets.nyc_taxi import NYC_TAXI_INFO, generate_nyc_taxi
+from repro.datasets.synthetic import (
+    SyntheticStream,
+    fig2_tensor,
+    scalability_stream,
+    seasonal_stream,
+)
+
+__all__ = [
+    "CHICAGO_TAXI_INFO",
+    "Dataset",
+    "DatasetInfo",
+    "INTEL_LAB_INFO",
+    "NETWORK_TRAFFIC_INFO",
+    "NYC_TAXI_INFO",
+    "SyntheticStream",
+    "dataset_info",
+    "fig2_tensor",
+    "generate_chicago_taxi",
+    "generate_intel_lab",
+    "generate_network_traffic",
+    "generate_nyc_taxi",
+    "list_datasets",
+    "load_dataset",
+    "register_dataset",
+    "scalability_stream",
+    "seasonal_stream",
+]

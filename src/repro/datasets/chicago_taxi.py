@@ -1,0 +1,91 @@
+"""Chicago Taxi stand-in (paper: 77 x 77 x 2016, m = 168, hourly).
+
+The paper builds a (pickup area, dropoff area, hour) trip-count tensor
+from the Chicago open taxi data and applies ``log2(x + 1)``.  This
+generator reproduces that structure: zone popularity factors with a few
+hot spots (the Loop, airports), an hour-of-week demand profile with rush
+hours and a weekend shape, Poisson trip counts, and the same log
+transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, DatasetInfo, register_dataset
+from repro.tensor.random import as_generator
+
+__all__ = ["CHICAGO_TAXI_INFO", "generate_chicago_taxi", "hour_of_week_profile"]
+
+CHICAGO_TAXI_INFO = DatasetInfo(
+    name="chicago_taxi",
+    title="Chicago Taxi",
+    paper_shape=(77, 77, 2016),
+    period=168,
+    granularity="hourly",
+    rank=10,
+    modes=("pickup area", "dropoff area", "time"),
+)
+
+
+def hour_of_week_profile(period: int, n_steps: int, *, weekend: bool = True):
+    """Demand multiplier per time step: rush-hour humps, night lull.
+
+    ``period`` steps make one day; when ``weekend`` is set, every 6th and
+    7th day is damped and shifted later, giving a weekly super-pattern.
+    """
+    t = np.arange(n_steps)
+    day_fraction = (t % period) / period
+    morning = np.exp(-0.5 * ((day_fraction - 0.33) / 0.07) ** 2)
+    evening = np.exp(-0.5 * ((day_fraction - 0.75) / 0.09) ** 2)
+    night = 0.15
+    profile = night + morning + 1.3 * evening
+    if weekend:
+        day_index = (t // period) % 7
+        is_weekend = (day_index == 5) | (day_index == 6)
+        late = np.exp(-0.5 * ((day_fraction - 0.9) / 0.1) ** 2)
+        profile = np.where(is_weekend, 0.6 * (night + 1.2 * late), profile)
+    return profile
+
+
+@register_dataset(CHICAGO_TAXI_INFO)
+def generate_chicago_taxi(
+    *,
+    n_zones: int = 15,
+    period: int = 24,
+    n_seasons: int = 9,
+    mean_trips: float = 30.0,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """Generate the Chicago-style (pickup, dropoff, hour) stream.
+
+    Parameters
+    ----------
+    n_zones:
+        Community areas per side (77 in the paper).
+    period:
+        Steps per day (24 in the paper; the weekly pattern then gives an
+        effective period of 168 — the scaled default keeps the daily
+        period only, which is what the model's ``m`` should be set to).
+    n_seasons:
+        Number of days in the stream.
+    mean_trips:
+        Average trips on the busiest OD pair at peak hour.
+    seed:
+        Seed or generator.
+    """
+    rng = as_generator(seed)
+    n_steps = period * n_seasons
+
+    # Zipf-like zone popularity: a few dominant zones.
+    popularity = 1.0 / np.arange(1, n_zones + 1) ** 0.8
+    popularity = rng.permutation(popularity)
+    attraction = rng.permutation(1.0 / np.arange(1, n_zones + 1) ** 0.8)
+    od_intensity = np.outer(popularity, attraction)
+    od_intensity /= od_intensity.max()
+
+    profile = hour_of_week_profile(period, n_steps, weekend=False)
+    rates = mean_trips * od_intensity[:, :, None] * profile[None, None, :]
+    counts = rng.poisson(rates).astype(np.float64)
+    data = np.log2(counts + 1.0)
+    return Dataset(info=CHICAGO_TAXI_INFO, data=data, period=period)

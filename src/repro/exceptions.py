@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape or number of modes."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is out of its documented range."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method was called before the model was initialized/fitted."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to make progress (e.g. singular system)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset name or dataset parameter is invalid."""

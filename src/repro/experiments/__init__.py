@@ -1,0 +1,79 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+* Table I / III — :mod:`repro.experiments.tables`
+* Fig. 1 — :mod:`repro.experiments.summary`
+* Fig. 2 — :mod:`repro.experiments.init_accuracy`
+* Figs. 3-5 — :mod:`repro.experiments.imputation`
+* Fig. 6 — :mod:`repro.experiments.forecasting`
+* Fig. 7 — :mod:`repro.experiments.scalability`
+* Ablations — :mod:`repro.experiments.ablation`
+"""
+
+from repro.experiments.ablation import AblationOutcome, run_ablation
+from repro.experiments.forecasting import (
+    ForecastCell,
+    run_forecasting_experiment,
+)
+from repro.experiments.imputation import (
+    GridCell,
+    ImputationGrid,
+    default_imputers,
+    run_imputation_grid,
+)
+from repro.experiments.init_accuracy import (
+    Fig2Result,
+    aligned_factor_error,
+    run_fig2,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.scalability import (
+    ScalabilityResult,
+    linear_fit_r2,
+    run_scalability,
+)
+from repro.experiments.settings import (
+    DATASET_NAMES,
+    ExperimentScale,
+    SMALL_SCALE,
+    TINY_SCALE,
+    dataset_stream,
+    sofia_config_for,
+)
+from repro.experiments.summary import Fig1Result, run_fig1
+from repro.experiments.tables import (
+    table1_capabilities,
+    table1_text,
+    table3_rows,
+    table3_text,
+)
+
+__all__ = [
+    "AblationOutcome",
+    "DATASET_NAMES",
+    "ExperimentScale",
+    "Fig1Result",
+    "Fig2Result",
+    "ForecastCell",
+    "GridCell",
+    "ImputationGrid",
+    "SMALL_SCALE",
+    "ScalabilityResult",
+    "TINY_SCALE",
+    "aligned_factor_error",
+    "dataset_stream",
+    "default_imputers",
+    "format_series",
+    "format_table",
+    "linear_fit_r2",
+    "run_ablation",
+    "run_fig1",
+    "run_fig2",
+    "run_forecasting_experiment",
+    "run_imputation_grid",
+    "run_scalability",
+    "sofia_config_for",
+    "table1_capabilities",
+    "table1_text",
+    "table3_rows",
+    "table3_text",
+]

@@ -1,0 +1,149 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments table3
+    python -m repro.experiments fig2 --iters 300
+    python -m repro.experiments fig4            # runs the Figs. 3-5 grid
+    python -m repro.experiments fig6
+    python -m repro.experiments fig7
+    python -m repro.experiments ablation
+
+Results print as the same ASCII tables the benches emit.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.forecasting import run_forecasting_experiment
+from repro.experiments.imputation import run_imputation_grid
+from repro.experiments.init_accuracy import run_fig2
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.scalability import run_scalability
+from repro.experiments.settings import SMALL_SCALE, TINY_SCALE
+from repro.experiments.tables import table1_text, table3_text
+
+__all__ = ["main"]
+
+
+def _scale(args):
+    return TINY_SCALE if args.tiny else SMALL_SCALE
+
+
+def _cmd_table1(args) -> str:
+    return table1_text()
+
+
+def _cmd_table3(args) -> str:
+    return table3_text()
+
+
+def _cmd_fig2(args) -> str:
+    result = run_fig2(max_outer_iters=args.iters, trace_every=args.iters // 10)
+    lines = [
+        format_table(
+            ["Initialization", "final NRE", "temporal-factor NRE"],
+            [
+                ["SOFIA_ALS", result.final_nre_sofia, result.temporal_error_sofia],
+                ["vanilla ALS", result.final_nre_vanilla,
+                 result.temporal_error_vanilla],
+            ],
+            title="Fig. 2: initialization at (90, 20, 7)",
+        ),
+        format_series("SOFIA_ALS trace", result.nre_sofia),
+        format_series("vanilla trace  ", result.nre_vanilla),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_fig4(args) -> str:
+    grid = run_imputation_grid(scale=_scale(args))
+    algorithms = sorted({c.algorithm for c in grid.cells})
+    rows = [
+        [c.dataset, c.setting.label, c.algorithm, c.rae, c.art_seconds * 1e3]
+        for c in grid.cells
+    ]
+    return format_table(
+        ["Dataset", "Setting", "Algorithm", "RAE", "ART (ms)"],
+        rows,
+        title=f"Figs. 3-5 grid ({grid.scale_name} preset); winners: "
+        f"{set(grid.winners().values())}",
+    )
+
+
+def _cmd_fig6(args) -> str:
+    cells = run_forecasting_experiment(scale=_scale(args))
+    return format_table(
+        ["Dataset", "Algorithm (setting)", "AFE"],
+        [[c.dataset, c.label, c.afe] for c in cells],
+        title="Fig. 6: forecasting AFE",
+    )
+
+
+def _cmd_fig7(args) -> str:
+    result = run_scalability()
+    rows = [
+        [int(e), s]
+        for e, s in zip(result.entries_per_step, result.total_seconds)
+    ]
+    table = format_table(
+        ["Entries/step", "Total time (s)"],
+        rows,
+        title="Fig. 7: scalability",
+    )
+    return (
+        f"{table}\nlinear-fit R^2: entries {result.entries_r2:.4f}, "
+        f"steps {result.steps_r2:.4f}"
+    )
+
+
+def _cmd_ablation(args) -> str:
+    outcomes = run_ablation()
+    return format_table(
+        ["Variant", "RAE"],
+        [[o.variant, o.rae] for o in outcomes],
+        title="Ablation of SOFIA design choices",
+    )
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table3": _cmd_table3,
+    "fig2": _cmd_fig2,
+    "fig4": _cmd_fig4,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "ablation": _cmd_ablation,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> str:
+    """Run one experiment command; returns (and prints) its report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table/figure of the SOFIA paper.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="use the tiny dataset preset (fast smoke runs)",
+    )
+    parser.add_argument(
+        "--iters",
+        type=int,
+        default=300,
+        help="outer-iteration budget for fig2",
+    )
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper reports results as figures; this reproduction prints the same
+rows/series as aligned ASCII so benches can ``print`` them and
+EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["format_series", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with four significant decimals; everything else via
+    ``str``.
+    """
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e5):
+                return f"{cell:.3e}"
+            return f"{cell:.4f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    values: np.ndarray,
+    *,
+    max_points: int = 12,
+) -> str:
+    """Render a long series as a downsampled one-line summary.
+
+    Used for the per-step NRE curves of Fig. 1(a)/Fig. 3: the series is
+    subsampled to ``max_points`` evenly spaced values.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return f"{name}: (empty)"
+    if arr.size > max_points:
+        idx = np.linspace(0, arr.size - 1, max_points).round().astype(int)
+        arr = arr[idx]
+    body = " ".join(f"{v:.3f}" for v in arr)
+    return f"{name}: {body}"

@@ -1,0 +1,87 @@
+"""Fig. 1 experiment: the paper's headline summary.
+
+Composes the four panels from the other drivers on the Chicago-Taxi
+stand-in at (70, 20, 5): (a) the per-step imputation NRE curve, (b) the
+ART-vs-RAE trade-off, (c) forecasting AFE bars, and (d) the linear
+scalability sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.forecasting import ForecastCell, run_forecasting_experiment
+from repro.experiments.imputation import ImputationGrid, run_imputation_grid
+from repro.experiments.scalability import ScalabilityResult, run_scalability
+from repro.experiments.settings import ExperimentScale, SMALL_SCALE
+from repro.streams import CorruptionSpec
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """All four panels of Fig. 1."""
+
+    imputation: ImputationGrid = field(repr=False)
+    forecasting: list[ForecastCell] = field(repr=False)
+    scalability: ScalabilityResult = field(repr=False)
+
+    def panel_a_series(self) -> dict[str, np.ndarray]:
+        """Per-step NRE curves on Chicago Taxi (70, 20, 5)."""
+        return {
+            c.algorithm: c.nre_series
+            for c in self.imputation.cells
+            if c.dataset == "chicago_taxi" and c.setting.label == "(70, 20, 5)"
+        }
+
+    def panel_b_tradeoff(self) -> list[tuple[str, float, float]]:
+        """(algorithm, ART seconds, RAE) triples."""
+        return [
+            (c.algorithm, c.art_seconds, c.rae)
+            for c in self.imputation.cells
+            if c.dataset == "chicago_taxi" and c.setting.label == "(70, 20, 5)"
+        ]
+
+    def panel_c_bars(self) -> list[tuple[str, float]]:
+        """(label, AFE) bars on the Chicago Taxi forecast comparison."""
+        return [
+            (c.label, c.afe)
+            for c in self.forecasting
+            if c.dataset == "chicago_taxi"
+        ]
+
+    def sofia_speedup_vs_second_most_accurate(self) -> float:
+        """The headline '935x faster than the second-most accurate'."""
+        cells = [
+            c
+            for c in self.imputation.cells
+            if c.dataset == "chicago_taxi" and c.setting.label == "(70, 20, 5)"
+        ]
+        sofia = next(c for c in cells if c.algorithm == "SOFIA")
+        rivals = sorted(
+            (c for c in cells if c.algorithm != "SOFIA"), key=lambda c: c.rae
+        )
+        return rivals[0].art_seconds / max(sofia.art_seconds, 1e-12)
+
+
+def run_fig1(*, scale: ExperimentScale = SMALL_SCALE) -> Fig1Result:
+    """Run the three underlying experiments on the Chicago stand-in."""
+    imputation = run_imputation_grid(
+        scale=scale,
+        datasets=("chicago_taxi",),
+        settings=(CorruptionSpec(70, 20, 5),),
+    )
+    forecasting = run_forecasting_experiment(
+        scale=scale, datasets=("chicago_taxi",)
+    )
+    scalability = run_scalability(
+        row_sizes=(100, 200, 300, 400), n_cols=100, n_steps=120
+    )
+    return Fig1Result(
+        imputation=imputation,
+        forecasting=forecasting,
+        scalability=scalability,
+    )

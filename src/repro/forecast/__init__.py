@@ -1,0 +1,58 @@
+"""Holt-Winters forecasting substrate (standard, fitted, robust, vector).
+
+Implements §III-C and §III-D of the paper: the additive Holt-Winters
+recursions, SSE-based parameter estimation with L-BFGS-B, the Gelper
+robust variant (Huber ψ pre-cleaning + biweight ρ scale tracking), and
+the vectorized state SOFIA advances during its dynamic phase (Eq. 26).
+"""
+
+from repro.forecast.fitting import FittedHoltWinters, fit_holt_winters
+from repro.forecast.holt_winters import (
+    HoltWintersParams,
+    HoltWintersState,
+    hw_filter,
+    hw_forecast,
+    hw_update,
+    initial_state,
+    one_step_sse,
+)
+from repro.forecast.multiplicative import (
+    fit_multiplicative,
+    mul_forecast,
+    mul_initial_state,
+    mul_update,
+)
+from repro.forecast.robust import (
+    DEFAULT_CK,
+    DEFAULT_K,
+    RobustHoltWinters,
+    biweight_rho,
+    clean_value,
+    huber_psi,
+    update_scale_gelper,
+)
+from repro.forecast.vector_hw import VectorHoltWinters
+
+__all__ = [
+    "DEFAULT_CK",
+    "DEFAULT_K",
+    "FittedHoltWinters",
+    "HoltWintersParams",
+    "HoltWintersState",
+    "RobustHoltWinters",
+    "VectorHoltWinters",
+    "biweight_rho",
+    "clean_value",
+    "fit_holt_winters",
+    "fit_multiplicative",
+    "huber_psi",
+    "mul_forecast",
+    "mul_initial_state",
+    "mul_update",
+    "hw_filter",
+    "hw_forecast",
+    "hw_update",
+    "initial_state",
+    "one_step_sse",
+    "update_scale_gelper",
+]

@@ -1,0 +1,105 @@
+"""Holt-Winters parameter estimation (paper §V-B).
+
+The smoothing parameters ``(alpha, beta, gamma)`` are estimated per series
+by minimizing the sum of squared one-step-ahead forecast errors with
+L-BFGS-B under box constraints ``[0, 1]^3`` — the same optimizer family
+the paper uses ([42]).  Initial level/trend/seasonal states come from the
+standard two-season heuristic in
+:func:`repro.forecast.holt_winters.initial_state`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.exceptions import ShapeError
+from repro.forecast.holt_winters import (
+    HoltWintersParams,
+    HoltWintersState,
+    hw_filter,
+    hw_forecast,
+    initial_state,
+    one_step_sse,
+)
+
+__all__ = ["FittedHoltWinters", "fit_holt_winters"]
+
+_PARAM_BOUNDS = [(0.0, 1.0)] * 3
+_DEFAULT_STARTS = (
+    (0.3, 0.1, 0.1),
+    (0.7, 0.05, 0.3),
+    (0.1, 0.01, 0.9),
+)
+
+
+@dataclass(frozen=True)
+class FittedHoltWinters:
+    """Result of fitting the additive HW model to one series."""
+
+    params: HoltWintersParams
+    state: HoltWintersState
+    sse: float
+    fitted: np.ndarray
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast ``horizon`` steps beyond the training series (Eq. 6)."""
+        return hw_forecast(self.state, horizon)
+
+
+def fit_holt_winters(
+    series: np.ndarray,
+    period: int,
+    *,
+    starts: tuple[tuple[float, float, float], ...] = _DEFAULT_STARTS,
+) -> FittedHoltWinters:
+    """Fit the additive Holt-Winters model to ``series``.
+
+    Parameters
+    ----------
+    series:
+        1-D array with at least two full seasons.
+    period:
+        Seasonal period ``m``.
+    starts:
+        Multi-start initial guesses for ``(alpha, beta, gamma)``; the best
+        local optimum wins.  L-BFGS-B on this objective is cheap, so a few
+        restarts buy robustness against its nonconvexity.
+
+    Returns
+    -------
+    FittedHoltWinters
+        Fitted parameters, the state after consuming ``series`` (ready for
+        forecasting), the achieved SSE, and in-sample one-step forecasts.
+    """
+    y = np.asarray(series, dtype=np.float64).reshape(-1)
+    if y.size < 2 * period:
+        raise ShapeError(
+            f"need at least {2 * period} observations to fit HW with "
+            f"period {period}, got {y.size}"
+        )
+    init = initial_state(y, period)
+
+    def objective(theta: np.ndarray) -> float:
+        params = HoltWintersParams(*np.clip(theta, 0.0, 1.0))
+        return one_step_sse(y, params, init)
+
+    best_theta = None
+    best_value = np.inf
+    for start in starts:
+        result = minimize(
+            objective,
+            x0=np.asarray(start, dtype=np.float64),
+            method="L-BFGS-B",
+            bounds=_PARAM_BOUNDS,
+        )
+        if result.fun < best_value:
+            best_value = float(result.fun)
+            best_theta = np.clip(result.x, 0.0, 1.0)
+    params = HoltWintersParams(*best_theta)
+    fitted, final_state = hw_filter(y, params, init)
+    return FittedHoltWinters(
+        params=params, state=final_state, sse=best_value, fitted=fitted
+    )

@@ -1,0 +1,155 @@
+"""Additive Holt-Winters smoothing and forecasting (paper §III-C).
+
+The additive model tracks a level ``l_t``, a trend ``b_t`` and ``m``
+seasonal components ``s_t`` with smoothing parameters ``alpha``, ``beta``
+and ``gamma`` (Eq. 5), and forecasts ``h`` steps ahead with Eq. 6.
+
+State is carried in :class:`HoltWintersState`, whose ``seasonal`` buffer
+stores the most recent season ``s_{t-m+1}, ..., s_t`` oldest-first, which
+is exactly the information the forecast equation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import ConfigError, ShapeError
+
+__all__ = [
+    "HoltWintersParams",
+    "HoltWintersState",
+    "hw_filter",
+    "hw_forecast",
+    "hw_update",
+    "initial_state",
+    "one_step_sse",
+]
+
+
+@dataclass(frozen=True)
+class HoltWintersParams:
+    """Smoothing parameters ``(alpha, beta, gamma)``, each in [0, 1]."""
+
+    alpha: float
+    beta: float
+    gamma: float
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.alpha, self.beta, self.gamma])
+
+
+@dataclass(frozen=True)
+class HoltWintersState:
+    """Level, trend and one season of seasonal components (oldest first)."""
+
+    level: float
+    trend: float
+    seasonal: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.seasonal, dtype=np.float64).reshape(-1)
+        if arr.size < 1:
+            raise ShapeError("seasonal buffer must have at least one entry")
+        object.__setattr__(self, "seasonal", arr)
+
+    @property
+    def period(self) -> int:
+        return int(self.seasonal.size)
+
+    def forecast_next(self) -> float:
+        """One-step-ahead forecast ``l_t + b_t + s_{t+1-m}`` (Eq. 6, h=1)."""
+        return self.level + self.trend + float(self.seasonal[0])
+
+
+def initial_state(series: np.ndarray, period: int) -> HoltWintersState:
+    """Heuristic initial HW state from at least two full seasons.
+
+    Uses the standard convention (Hyndman & Athanasopoulos): the initial
+    level is the first season's mean, the initial trend is the per-step
+    change between the first two seasonal means, and each seasonal
+    component is the average deviation of its phase from its season mean.
+    """
+    y = np.asarray(series, dtype=np.float64).reshape(-1)
+    if period < 1:
+        raise ConfigError(f"period must be >= 1, got {period}")
+    if y.size < 2 * period:
+        raise ShapeError(
+            f"need at least two seasons ({2 * period} points) to initialize, "
+            f"got {y.size}"
+        )
+    n_seasons = y.size // period
+    seasons = y[: n_seasons * period].reshape(n_seasons, period)
+    season_means = seasons.mean(axis=1)
+    level = float(season_means[0])
+    trend = float(season_means[1] - season_means[0]) / period
+    seasonal = (seasons - season_means[:, None]).mean(axis=0)
+    return HoltWintersState(level=level, trend=trend, seasonal=seasonal)
+
+
+def hw_update(
+    state: HoltWintersState, value: float, params: HoltWintersParams
+) -> HoltWintersState:
+    """Apply one step of the smoothing equations (Eq. 5) for ``value``."""
+    s_old = float(state.seasonal[0])  # s_{t-m}
+    level = params.alpha * (value - s_old) + (1.0 - params.alpha) * (
+        state.level + state.trend
+    )
+    trend = params.beta * (level - state.level) + (1.0 - params.beta) * state.trend
+    s_new = params.gamma * (value - state.level - state.trend) + (
+        1.0 - params.gamma
+    ) * s_old
+    seasonal = np.roll(state.seasonal, -1)
+    seasonal[-1] = s_new
+    return replace(state, level=level, trend=trend, seasonal=seasonal)
+
+
+def hw_forecast(state: HoltWintersState, horizon: int) -> np.ndarray:
+    """Forecast ``horizon`` steps ahead (Eq. 6).
+
+    For horizon ``h`` the seasonal term is ``s_{t+h-m(floor((h-1)/m)+1)}``,
+    i.e. the matching phase from the last observed season.
+    """
+    if horizon < 1:
+        raise ConfigError(f"horizon must be >= 1, got {horizon}")
+    m = state.period
+    steps = np.arange(1, horizon + 1)
+    seasonal_idx = (steps - 1) % m
+    return state.level + steps * state.trend + state.seasonal[seasonal_idx]
+
+
+def hw_filter(
+    series: np.ndarray,
+    params: HoltWintersParams,
+    state: HoltWintersState,
+) -> tuple[np.ndarray, HoltWintersState]:
+    """Run the HW recursion over ``series``.
+
+    Returns the one-step-ahead forecasts ``yhat_{t|t-1}`` for every point of
+    ``series`` and the state after consuming all of it.
+    """
+    y = np.asarray(series, dtype=np.float64).reshape(-1)
+    forecasts = np.empty_like(y)
+    current = state
+    for t, value in enumerate(y):
+        forecasts[t] = current.forecast_next()
+        current = hw_update(current, float(value), params)
+    return forecasts, current
+
+
+def one_step_sse(
+    series: np.ndarray,
+    params: HoltWintersParams,
+    state: HoltWintersState,
+) -> float:
+    """Sum of squared one-step forecast errors over ``series`` (§III-C)."""
+    forecasts, _ = hw_filter(series, params, state)
+    residuals = np.asarray(series, dtype=np.float64).reshape(-1) - forecasts
+    return float(np.dot(residuals, residuals))

@@ -1,0 +1,127 @@
+"""Multiplicative Holt-Winters (the paper's §III-C second variant).
+
+The paper focuses on the additive model; the multiplicative variant is
+preferred when seasonal variation scales with the level.  Provided as an
+extension with the same state/fit/forecast API as the additive module so
+either can back a forecaster.
+
+Smoothing equations::
+
+    l_t = α (y_t / s_{t-m}) + (1 - α)(l_{t-1} + b_{t-1})
+    b_t = β (l_t - l_{t-1}) + (1 - β) b_{t-1}
+    s_t = γ (y_t / (l_{t-1} + b_{t-1})) + (1 - γ) s_{t-m}
+
+and the h-step forecast is ``(l_t + h b_t) · s_{t+h-m(⌊(h-1)/m⌋+1)}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.exceptions import ConfigError, ShapeError
+from repro.forecast.holt_winters import HoltWintersParams, HoltWintersState
+
+__all__ = [
+    "fit_multiplicative",
+    "mul_forecast",
+    "mul_initial_state",
+    "mul_update",
+]
+
+
+def mul_initial_state(series: np.ndarray, period: int) -> HoltWintersState:
+    """Heuristic initial state for the multiplicative model.
+
+    Level/trend come from seasonal means as in the additive case; the
+    seasonal components are average *ratios* to their season mean.  The
+    series must be strictly positive.
+    """
+    y = np.asarray(series, dtype=np.float64).reshape(-1)
+    if period < 1:
+        raise ConfigError(f"period must be >= 1, got {period}")
+    if y.size < 2 * period:
+        raise ShapeError(
+            f"need at least {2 * period} points, got {y.size}"
+        )
+    if np.any(y <= 0):
+        raise ShapeError("multiplicative HW requires strictly positive data")
+    n_seasons = y.size // period
+    seasons = y[: n_seasons * period].reshape(n_seasons, period)
+    season_means = seasons.mean(axis=1)
+    level = float(season_means[0])
+    trend = float(season_means[1] - season_means[0]) / period
+    seasonal = (seasons / season_means[:, None]).mean(axis=0)
+    seasonal = seasonal / seasonal.mean()  # normalize ratios to mean 1
+    return HoltWintersState(level=level, trend=trend, seasonal=seasonal)
+
+
+def mul_update(
+    state: HoltWintersState, value: float, params: HoltWintersParams
+) -> HoltWintersState:
+    """One multiplicative smoothing step."""
+    s_old = float(state.seasonal[0])
+    base = state.level + state.trend
+    level = params.alpha * (value / max(s_old, 1e-12)) + (
+        1.0 - params.alpha
+    ) * base
+    trend = params.beta * (level - state.level) + (1.0 - params.beta) * state.trend
+    s_new = params.gamma * (value / max(base, 1e-12)) + (1.0 - params.gamma) * s_old
+    seasonal = np.roll(state.seasonal, -1)
+    seasonal[-1] = s_new
+    return replace(state, level=level, trend=trend, seasonal=seasonal)
+
+
+def mul_forecast(state: HoltWintersState, horizon: int) -> np.ndarray:
+    """Multiplicative h-step forecast."""
+    if horizon < 1:
+        raise ConfigError(f"horizon must be >= 1, got {horizon}")
+    steps = np.arange(1, horizon + 1)
+    seasonal_idx = (steps - 1) % state.period
+    return (state.level + steps * state.trend) * state.seasonal[seasonal_idx]
+
+
+def _one_step_sse(series, params, state) -> float:
+    total = 0.0
+    current = state
+    for value in series:
+        forecast = (current.level + current.trend) * float(current.seasonal[0])
+        total += (float(value) - forecast) ** 2
+        current = mul_update(current, float(value), params)
+    return total
+
+
+def fit_multiplicative(
+    series: np.ndarray,
+    period: int,
+    *,
+    starts: tuple[tuple[float, float, float], ...] = (
+        (0.3, 0.1, 0.1),
+        (0.7, 0.05, 0.3),
+    ),
+) -> tuple[HoltWintersParams, HoltWintersState]:
+    """Fit the multiplicative model; returns (params, final state)."""
+    y = np.asarray(series, dtype=np.float64).reshape(-1)
+    init = mul_initial_state(y, period)
+
+    def objective(theta: np.ndarray) -> float:
+        params = HoltWintersParams(*np.clip(theta, 0.0, 1.0))
+        return _one_step_sse(y, params, init)
+
+    best_theta, best_value = None, np.inf
+    for start in starts:
+        result = minimize(
+            objective,
+            x0=np.asarray(start),
+            method="L-BFGS-B",
+            bounds=[(0.0, 1.0)] * 3,
+        )
+        if result.fun < best_value:
+            best_value, best_theta = float(result.fun), np.clip(result.x, 0, 1)
+    params = HoltWintersParams(*best_theta)
+    state = init
+    for value in y:
+        state = mul_update(state, float(value), params)
+    return params, state

@@ -1,0 +1,47 @@
+"""Streaming infrastructure: corruption, streams, metrics, runners.
+
+Implements the paper's experimental protocol (§VI-A): the ``(X, Y, Z)``
+corruption model, the tensor-stream abstraction with a start-up window,
+and the NRE/RAE/AFE/ART metrics with timing that excludes initialization.
+"""
+
+from repro.streams.corruption import (
+    PAPER_SETTINGS,
+    CorruptedTensor,
+    CorruptionSpec,
+    corrupt,
+)
+from repro.streams.metrics import (
+    RunningAverage,
+    average_forecast_error,
+    normalized_residual_error,
+)
+from repro.streams.runner import (
+    ForecastResult,
+    ImputationResult,
+    StreamingForecasterProtocol,
+    StreamingImputerProtocol,
+    run_forecasting,
+    run_imputation,
+)
+from repro.streams.stream import TensorStream
+from repro.streams.structured import blackout_mask, dropped_steps_mask
+
+__all__ = [
+    "PAPER_SETTINGS",
+    "CorruptedTensor",
+    "CorruptionSpec",
+    "ForecastResult",
+    "ImputationResult",
+    "RunningAverage",
+    "StreamingForecasterProtocol",
+    "StreamingImputerProtocol",
+    "TensorStream",
+    "average_forecast_error",
+    "blackout_mask",
+    "corrupt",
+    "dropped_steps_mask",
+    "normalized_residual_error",
+    "run_forecasting",
+    "run_imputation",
+]

@@ -1,0 +1,130 @@
+"""The paper's corruption model: random missing entries and outliers.
+
+Experimental settings are written ``(X, Y, Z)`` (§VI-A): ``X``\\% of
+entries are hidden (treated as missing), ``Y``\\% are corrupted by
+outliers of magnitude ``±Z · max(|X|)`` (sign chosen uniformly), where
+``max(|X|)`` is the maximum absolute entry of the whole ground-truth
+tensor.  Missing and outlier positions are drawn independently, so an
+entry can be both (an invisible outlier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.tensor.random import as_generator
+
+__all__ = ["CorruptedTensor", "CorruptionSpec", "PAPER_SETTINGS", "corrupt"]
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """An ``(X, Y, Z)`` experimental setting.
+
+    Attributes
+    ----------
+    missing_pct:
+        Percentage of entries hidden from the algorithm (``X``).
+    outlier_pct:
+        Percentage of entries hit by additive outliers (``Y``).
+    magnitude:
+        Outlier magnitude as a multiple of ``max(|ground truth|)`` (``Z``).
+    """
+
+    missing_pct: float
+    outlier_pct: float
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.missing_pct < 100.0:
+            raise ConfigError(
+                f"missing_pct must be in [0, 100), got {self.missing_pct}"
+            )
+        if not 0.0 <= self.outlier_pct <= 100.0:
+            raise ConfigError(
+                f"outlier_pct must be in [0, 100], got {self.outlier_pct}"
+            )
+        if self.magnitude < 0.0:
+            raise ConfigError(f"magnitude must be >= 0, got {self.magnitude}")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``(70, 20, 5)``."""
+
+        def fmt(x: float) -> str:
+            return str(int(x)) if float(x).is_integer() else str(x)
+
+        return (
+            f"({fmt(self.missing_pct)}, {fmt(self.outlier_pct)}, "
+            f"{fmt(self.magnitude)})"
+        )
+
+
+#: The four settings used throughout the paper's Figures 3-5,
+#: mildest to harshest.
+PAPER_SETTINGS = (
+    CorruptionSpec(20, 10, 2),
+    CorruptionSpec(30, 15, 3),
+    CorruptionSpec(50, 20, 4),
+    CorruptionSpec(70, 20, 5),
+)
+
+
+@dataclass(frozen=True)
+class CorruptedTensor:
+    """A ground-truth tensor together with its corrupted observation."""
+
+    clean: np.ndarray = field(repr=False)
+    observed: np.ndarray = field(repr=False)
+    mask: np.ndarray = field(repr=False)
+    outlier_mask: np.ndarray = field(repr=False)
+    spec: CorruptionSpec
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.clean.shape
+
+
+def corrupt(
+    tensor: np.ndarray,
+    spec: CorruptionSpec,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> CorruptedTensor:
+    """Apply ``spec`` to a ground-truth tensor.
+
+    Parameters
+    ----------
+    tensor:
+        The clean ground truth (any order; time convention is up to the
+        caller).
+    spec:
+        The ``(X, Y, Z)`` setting.
+    seed:
+        Seed or generator for the corruption randomness.
+
+    Returns
+    -------
+    CorruptedTensor
+        The observation ``Y`` (clean + outliers), the indicator ``Ω``
+        (True = observed), the outlier positions, and the clean tensor.
+    """
+    clean = np.asarray(tensor, dtype=np.float64)
+    rng = as_generator(seed)
+    mask = rng.random(clean.shape) >= spec.missing_pct / 100.0
+    outlier_mask = rng.random(clean.shape) < spec.outlier_pct / 100.0
+    observed = clean.copy()
+    n_outliers = int(outlier_mask.sum())
+    if n_outliers and spec.magnitude > 0:
+        signs = np.where(rng.random(n_outliers) < 0.5, -1.0, 1.0)
+        observed[outlier_mask] += signs * spec.magnitude * np.abs(clean).max()
+    return CorruptedTensor(
+        clean=clean,
+        observed=observed,
+        mask=mask,
+        outlier_mask=outlier_mask,
+        spec=spec,
+    )

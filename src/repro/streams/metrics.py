@@ -1,0 +1,78 @@
+"""Evaluation metrics from the paper (§VI-A).
+
+* NRE  — normalized residual error of one reconstruction,
+* RAE  — running average of NREs over the stream,
+* AFE  — average forecasting error over a horizon,
+* ART  — average running time per processed subtensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.tensor.dense import relative_error
+
+__all__ = [
+    "RunningAverage",
+    "average_forecast_error",
+    "normalized_residual_error",
+]
+
+
+def normalized_residual_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """NRE: ``||X̂_t - X_t||_F / ||X_t||_F``."""
+    return relative_error(estimate, truth)
+
+
+def average_forecast_error(
+    forecasts: np.ndarray, truths: np.ndarray
+) -> float:
+    """AFE: mean NRE of ``h``-step-ahead forecasts over the horizon.
+
+    Parameters
+    ----------
+    forecasts, truths:
+        Arrays of shape ``(horizon, *subtensor_shape)``.
+    """
+    fc = np.asarray(forecasts, dtype=np.float64)
+    tr = np.asarray(truths, dtype=np.float64)
+    if fc.shape != tr.shape:
+        raise ShapeError(
+            f"forecasts shape {fc.shape} does not match truths {tr.shape}"
+        )
+    if fc.shape[0] == 0:
+        raise ShapeError("need at least one forecast step")
+    return float(
+        np.mean([relative_error(fc[h], tr[h]) for h in range(fc.shape[0])])
+    )
+
+
+@dataclass
+class RunningAverage:
+    """Streaming mean accumulator (used for both RAE and ART).
+
+    ``add`` one value per time step; ``mean`` is the running average, and
+    ``values`` keeps the full series for per-step plots (paper Fig. 3).
+    """
+
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ShapeError("no values accumulated")
+        return float(np.mean(self.values))
+
+    def series(self) -> np.ndarray:
+        """All accumulated values as an array."""
+        return np.asarray(self.values, dtype=np.float64)

@@ -1,0 +1,110 @@
+"""Tensor stream abstraction: a sequence of (subtensor, mask) slices.
+
+A :class:`TensorStream` wraps a dense tensor whose **last** mode is time,
+plus an observation mask, and exposes the slicing conventions every
+experiment needs: the start-up window consumed by initialization and the
+live remainder consumed step by step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.tensor.validation import check_mask
+
+__all__ = ["TensorStream"]
+
+
+@dataclass(frozen=True)
+class TensorStream:
+    """A finite tensor stream with time along the last mode.
+
+    Attributes
+    ----------
+    data:
+        Dense array of shape ``(I_1, ..., I_{N-1}, T)``.
+    mask:
+        Boolean observation indicator of the same shape (True = observed).
+    period:
+        Seasonal period ``m`` of the temporal mode.
+    """
+
+    data: np.ndarray = field(repr=False)
+    mask: np.ndarray = field(repr=False)
+    period: int
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data, dtype=np.float64)
+        if data.ndim < 2:
+            raise ShapeError("a tensor stream needs at least 2 modes")
+        mask = check_mask(self.mask, data.shape)
+        if self.period < 1:
+            raise ShapeError(f"period must be >= 1, got {self.period}")
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "mask", mask)
+
+    @classmethod
+    def fully_observed(
+        cls, data: np.ndarray, period: int
+    ) -> "TensorStream":
+        """Wrap a clean tensor with an all-True mask."""
+        arr = np.asarray(data, dtype=np.float64)
+        return cls(data=arr, mask=np.ones(arr.shape, dtype=bool), period=period)
+
+    @property
+    def n_steps(self) -> int:
+        """Stream length ``T``."""
+        return int(self.data.shape[-1])
+
+    @property
+    def subtensor_shape(self) -> tuple[int, ...]:
+        """Shape of each incoming slice ``(I_1, ..., I_{N-1})``."""
+        return tuple(self.data.shape[:-1])
+
+    @property
+    def entries_per_step(self) -> int:
+        """Total entries per subtensor (observed or not)."""
+        return int(np.prod(self.subtensor_shape))
+
+    def subtensor(self, t: int) -> np.ndarray:
+        """The slice ``Y_t`` (0-indexed)."""
+        return self.data[..., t]
+
+    def mask_at(self, t: int) -> np.ndarray:
+        """The indicator ``Ω_t`` (0-indexed)."""
+        return self.mask[..., t]
+
+    def startup(self, n: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """First ``n`` (subtensor, mask) pairs for initialization."""
+        if not 0 < n <= self.n_steps:
+            raise ShapeError(
+                f"startup window {n} out of range for stream of length "
+                f"{self.n_steps}"
+            )
+        subtensors = [self.data[..., t] for t in range(n)]
+        masks = [self.mask[..., t] for t in range(n)]
+        return subtensors, masks
+
+    def iter_from(self, start: int) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(t, Y_t, Ω_t)`` from ``start`` to the end."""
+        if not 0 <= start <= self.n_steps:
+            raise ShapeError(f"start {start} out of range")
+        for t in range(start, self.n_steps):
+            yield t, self.data[..., t], self.mask[..., t]
+
+    def slice_steps(self, start: int, stop: int) -> "TensorStream":
+        """Sub-stream covering time steps ``[start, stop)``."""
+        if not 0 <= start < stop <= self.n_steps:
+            raise ShapeError(
+                f"invalid step range [{start}, {stop}) for length "
+                f"{self.n_steps}"
+            )
+        return TensorStream(
+            data=self.data[..., start:stop],
+            mask=self.mask[..., start:stop],
+            period=self.period,
+        )

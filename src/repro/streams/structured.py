@@ -1,0 +1,71 @@
+"""Structured missingness: the failure modes the paper's intro motivates.
+
+The evaluation corrupts entries uniformly at random, but the paper's
+motivating failures are structured: a *network disconnection* blacks out
+a sensor (a whole fiber) for a contiguous stretch of time, and a *system
+error* drops an entire time step.  These generators produce such masks
+so robustness can be probed beyond uniform missingness (used by tests
+and the ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.tensor.random import as_generator
+
+__all__ = ["blackout_mask", "dropped_steps_mask"]
+
+
+def blackout_mask(
+    shape: tuple[int, ...],
+    *,
+    n_blackouts: int,
+    duration: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Mask with contiguous per-fiber blackouts (time on the last mode).
+
+    Each blackout picks one non-temporal position uniformly and hides it
+    for ``duration`` consecutive steps — a disconnected sensor or link.
+
+    Returns a boolean mask (True = observed).
+    """
+    if len(shape) < 2:
+        raise ConfigError("need at least one non-temporal mode plus time")
+    if n_blackouts < 0 or duration < 1:
+        raise ConfigError("n_blackouts must be >= 0 and duration >= 1")
+    rng = as_generator(seed)
+    mask = np.ones(shape, dtype=bool)
+    n_steps = shape[-1]
+    spatial_shape = shape[:-1]
+    for _ in range(n_blackouts):
+        position = tuple(rng.integers(0, d) for d in spatial_shape)
+        start = int(rng.integers(0, max(n_steps - duration + 1, 1)))
+        mask[position + (slice(start, start + duration),)] = False
+    return mask
+
+
+def dropped_steps_mask(
+    shape: tuple[int, ...],
+    *,
+    drop_fraction: float,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Mask that hides entire time steps (system errors losing a batch).
+
+    ``drop_fraction`` of the time steps are fully unobserved.
+    """
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ConfigError(
+            f"drop_fraction must be in [0, 1), got {drop_fraction}"
+        )
+    rng = as_generator(seed)
+    mask = np.ones(shape, dtype=bool)
+    n_steps = shape[-1]
+    n_drop = int(round(drop_fraction * n_steps))
+    if n_drop:
+        dropped = rng.choice(n_steps, size=n_drop, replace=False)
+        mask[..., dropped] = False
+    return mask

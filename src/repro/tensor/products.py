@@ -1,0 +1,134 @@
+"""Structured tensor products: Khatri-Rao, Hadamard, outer, Kruskal.
+
+The Kruskal operator ``[[U^(1), ..., U^(N)]]`` (paper Eq. 2) reconstructs a
+tensor from CP factor matrices; :func:`kruskal_to_tensor` implements it for
+arbitrary order together with optional per-component weights, which is how
+SOFIA evaluates one-step-ahead subtensor predictions
+``[[{U^(n)}; u_hat]]`` (paper Eq. 20).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.tensor.validation import check_factor_matrices
+
+__all__ = [
+    "hadamard_all",
+    "khatri_rao",
+    "kruskal_to_tensor",
+    "normalize_columns",
+    "outer",
+]
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Column-wise Khatri-Rao product of ``matrices`` (paper Eq. 1).
+
+    The product is taken left-to-right, so the row index of the **last**
+    matrix varies fastest — matching this package's C-order unfolding.
+
+    Parameters
+    ----------
+    matrices:
+        Two or more matrices sharing a column count ``R``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(prod(rows), R)``.
+    """
+    mats = check_factor_matrices(matrices)
+    if len(mats) == 1:
+        return mats[0].copy()
+    rank = mats[0].shape[1]
+    result = mats[0]
+    for mat in mats[1:]:
+        # (I, 1, R) * (1, J, R) -> (I, J, R) -> (I*J, R)
+        result = (result[:, None, :] * mat[None, :, :]).reshape(-1, rank)
+    return result
+
+
+def hadamard_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Element-wise product of a sequence of same-shaped matrices."""
+    mats = [np.asarray(m, dtype=np.float64) for m in matrices]
+    if not mats:
+        raise ShapeError("need at least one matrix")
+    result = mats[0].copy()
+    for mat in mats[1:]:
+        if mat.shape != result.shape:
+            raise ShapeError(
+                f"Hadamard product requires equal shapes; "
+                f"got {result.shape} vs {mat.shape}"
+            )
+        result *= mat
+    return result
+
+
+def outer(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Outer product of N vectors, yielding a rank-1 N-way tensor."""
+    vecs = [np.asarray(v, dtype=np.float64).reshape(-1) for v in vectors]
+    if not vecs:
+        raise ShapeError("need at least one vector")
+    result = vecs[0]
+    for v in vecs[1:]:
+        result = np.multiply.outer(result, v)
+    return result
+
+
+def kruskal_to_tensor(
+    factors: Sequence[np.ndarray],
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Evaluate the Kruskal operator ``[[factors]]`` (paper Eq. 2).
+
+    Parameters
+    ----------
+    factors:
+        CP factor matrices ``U^(n)`` of shapes ``(I_n, R)``.
+    weights:
+        Optional length-``R`` component weights.  SOFIA reconstructs
+        subtensors by passing the current temporal row vector here.
+
+    Returns
+    -------
+    numpy.ndarray
+        Dense tensor of shape ``(I_1, ..., I_N)``.
+    """
+    mats = check_factor_matrices(factors)
+    shape = tuple(m.shape[0] for m in mats)
+    lead = mats[0]
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64).reshape(-1)
+        if w.shape[0] != lead.shape[1]:
+            raise ShapeError(
+                f"weights length {w.shape[0]} does not match rank "
+                f"{lead.shape[1]}"
+            )
+        lead = lead * w[None, :]
+    if len(mats) == 1:
+        return lead.sum(axis=1)
+    rest = khatri_rao(mats[1:])
+    return (lead @ rest.T).reshape(shape)
+
+
+def normalize_columns(
+    matrix: np.ndarray, *, epsilon: float = 1e-12
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize matrix columns to unit 2-norm.
+
+    Returns the normalized matrix and the vector of original column norms.
+    Columns with norms below ``epsilon`` are left untouched (their reported
+    norm is 1.0) to avoid dividing by zero; SOFIA's ALS uses this to push
+    the scale of non-temporal factors into the temporal factor
+    (Algorithm 2, lines 7-9).
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ShapeError(f"expected a matrix, got ndim={mat.ndim}")
+    norms = np.linalg.norm(mat, axis=0)
+    safe = np.where(norms > epsilon, norms, 1.0)
+    return mat / safe[None, :], safe

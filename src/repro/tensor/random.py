@@ -1,0 +1,92 @@
+"""Seeded random constructions of factors and low-rank tensors.
+
+All functions accept either a seed (``int``/``None``) or an existing
+:class:`numpy.random.Generator`, which keeps every experiment in this
+repository reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.tensor.products import kruskal_to_tensor
+from repro.tensor.validation import check_rank
+
+__all__ = [
+    "as_generator",
+    "random_factors",
+    "random_kruskal_tensor",
+]
+
+
+def as_generator(
+    seed: int | np.random.Generator | None,
+) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_factors(
+    shape: Sequence[int],
+    rank: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    scale: float = 1.0,
+    nonnegative: bool = False,
+) -> list[np.ndarray]:
+    """Draw CP factor matrices with i.i.d. Gaussian (or uniform) entries.
+
+    Parameters
+    ----------
+    shape:
+        Mode lengths ``(I_1, ..., I_N)``.
+    rank:
+        Number of components ``R``.
+    seed:
+        Seed or generator.
+    scale:
+        Standard deviation (Gaussian) or upper bound (uniform).
+    nonnegative:
+        Draw from ``U[0, scale)`` instead of ``N(0, scale^2)``.
+    """
+    rank = check_rank(rank)
+    dims = [int(s) for s in shape]
+    if any(d < 1 for d in dims):
+        raise ShapeError(f"all mode lengths must be positive, got {shape}")
+    rng = as_generator(seed)
+    if nonnegative:
+        return [rng.uniform(0.0, scale, size=(d, rank)) for d in dims]
+    return [rng.normal(0.0, scale, size=(d, rank)) for d in dims]
+
+
+def random_kruskal_tensor(
+    shape: Sequence[int],
+    rank: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    noise: float = 0.0,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Generate a random low-rank tensor and its ground-truth factors.
+
+    Parameters
+    ----------
+    noise:
+        Standard deviation of additive Gaussian noise relative to the
+        tensor's RMS entry value (0 disables noise).
+
+    Returns
+    -------
+    (tensor, factors)
+    """
+    rng = as_generator(seed)
+    factors = random_factors(shape, rank, seed=rng)
+    tensor = kruskal_to_tensor(factors)
+    if noise > 0.0:
+        rms = float(np.sqrt(np.mean(tensor**2)))
+        tensor = tensor + rng.normal(0.0, noise * max(rms, 1e-12), tensor.shape)
+    return tensor, factors

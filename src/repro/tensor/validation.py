@@ -1,0 +1,128 @@
+"""Argument validation helpers shared across the tensor subpackage.
+
+These helpers centralize the error messages raised for malformed tensor
+arguments so that every public function fails loudly and consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = [
+    "as_tensor",
+    "check_factor_matrices",
+    "check_mask",
+    "check_mode",
+    "check_rank",
+    "check_same_shape",
+]
+
+
+def as_tensor(data, *, min_ndim: int = 1, name: str = "tensor") -> np.ndarray:
+    """Convert ``data`` to a float ndarray and validate its dimensionality.
+
+    Parameters
+    ----------
+    data:
+        Array-like input.
+    min_ndim:
+        Minimum number of modes required.
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous float64 view/copy of ``data``.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim < min_ndim:
+        raise ShapeError(
+            f"{name} must have at least {min_ndim} mode(s), got {arr.ndim}"
+        )
+    if arr.size == 0:
+        raise ShapeError(f"{name} must be non-empty")
+    return arr
+
+
+def check_mode(mode: int, ndim: int) -> int:
+    """Validate a mode index against a tensor order, supporting negatives."""
+    if not isinstance(mode, (int, np.integer)):
+        raise ShapeError(f"mode must be an integer, got {type(mode).__name__}")
+    if mode < 0:
+        mode += ndim
+    if not 0 <= mode < ndim:
+        raise ShapeError(f"mode {mode} out of range for a {ndim}-way tensor")
+    return int(mode)
+
+
+def check_rank(rank: int) -> int:
+    """Validate a CP rank."""
+    if not isinstance(rank, (int, np.integer)) or rank < 1:
+        raise ShapeError(f"rank must be a positive integer, got {rank!r}")
+    return int(rank)
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, *, names=("a", "b")) -> None:
+    """Raise :class:`ShapeError` unless ``a`` and ``b`` share a shape."""
+    if a.shape != b.shape:
+        raise ShapeError(
+            f"{names[0]} and {names[1]} must share a shape; "
+            f"got {a.shape} vs {b.shape}"
+        )
+
+
+def check_mask(mask, shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Validate an observation mask and return it as a boolean array.
+
+    A mask marks observed entries with truthy values (the paper's indicator
+    tensor ``Ω``, Eq. 3).
+    """
+    arr = np.asarray(mask)
+    if arr.dtype != np.bool_:
+        uniques = np.unique(arr)
+        if not np.all(np.isin(uniques, (0, 1))):
+            raise ShapeError("mask entries must be boolean or in {0, 1}")
+        arr = arr.astype(bool)
+    if shape is not None and arr.shape != tuple(shape):
+        raise ShapeError(f"mask shape {arr.shape} does not match data {shape}")
+    return arr
+
+
+def check_factor_matrices(
+    factors: Sequence[np.ndarray],
+    *,
+    shape: tuple[int, ...] | None = None,
+) -> list[np.ndarray]:
+    """Validate a list of CP factor matrices.
+
+    All matrices must be 2-D with a common number of columns (the rank).
+    When ``shape`` is given, row counts must match the tensor's mode lengths.
+    """
+    if len(factors) == 0:
+        raise ShapeError("factor list must be non-empty")
+    mats = [np.asarray(f, dtype=np.float64) for f in factors]
+    for i, mat in enumerate(mats):
+        if mat.ndim != 2:
+            raise ShapeError(f"factor {i} must be 2-D, got ndim={mat.ndim}")
+    rank = mats[0].shape[1]
+    for i, mat in enumerate(mats):
+        if mat.shape[1] != rank:
+            raise ShapeError(
+                f"factor {i} has {mat.shape[1]} columns, expected rank {rank}"
+            )
+    if shape is not None:
+        if len(shape) != len(mats):
+            raise ShapeError(
+                f"{len(mats)} factors cannot represent a {len(shape)}-way tensor"
+            )
+        for i, (mat, dim) in enumerate(zip(mats, shape)):
+            if mat.shape[0] != dim:
+                raise ShapeError(
+                    f"factor {i} has {mat.shape[0]} rows, expected {dim}"
+                )
+    return mats

@@ -1,0 +1,29 @@
+"""Shared fixtures for baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import seasonal_stream
+from repro.streams import CorruptionSpec, TensorStream, corrupt
+
+
+@pytest.fixture(scope="session")
+def clean_stream():
+    """Seasonal rank-3 stream used across baseline tests."""
+    return seasonal_stream((10, 8), rank=3, period=10, n_steps=80, seed=21)
+
+
+@pytest.fixture(scope="session")
+def mild_corruption(clean_stream):
+    c = corrupt(clean_stream.data, CorruptionSpec(20, 0, 0), seed=3)
+    observed = TensorStream(data=c.observed, mask=c.mask, period=10)
+    truth = TensorStream.fully_observed(clean_stream.data, period=10)
+    return observed, truth
+
+
+@pytest.fixture(scope="session")
+def outlier_corruption(clean_stream):
+    c = corrupt(clean_stream.data, CorruptionSpec(20, 10, 3), seed=4)
+    observed = TensorStream(data=c.observed, mask=c.mask, period=10)
+    truth = TensorStream.fully_observed(clean_stream.data, period=10)
+    return observed, truth

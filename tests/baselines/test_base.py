@@ -1,0 +1,58 @@
+"""Unit tests for the shared baseline machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_temporal_weights
+from repro.baselines.base import random_initial_factors
+from repro.exceptions import ShapeError
+from repro.tensor import kruskal_to_tensor, random_factors
+
+
+class TestSolveTemporalWeights:
+    def test_exact_recovery_full_mask(self):
+        factors = random_factors((6, 5), 3, seed=0)
+        w_true = np.array([1.5, -2.0, 0.5])
+        y = kruskal_to_tensor(factors, weights=w_true)
+        mask = np.ones(y.shape, dtype=bool)
+        w = solve_temporal_weights(y, mask, factors, ridge=1e-12)
+        np.testing.assert_allclose(w, w_true, atol=1e-8)
+
+    def test_recovery_with_missing(self):
+        factors = random_factors((8, 7), 3, seed=1)
+        w_true = np.array([1.0, 2.0, -1.0])
+        y = kruskal_to_tensor(factors, weights=w_true)
+        mask = np.random.default_rng(2).random(y.shape) > 0.5
+        w = solve_temporal_weights(y, mask, factors, ridge=1e-12)
+        np.testing.assert_allclose(w, w_true, atol=1e-6)
+
+    def test_empty_mask_returns_zeros(self):
+        factors = random_factors((4, 4), 2, seed=3)
+        w = solve_temporal_weights(
+            np.ones((4, 4)), np.zeros((4, 4), dtype=bool), factors
+        )
+        np.testing.assert_array_equal(w, 0.0)
+
+    def test_ridge_shrinks(self):
+        factors = random_factors((6, 5), 2, seed=4)
+        w_true = np.array([3.0, -3.0])
+        y = kruskal_to_tensor(factors, weights=w_true)
+        mask = np.ones(y.shape, dtype=bool)
+        w_small = solve_temporal_weights(y, mask, factors, ridge=1e-10)
+        w_big = solve_temporal_weights(y, mask, factors, ridge=1e3)
+        assert np.linalg.norm(w_big) < np.linalg.norm(w_small)
+
+    def test_shape_mismatch(self):
+        factors = random_factors((4, 4), 2, seed=5)
+        with pytest.raises(ShapeError):
+            solve_temporal_weights(
+                np.ones((4, 4)), np.ones((3, 3), dtype=bool), factors
+            )
+
+
+class TestRandomInitialFactors:
+    def test_shapes_and_scale(self):
+        rng = np.random.default_rng(0)
+        factors = random_initial_factors((30, 40), 5, rng, scale=0.1)
+        assert [f.shape for f in factors] == [(30, 5), (40, 5)]
+        assert np.std(factors[0]) == pytest.approx(0.1, rel=0.3)

@@ -1,0 +1,80 @@
+"""Unit tests for the batch baselines: vanilla ALS and CP-WOPT."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import cp_wopt, cp_wopt_gradient, vanilla_als
+from repro.exceptions import ShapeError
+from repro.tensor import kruskal_to_tensor, random_factors, relative_error
+
+
+@pytest.fixture(scope="module")
+def low_rank():
+    factors = random_factors((8, 7, 15), 2, seed=0)
+    tensor = kruskal_to_tensor(factors)
+    mask = np.random.default_rng(1).random(tensor.shape) > 0.3
+    return tensor, mask
+
+
+class TestVanillaAls:
+    def test_completion(self, low_rank):
+        tensor, mask = low_rank
+        result = vanilla_als(tensor, mask, 2, seed=3)
+        assert relative_error(result.completed, tensor) < 1e-2
+
+    def test_reproducible(self, low_rank):
+        tensor, mask = low_rank
+        r1 = vanilla_als(tensor, mask, 2, seed=5, max_iters=10)
+        r2 = vanilla_als(tensor, mask, 2, seed=5, max_iters=10)
+        np.testing.assert_array_equal(r1.completed, r2.completed)
+
+    def test_rank_one(self, low_rank):
+        tensor, mask = low_rank
+        result = vanilla_als(tensor, mask, 1, max_iters=50)
+        # rank-1 can't fully fit a rank-2 tensor
+        assert 0.0 < result.fitness < 1.0
+
+
+class TestCpWoptGradient:
+    def test_matches_finite_differences(self):
+        rng = np.random.default_rng(2)
+        factors = random_factors((3, 4, 5), 2, seed=6)
+        tensor = kruskal_to_tensor(random_factors((3, 4, 5), 2, seed=7))
+        mask = rng.random(tensor.shape) > 0.4
+        loss, grads = cp_wopt_gradient(tensor, mask, factors)
+        eps = 1e-6
+        for mode in range(3):
+            for _ in range(5):
+                i = rng.integers(factors[mode].shape[0])
+                r = rng.integers(2)
+                bumped = [f.copy() for f in factors]
+                bumped[mode][i, r] += eps
+                loss2, _ = cp_wopt_gradient(tensor, mask, bumped)
+                fd = (loss2 - loss) / eps
+                assert grads[mode][i, r] == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+    def test_zero_at_exact_fit(self):
+        factors = random_factors((4, 4, 4), 2, seed=8)
+        tensor = kruskal_to_tensor(factors)
+        mask = np.ones(tensor.shape, dtype=bool)
+        loss, grads = cp_wopt_gradient(tensor, mask, factors)
+        assert loss == pytest.approx(0.0, abs=1e-18)
+        for g in grads:
+            np.testing.assert_allclose(g, 0.0, atol=1e-12)
+
+
+class TestCpWopt:
+    def test_completion(self, low_rank):
+        tensor, mask = low_rank
+        result = cp_wopt(tensor, mask, 2, seed=9)
+        assert relative_error(result.completed, tensor) < 0.05
+
+    def test_loss_reported(self, low_rank):
+        tensor, mask = low_rank
+        result = cp_wopt(tensor, mask, 2, seed=10)
+        residual = np.where(mask, tensor - result.completed, 0.0)
+        assert result.loss == pytest.approx(0.5 * np.sum(residual**2), rel=1e-6)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ShapeError):
+            cp_wopt(np.ones(5), np.ones(5, dtype=bool), 2)

@@ -1,0 +1,113 @@
+"""Behavioural tests for the forecasting baselines (SMF, CPHW, SOFIA)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Cphw, Smf, SofiaImputer
+from repro.core import SofiaConfig
+from repro.exceptions import ShapeError
+from repro.streams import (
+    CorruptionSpec,
+    TensorStream,
+    corrupt,
+    run_forecasting,
+)
+
+
+@pytest.fixture(scope="module")
+def forecast_case(clean_stream):
+    truth = TensorStream.fully_observed(clean_stream.data, period=10)
+    clean_obs = TensorStream.fully_observed(clean_stream.data, period=10)
+    c = corrupt(clean_stream.data, CorruptionSpec(0, 15, 4), seed=5)
+    noisy_obs = TensorStream(data=c.observed, mask=c.mask, period=10)
+    return truth, clean_obs, noisy_obs
+
+
+def sofia_forecaster():
+    return SofiaImputer(
+        SofiaConfig(
+            rank=3, period=10, lambda1=0.1, lambda2=0.1,
+            max_outer_iters=300, tol=1e-6,
+        )
+    )
+
+
+class TestSmf:
+    def test_forecast_shape(self, forecast_case):
+        truth, clean_obs, _ = forecast_case
+        result = run_forecasting(
+            Smf(3, 10, seed=0), clean_obs, truth, startup_steps=30, horizon=10
+        )
+        assert result.forecast.shape == (10, 10, 8)
+
+    def test_clean_stream_forecast_reasonable(self, forecast_case):
+        truth, clean_obs, _ = forecast_case
+        result = run_forecasting(
+            Smf(3, 10, seed=0), clean_obs, truth, startup_steps=30, horizon=10
+        )
+        assert result.afe < 0.5
+
+    def test_forecast_before_data_rejected(self):
+        with pytest.raises(ShapeError):
+            Smf(2, 5, seed=0).forecast(3)
+
+    def test_capabilities(self):
+        caps = Smf(2, 5).capabilities
+        assert caps.forecasting
+        assert caps.seasonality_aware
+        assert not caps.robust_outliers
+        assert not caps.robust_missing
+
+
+class TestCphw:
+    def test_forecast_shape(self, forecast_case):
+        truth, clean_obs, _ = forecast_case
+        result = run_forecasting(
+            Cphw(3, 10, seed=0), clean_obs, truth, startup_steps=30, horizon=10
+        )
+        assert result.forecast.shape == (10, 10, 8)
+
+    def test_clean_stream_accurate(self, forecast_case):
+        truth, clean_obs, _ = forecast_case
+        result = run_forecasting(
+            Cphw(3, 10, seed=0), clean_obs, truth, startup_steps=30, horizon=10
+        )
+        assert result.afe < 0.15
+
+    def test_needs_two_seasons(self):
+        algo = Cphw(2, period=10, seed=0)
+        algo.initialize(
+            [np.ones((3, 3))] * 5, [np.ones((3, 3), dtype=bool)] * 5
+        )
+        with pytest.raises(ShapeError):
+            algo.forecast(2)
+
+    def test_batch_not_online(self):
+        assert not Cphw(2, 5).capabilities.online
+
+
+class TestFig6Shape:
+    """The forecasting comparison of Fig. 6: with outliers in the stream,
+    SOFIA forecasts best; SMF and CPHW degrade."""
+
+    def test_sofia_beats_competitors_under_outliers(self, forecast_case):
+        truth, _, noisy_obs = forecast_case
+        afe = {}
+        for algo in (sofia_forecaster(), Smf(3, 10, seed=0), Cphw(3, 10, seed=0)):
+            result = run_forecasting(
+                algo, noisy_obs, truth, startup_steps=30, horizon=10
+            )
+            afe[result.name] = result.afe
+        assert afe["SOFIA"] < afe["SMF"]
+        assert afe["SOFIA"] < afe["CPHW"]
+
+    def test_sofia_forecasts_despite_missing(self, clean_stream):
+        """Fig. 6 also shows SOFIA staying accurate with missing data,
+        which SMF/CPHW cannot even attempt."""
+        truth = TensorStream.fully_observed(clean_stream.data, period=10)
+        c = corrupt(clean_stream.data, CorruptionSpec(50, 15, 4), seed=6)
+        observed = TensorStream(data=c.observed, mask=c.mask, period=10)
+        result = run_forecasting(
+            sofia_forecaster(), observed, truth, startup_steps=30, horizon=10
+        )
+        assert result.afe < 0.5

@@ -1,0 +1,142 @@
+"""Behavioural tests for the streaming imputation baselines.
+
+These tests pin down the *relative* behaviours the paper's Fig. 3-4
+depend on: every baseline tracks clean/missing-only streams reasonably,
+and element-wise outliers hurt the non-robust ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Brst, Mast, Olstec, OnlineSGD, OrMstc
+from repro.baselines.or_mstc import group_soft_threshold
+from repro.exceptions import ShapeError
+from repro.streams import run_imputation
+
+ALL_IMPUTERS = [
+    lambda: OnlineSGD(3, seed=0),
+    lambda: Olstec(3, seed=0),
+    lambda: Mast(3, seed=0),
+    lambda: OrMstc(3, seed=0),
+    lambda: Brst(6, seed=0),
+]
+IMPUTER_IDS = ["OnlineSGD", "OLSTEC", "MAST", "OR-MSTC", "BRST"]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("make", ALL_IMPUTERS, ids=IMPUTER_IDS)
+    def test_tracks_missing_only_stream(self, make, mild_corruption):
+        observed, truth = mild_corruption
+        result = run_imputation(make(), observed, truth, startup_steps=30)
+        # after warm-up every streaming method should track a clean
+        # seasonal stream reasonably well
+        assert np.mean(result.nre_series[-20:]) < 0.5
+
+    @pytest.mark.parametrize("make", ALL_IMPUTERS, ids=IMPUTER_IDS)
+    def test_step_returns_subtensor_shape(self, make, mild_corruption):
+        observed, _ = mild_corruption
+        algo = make()
+        algo.initialize(*observed.startup(12))
+        out = algo.step(observed.subtensor(12), observed.mask_at(12))
+        assert out.shape == observed.subtensor_shape
+
+    @pytest.mark.parametrize("make", ALL_IMPUTERS, ids=IMPUTER_IDS)
+    def test_capabilities_declared(self, make):
+        algo = make()
+        caps = algo.capabilities
+        assert caps.imputation
+        assert caps.online
+        assert not caps.seasonality_aware  # none of the imputation
+        # baselines exploit seasonality (Table I)
+
+    @pytest.mark.parametrize("make", ALL_IMPUTERS, ids=IMPUTER_IDS)
+    def test_bad_rank_rejected(self, make):
+        cls = type(make())
+        with pytest.raises(ShapeError):
+            cls(0)
+
+
+class TestOutlierSensitivity:
+    """Element-wise outliers must hurt the non-robust baselines — the
+    Fig. 3 mechanism that separates SOFIA from the field."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [lambda: OnlineSGD(3, seed=0), lambda: Mast(3, seed=0)],
+        ids=["OnlineSGD", "MAST"],
+    )
+    def test_outliers_degrade_accuracy(
+        self, make, mild_corruption, outlier_corruption
+    ):
+        observed_clean, truth = mild_corruption
+        observed_noisy, _ = outlier_corruption
+        clean = run_imputation(make(), observed_clean, truth, startup_steps=30)
+        noisy = run_imputation(make(), observed_noisy, truth, startup_steps=30)
+        assert noisy.rae > 1.5 * clean.rae
+
+
+class TestOlstec:
+    def test_requires_3way(self):
+        algo = Olstec(2, seed=0)
+        with pytest.raises(ShapeError):
+            algo.step(np.ones((2, 2, 2)), np.ones((2, 2, 2), dtype=bool))
+
+    def test_beta_validation(self):
+        with pytest.raises(ShapeError):
+            Olstec(2, beta=0.0)
+
+    def test_adapts_after_subspace_change(self, mild_corruption):
+        observed, truth = mild_corruption
+        algo = Olstec(3, seed=0)
+        algo.initialize(*observed.startup(40))
+        # RLS with forgetting keeps adapting: error on later steps of the
+        # same stream should not blow up
+        errs = []
+        for t, y, m in observed.iter_from(40):
+            out = algo.step(y, m)
+            from repro.tensor import relative_error
+
+            errs.append(relative_error(out, truth.subtensor(t)))
+        assert np.mean(errs[-10:]) <= np.mean(errs[:10]) + 0.2
+
+
+class TestOrMstc:
+    def test_group_soft_threshold_zeroes_small_fibers(self):
+        values = np.ones((4, 5)) * 0.1
+        out = group_soft_threshold(values, threshold=1.0, axis=1)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_group_soft_threshold_shrinks_large_fibers(self):
+        values = np.zeros((3, 4))
+        values[1] = 10.0  # fiber norm 20
+        out = group_soft_threshold(values, threshold=1.0, axis=1)
+        assert np.all(out[1] > 9.0)
+        np.testing.assert_array_equal(out[0], 0.0)
+
+    def test_catches_slab_outliers(self, mild_corruption):
+        """A whole corrupted fiber (its designed outlier model) is
+        captured in last_outliers."""
+        observed, truth = mild_corruption
+        algo = OrMstc(3, outlier_weight=2.0, seed=0)
+        algo.initialize(*observed.startup(40))
+        y = observed.subtensor(40).copy()
+        y[4, :] += 20.0  # slab outlier on mode-0 row -> mode-1 fibers
+        algo.step(y, np.ones(y.shape, dtype=bool))
+        assert np.abs(algo.last_outliers[4, :]).mean() > 1.0
+
+    def test_negative_outlier_weight_rejected(self):
+        with pytest.raises(ShapeError):
+            OrMstc(2, outlier_weight=-1.0)
+
+
+class TestBrst:
+    def test_rank_determination_prunes_noise_components(self, mild_corruption):
+        observed, _ = mild_corruption
+        algo = Brst(8, ard_threshold=1e-2, seed=0)
+        algo.initialize(*observed.startup(60))
+        # ground truth rank is 3: ARD should keep few components
+        assert algo.estimated_rank <= 8
+
+    def test_estimated_rank_reported(self):
+        algo = Brst(4, seed=0)
+        assert algo.estimated_rank == 4  # before any pruning

@@ -1,0 +1,65 @@
+"""Shared fixtures for core tests: synthetic seasonal tensor streams."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import kruskal_to_tensor
+
+
+def make_seasonal_stream(
+    dims=(12, 10),
+    rank=3,
+    period=12,
+    n_steps=48,
+    trend=0.0,
+    seed=42,
+):
+    """Low-rank tensor stream with sinusoidal seasonal temporal factors.
+
+    Mirrors the paper's Fig. 2 construction: non-temporal factors are
+    uniform on [0, 1] and temporal columns are a*sin(2*pi*t/m + b) + c.
+    Returns (full tensor with time last, temporal factor, non-temporal
+    factors).
+    """
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_steps)
+    a = rng.uniform(0.5, 2.0, rank)
+    b = rng.uniform(0, 2 * np.pi, rank)
+    c = rng.uniform(1.0, 2.0, rank)
+    temporal = np.stack(
+        [
+            a[r] * np.sin(2 * np.pi * t / period + b[r]) + c[r] + trend * t
+            for r in range(rank)
+        ],
+        axis=1,
+    )
+    non_temporal = [rng.uniform(0, 1, size=(d, rank)) for d in dims]
+    tensor = np.stack(
+        [
+            kruskal_to_tensor(non_temporal, weights=temporal[i])
+            for i in range(n_steps)
+        ],
+        axis=-1,
+    )
+    return tensor, temporal, non_temporal
+
+
+def corrupt_tensor(tensor, missing_pct, outlier_pct, magnitude, seed=7):
+    """Apply the paper's (X, Y, Z) corruption model to a full tensor."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random(tensor.shape) > missing_pct / 100.0
+    corrupted = tensor.copy()
+    outlier_idx = rng.random(tensor.shape) < outlier_pct / 100.0
+    signs = np.where(rng.random(outlier_idx.sum()) < 0.5, -1.0, 1.0)
+    corrupted[outlier_idx] += signs * magnitude * np.abs(tensor).max()
+    return corrupted, mask, outlier_idx
+
+
+@pytest.fixture
+def seasonal_stream():
+    return make_seasonal_stream()
+
+
+@pytest.fixture
+def small_stream():
+    return make_seasonal_stream(dims=(6, 5), rank=2, period=6, n_steps=30)

@@ -1,0 +1,216 @@
+"""Unit tests for SOFIA_ALS (paper Alg. 2, Thm. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SofiaConfig, batch_cost, sofia_als
+from repro.core.als import accumulate_normal_equations
+from repro.exceptions import ShapeError
+from repro.tensor import (
+    kruskal_to_tensor,
+    masked_relative_error,
+    random_factors,
+    relative_error,
+)
+
+from tests.core.conftest import make_seasonal_stream
+
+
+@pytest.fixture
+def low_rank_case():
+    true = random_factors((8, 7, 24), 2, seed=1)
+    tensor = kruskal_to_tensor(true)
+    rng = np.random.default_rng(2)
+    mask = rng.random(tensor.shape) > 0.3
+    return tensor, mask, true
+
+
+def default_config(**kwargs):
+    base = dict(
+        rank=2, period=6, lambda1=0.0, lambda2=0.0,
+        max_als_iters=200, tol=1e-8,
+    )
+    base.update(kwargs)
+    return SofiaConfig(**base)
+
+
+class TestNormalEquations:
+    def test_full_mask_matches_dense_formula(self):
+        # With all entries observed, B_i = KR(others)^T KR(others) for all
+        # rows and c_i = row of unfold(Y) @ KR(others).
+        factors = random_factors((4, 5, 6), 3, seed=3)
+        tensor = kruskal_to_tensor(factors)
+        mask = np.ones(tensor.shape, dtype=bool)
+        coords = np.nonzero(mask)
+        values = tensor[coords]
+        from repro.tensor import khatri_rao, unfold
+
+        for mode in range(3):
+            big_b, big_c = accumulate_normal_equations(
+                coords, values, factors, mode
+            )
+            others = [factors[l] for l in range(3) if l != mode]
+            kr = khatri_rao(others)
+            gram = kr.T @ kr
+            for i in range(factors[mode].shape[0]):
+                np.testing.assert_allclose(big_b[i], gram, atol=1e-9)
+            np.testing.assert_allclose(
+                big_c, unfold(tensor, mode) @ kr, atol=1e-9
+            )
+
+    def test_masked_counts_only_observed(self):
+        factors = random_factors((3, 3, 3), 2, seed=4)
+        tensor = kruskal_to_tensor(factors)
+        mask = np.zeros(tensor.shape, dtype=bool)
+        mask[0, 1, 2] = True
+        coords = np.nonzero(mask)
+        values = tensor[coords]
+        big_b, big_c = accumulate_normal_equations(coords, values, factors, 0)
+        # only row 0 of mode 0 gets contributions
+        assert big_b[0].any()
+        assert not big_b[1].any()
+        assert not big_b[2].any()
+        prod = factors[1][1] * factors[2][2]
+        np.testing.assert_allclose(big_b[0], np.outer(prod, prod))
+        np.testing.assert_allclose(big_c[0], values[0] * prod)
+
+
+class TestRecovery:
+    def test_full_observation(self, low_rank_case):
+        tensor, _, _ = low_rank_case
+        mask = np.ones(tensor.shape, dtype=bool)
+        init = random_factors(tensor.shape, 2, seed=11)
+        result = sofia_als(
+            tensor, mask, np.zeros_like(tensor), init, default_config()
+        )
+        assert relative_error(result.completed, tensor) < 1e-3
+
+    def test_missing_30pct(self, low_rank_case):
+        tensor, mask, _ = low_rank_case
+        init = random_factors(tensor.shape, 2, seed=12)
+        result = sofia_als(
+            tensor, mask, np.zeros_like(tensor), init, default_config()
+        )
+        assert relative_error(result.completed, tensor) < 1e-2
+
+    def test_outlier_corrected_input(self, low_rank_case):
+        # Feeding the exact outlier tensor must recover as if clean.
+        tensor, mask, _ = low_rank_case
+        rng = np.random.default_rng(13)
+        outliers = np.where(
+            rng.random(tensor.shape) < 0.1, 50.0, 0.0
+        )
+        corrupted = tensor + outliers
+        init = random_factors(tensor.shape, 2, seed=12)
+        result = sofia_als(corrupted, mask, outliers, init, default_config())
+        assert relative_error(result.completed, tensor) < 1e-2
+
+    def test_smooth_recovers_seasonal_under_missing(self):
+        tensor, temporal, _ = make_seasonal_stream(
+            dims=(10, 8), rank=2, period=8, n_steps=32, seed=5
+        )
+        rng = np.random.default_rng(6)
+        mask = rng.random(tensor.shape) > 0.5
+        init = random_factors(tensor.shape, 2, seed=14, scale=0.1)
+        cfg = SofiaConfig(
+            rank=2, period=8, lambda1=0.1, lambda2=0.1,
+            max_als_iters=300, tol=1e-10,
+        )
+        result = sofia_als(tensor, mask, np.zeros_like(tensor), init, cfg)
+        assert relative_error(result.completed, tensor) < 0.1
+
+
+class TestInvariants:
+    def test_non_temporal_columns_unit_norm(self, low_rank_case):
+        tensor, mask, _ = low_rank_case
+        init = random_factors(tensor.shape, 2, seed=15)
+        result = sofia_als(
+            tensor, mask, np.zeros_like(tensor), init, default_config()
+        )
+        for factor in result.factors[:-1]:
+            np.testing.assert_allclose(
+                np.linalg.norm(factor, axis=0), 1.0, atol=1e-9
+            )
+
+    def test_decreases_batch_cost(self, low_rank_case):
+        tensor, mask, _ = low_rank_case
+        cfg = default_config(lambda1=0.01, lambda2=0.01, max_als_iters=20)
+        init = random_factors(tensor.shape, 2, seed=16)
+        outliers = np.zeros_like(tensor)
+        before = batch_cost(tensor, mask, init, outliers, cfg)
+        result = sofia_als(tensor, mask, outliers, init, cfg)
+        after = batch_cost(tensor, mask, result.factors, outliers, cfg)
+        assert after < before
+
+    def test_does_not_mutate_input_factors(self, low_rank_case):
+        tensor, mask, _ = low_rank_case
+        init = random_factors(tensor.shape, 2, seed=17)
+        snapshots = [f.copy() for f in init]
+        sofia_als(tensor, mask, np.zeros_like(tensor), init,
+                  default_config(max_als_iters=3))
+        for before, after in zip(snapshots, init):
+            np.testing.assert_array_equal(before, after)
+
+    def test_fitness_reported(self, low_rank_case):
+        tensor, mask, _ = low_rank_case
+        init = random_factors(tensor.shape, 2, seed=18)
+        result = sofia_als(
+            tensor, mask, np.zeros_like(tensor), init, default_config()
+        )
+        expected = 1.0 - masked_relative_error(result.completed, tensor, mask)
+        assert result.fitness == pytest.approx(expected, abs=1e-9)
+
+    def test_smoothness_reduces_temporal_roughness(self):
+        tensor, _, _ = make_seasonal_stream(
+            dims=(8, 6), rank=2, period=6, n_steps=24, seed=7
+        )
+        noisy = tensor + np.random.default_rng(8).normal(0, 0.3, tensor.shape)
+        mask = np.ones(tensor.shape, dtype=bool)
+        init = random_factors(tensor.shape, 2, seed=19, scale=0.1)
+        from repro.core import smoothness_penalty
+
+        cfg_smooth = SofiaConfig(
+            rank=2, period=6, lambda1=5.0, lambda2=5.0,
+            max_als_iters=100, tol=1e-9,
+        )
+        rough = sofia_als(
+            noisy, mask, np.zeros_like(noisy), init, cfg_smooth, smooth=False
+        )
+        smooth = sofia_als(
+            noisy, mask, np.zeros_like(noisy), init, cfg_smooth, smooth=True
+        )
+
+        def roughness(factors):
+            u = factors[-1]
+            return smoothness_penalty(u, 1) / max(np.sum(u * u), 1e-12)
+
+        assert roughness(smooth.factors) < roughness(rough.factors)
+
+
+class TestValidation:
+    def test_shape_mismatch_factors(self, low_rank_case):
+        tensor, mask, _ = low_rank_case
+        bad = random_factors((8, 7, 23), 2, seed=20)
+        with pytest.raises(ShapeError):
+            sofia_als(tensor, mask, np.zeros_like(tensor), bad, default_config())
+
+    def test_1d_tensor_rejected(self):
+        with pytest.raises(ShapeError):
+            sofia_als(
+                np.ones(5),
+                np.ones(5, dtype=bool),
+                np.zeros(5),
+                [np.ones((5, 2))],
+                default_config(),
+            )
+
+    def test_empty_mask_no_crash(self, low_rank_case):
+        # Nothing observed: factors cannot move; should not raise.
+        tensor, _, _ = low_rank_case
+        mask = np.zeros(tensor.shape, dtype=bool)
+        init = random_factors(tensor.shape, 2, seed=21)
+        result = sofia_als(
+            tensor, mask, np.zeros_like(tensor), init,
+            default_config(max_als_iters=2),
+        )
+        assert result.completed.shape == tensor.shape

@@ -1,0 +1,75 @@
+"""Unit tests for SofiaConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core import SofiaConfig
+from repro.exceptions import ConfigError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = SofiaConfig(rank=5, period=24)
+        assert cfg.lambda1 == pytest.approx(1e-3)
+        assert cfg.lambda2 == pytest.approx(1e-3)
+        assert cfg.lambda3 == pytest.approx(10.0)
+        assert cfg.mu == pytest.approx(0.1)
+        assert cfg.phi == pytest.approx(0.01)
+        assert cfg.huber_k == pytest.approx(2.0)
+        assert cfg.biweight_c == pytest.approx(2.52)
+        assert cfg.lambda3_decay == pytest.approx(0.85)
+        assert cfg.init_seasons == 3
+
+    def test_init_steps(self):
+        assert SofiaConfig(rank=2, period=7).init_steps == 21
+
+    def test_lambda3_floor(self):
+        assert SofiaConfig(rank=2, period=7).lambda3_floor == pytest.approx(0.1)
+
+    def test_initial_sigma(self):
+        cfg = SofiaConfig(rank=2, period=7, lambda3=50.0)
+        assert cfg.initial_sigma == pytest.approx(0.5)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rank": 0},
+            {"rank": 3, "period": 0},
+            {"rank": 3, "period": 5, "lambda1": -1.0},
+            {"rank": 3, "period": 5, "lambda2": -0.1},
+            {"rank": 3, "period": 5, "lambda3": -5.0},
+            {"rank": 3, "period": 5, "mu": 0.0},
+            {"rank": 3, "period": 5, "phi": 1.5},
+            {"rank": 3, "period": 5, "huber_k": 0.0},
+            {"rank": 3, "period": 5, "biweight_c": -1.0},
+            {"rank": 3, "period": 5, "init_seasons": 1},
+            {"rank": 3, "period": 5, "lambda3_decay": 0.0},
+            {"rank": 3, "period": 5, "lambda3_decay": 1.1},
+            {"rank": 3, "period": 5, "tol": 0.0},
+            {"rank": 3, "period": 5, "max_outer_iters": 0},
+            {"rank": 3, "period": 5, "max_als_iters": 0},
+            {"rank": 3, "period": 5, "step_normalization": "bogus"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        kwargs.setdefault("period", 5)
+        with pytest.raises(ConfigError):
+            SofiaConfig(**kwargs)
+
+    def test_with_updates(self):
+        cfg = SofiaConfig(rank=3, period=5)
+        new = cfg.with_updates(mu=0.01)
+        assert new.mu == pytest.approx(0.01)
+        assert cfg.mu == pytest.approx(0.1)
+        assert new.rank == 3
+
+    def test_with_updates_validates(self):
+        cfg = SofiaConfig(rank=3, period=5)
+        with pytest.raises(ConfigError):
+            cfg.with_updates(mu=-1.0)
+
+    def test_frozen(self):
+        cfg = SofiaConfig(rank=3, period=5)
+        with pytest.raises(Exception):
+            cfg.rank = 4

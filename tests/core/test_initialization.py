@@ -1,0 +1,149 @@
+"""Unit tests for the initialization phase (paper Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SofiaConfig, initialize, stack_subtensors
+from repro.exceptions import ShapeError
+from repro.tensor import relative_error
+
+from tests.core.conftest import corrupt_tensor, make_seasonal_stream
+
+
+def fig2_config(**kwargs):
+    base = dict(
+        rank=2, period=8, lambda1=0.1, lambda2=0.1,
+        max_outer_iters=400, tol=1e-6,
+    )
+    base.update(kwargs)
+    return SofiaConfig(**base)
+
+
+class TestStackSubtensors:
+    def test_time_is_last_mode(self):
+        subs = [np.full((2, 3), float(t)) for t in range(4)]
+        stacked = stack_subtensors(subs)
+        assert stacked.shape == (2, 3, 4)
+        for t in range(4):
+            np.testing.assert_array_equal(stacked[..., t], subs[t])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            stack_subtensors([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            stack_subtensors([np.ones((2, 3)), np.ones((3, 2))])
+
+    def test_1d_subtensors(self):
+        stacked = stack_subtensors([np.ones(5), np.zeros(5)])
+        assert stacked.shape == (5, 2)
+
+
+class TestRecovery:
+    @pytest.fixture
+    def stream(self):
+        return make_seasonal_stream(
+            dims=(10, 8), rank=2, period=8, n_steps=32, seed=3
+        )
+
+    def test_missing_only(self, stream):
+        tensor, _, _ = stream
+        corrupted, mask, _ = corrupt_tensor(tensor, 40, 0, 0)
+        result = initialize(corrupted, mask, fig2_config())
+        assert relative_error(result.completed, tensor) < 0.05
+
+    def test_missing_and_outliers(self, stream):
+        tensor, _, _ = stream
+        corrupted, mask, _ = corrupt_tensor(tensor, 30, 10, 3)
+        result = initialize(corrupted, mask, fig2_config())
+        assert relative_error(result.completed, tensor) < 0.1
+
+    def test_outliers_isolated_into_o(self, stream):
+        tensor, _, _ = stream
+        corrupted, mask, outlier_idx = corrupt_tensor(tensor, 20, 10, 3)
+        result = initialize(corrupted, mask, fig2_config())
+        observed_outliers = outlier_idx & mask
+        # magnitude captured at true outlier positions should be large
+        captured = np.abs(result.outliers[observed_outliers]).mean()
+        background = np.abs(result.outliers[~outlier_idx & mask]).mean()
+        assert captured > 5 * background
+
+    def test_smooth_beats_vanilla_under_corruption(self, stream):
+        """The Fig. 2 comparison: SOFIA_ALS init vs vanilla ALS init."""
+        tensor, _, _ = stream
+        corrupted, mask, _ = corrupt_tensor(tensor, 50, 15, 4)
+        cfg = fig2_config()
+        smooth = initialize(corrupted, mask, cfg, smooth=True)
+        vanilla = initialize(corrupted, mask, cfg, smooth=False)
+        err_smooth = relative_error(smooth.completed, tensor)
+        err_vanilla = relative_error(vanilla.completed, tensor)
+        assert err_smooth < err_vanilla
+
+
+class TestMechanics:
+    @pytest.fixture
+    def small_case(self):
+        tensor, _, _ = make_seasonal_stream(
+            dims=(6, 5), rank=2, period=6, n_steps=18, seed=4
+        )
+        corrupted, mask, _ = corrupt_tensor(tensor, 20, 5, 2)
+        return tensor, corrupted, mask
+
+    def test_progress_hook_called_every_outer_iter(self, small_case):
+        _, corrupted, mask = small_case
+        calls = []
+        cfg = fig2_config(period=6, max_outer_iters=7, tol=1e-15)
+        initialize(
+            corrupted, mask, cfg,
+            progress_hook=lambda it, factors: calls.append(it),
+        )
+        assert calls == list(range(1, 8))
+
+    def test_hook_receives_factor_shapes(self, small_case):
+        _, corrupted, mask = small_case
+        shapes = []
+        cfg = fig2_config(period=6, max_outer_iters=2, tol=1e-15)
+        initialize(
+            corrupted, mask, cfg,
+            progress_hook=lambda it, fs: shapes.append([f.shape for f in fs]),
+        )
+        assert shapes[0] == [(6, 2), (5, 2), (18, 2)]
+
+    def test_initial_factors_used(self, small_case):
+        _, corrupted, mask = small_case
+        from repro.tensor import random_factors
+
+        init_factors = random_factors(corrupted.shape, 2, seed=99)
+        cfg = fig2_config(period=6, max_outer_iters=1, tol=1e-15)
+        r1 = initialize(corrupted, mask, cfg, initial_factors=init_factors)
+        r2 = initialize(corrupted, mask, cfg, initial_factors=init_factors)
+        for f1, f2 in zip(r1.factors, r2.factors):
+            np.testing.assert_array_equal(f1, f2)
+
+    def test_converged_flag(self, small_case):
+        _, corrupted, mask = small_case
+        cfg = fig2_config(period=6, max_outer_iters=500, tol=1e-3)
+        result = initialize(corrupted, mask, cfg)
+        assert result.converged
+        assert result.n_outer_iters < 500
+
+    def test_iteration_cap_respected(self, small_case):
+        _, corrupted, mask = small_case
+        cfg = fig2_config(period=6, max_outer_iters=3, tol=1e-15)
+        result = initialize(corrupted, mask, cfg)
+        assert result.n_outer_iters == 3
+        assert not result.converged
+
+    def test_outliers_zero_on_missing_entries(self, small_case):
+        _, corrupted, mask = small_case
+        cfg = fig2_config(period=6, max_outer_iters=10, tol=1e-15)
+        result = initialize(corrupted, mask, cfg)
+        assert np.all(result.outliers[~mask] == 0.0)
+
+    def test_seeded_reproducibility(self, small_case):
+        _, corrupted, mask = small_case
+        cfg = fig2_config(period=6, max_outer_iters=5, tol=1e-15, seed=123)
+        r1 = initialize(corrupted, mask, cfg)
+        r2 = initialize(corrupted, mask, cfg)
+        np.testing.assert_array_equal(r1.completed, r2.completed)

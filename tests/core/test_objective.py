@@ -1,0 +1,154 @@
+"""Unit tests for the SOFIA objectives (paper Eq. 10, 11, 23)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SofiaConfig, batch_cost, local_cost, streaming_cost
+from repro.tensor import kruskal_to_tensor, random_factors
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(0)
+    shape = (4, 5, 12)
+    factors = random_factors(shape, 2, seed=1)
+    tensor = kruskal_to_tensor(factors) + rng.normal(0, 0.1, shape)
+    mask = rng.random(shape) > 0.3
+    outliers = np.zeros(shape)
+    config = SofiaConfig(rank=2, period=4, lambda1=0.5, lambda2=0.25, lambda3=2.0)
+    return tensor, mask, factors, outliers, config
+
+
+class TestBatchCost:
+    def test_zero_for_perfect_fit_no_penalty(self):
+        factors = random_factors((3, 4, 6), 2, seed=2)
+        tensor = kruskal_to_tensor(factors)
+        mask = np.ones(tensor.shape, dtype=bool)
+        config = SofiaConfig(rank=2, period=3, lambda1=0, lambda2=0, lambda3=0)
+        assert batch_cost(tensor, mask, factors, np.zeros_like(tensor), config) == (
+            pytest.approx(0.0, abs=1e-18)
+        )
+
+    def test_residual_term(self, setup):
+        tensor, mask, factors, outliers, config = setup
+        cfg0 = config.with_updates(lambda1=0.0, lambda2=0.0, lambda3=0.0)
+        recon = kruskal_to_tensor(factors)
+        expected = np.sum(np.where(mask, tensor - recon, 0.0) ** 2)
+        assert batch_cost(tensor, mask, factors, outliers, cfg0) == pytest.approx(
+            expected
+        )
+
+    def test_outliers_reduce_residual(self, setup):
+        tensor, mask, factors, _, config = setup
+        cfg0 = config.with_updates(lambda1=0.0, lambda2=0.0, lambda3=0.0)
+        recon = kruskal_to_tensor(factors)
+        perfect_o = np.where(mask, tensor - recon, 0.0)
+        assert batch_cost(tensor, mask, factors, perfect_o, cfg0) == pytest.approx(
+            0.0, abs=1e-16
+        )
+
+    def test_l1_term(self, setup):
+        tensor, mask, factors, _, config = setup
+        o = np.zeros_like(tensor)
+        o[0, 0, 0] = 3.0
+        cfg = config.with_updates(lambda1=0.0, lambda2=0.0)
+        base = batch_cost(tensor, mask, factors, np.zeros_like(o), cfg)
+        with_o = batch_cost(tensor, mask, factors, o, cfg)
+        recon = kruskal_to_tensor(factors)
+        delta_resid = (
+            np.where(mask[0, 0, 0], (tensor - o - recon)[0, 0, 0] ** 2, 0.0)
+            - np.where(mask[0, 0, 0], (tensor - recon)[0, 0, 0] ** 2, 0.0)
+        )
+        assert with_o - base == pytest.approx(config.lambda3 * 3.0 + delta_resid)
+
+    def test_smoothness_terms_added(self, setup):
+        tensor, mask, factors, outliers, config = setup
+        from repro.core import smoothness_penalty
+
+        cfg_no = config.with_updates(lambda1=0.0, lambda2=0.0)
+        diff = batch_cost(tensor, mask, factors, outliers, config) - batch_cost(
+            tensor, mask, factors, outliers, cfg_no
+        )
+        expected = config.lambda1 * smoothness_penalty(
+            factors[-1], 1
+        ) + config.lambda2 * smoothness_penalty(factors[-1], config.period)
+        assert diff == pytest.approx(expected)
+
+
+class TestStreamingEqualsBatch:
+    def test_equivalence_at_full_history(self, setup):
+        """Eq. 11 with t = I_N equals Eq. 10 (as the paper notes)."""
+        tensor, mask, factors, outliers, config = setup
+        n_steps = tensor.shape[-1]
+        subtensors = [tensor[..., t] for t in range(n_steps)]
+        masks = [mask[..., t] for t in range(n_steps)]
+        outs = [outliers[..., t] for t in range(n_steps)]
+        streaming = streaming_cost(
+            subtensors, masks, factors[:-1], factors[-1], outs, config
+        )
+        batch = batch_cost(tensor, mask, factors, outliers, config)
+        assert streaming == pytest.approx(batch)
+
+    def test_equivalence_with_nonzero_outliers(self, setup):
+        tensor, mask, factors, _, config = setup
+        rng = np.random.default_rng(5)
+        outliers = np.where(
+            rng.random(tensor.shape) < 0.05, rng.normal(0, 5, tensor.shape), 0.0
+        )
+        n_steps = tensor.shape[-1]
+        streaming = streaming_cost(
+            [tensor[..., t] for t in range(n_steps)],
+            [mask[..., t] for t in range(n_steps)],
+            factors[:-1],
+            factors[-1],
+            [outliers[..., t] for t in range(n_steps)],
+            config,
+        )
+        batch = batch_cost(tensor, mask, factors, outliers, config)
+        assert streaming == pytest.approx(batch)
+
+
+class TestLocalCost:
+    def test_matches_t_summand(self, setup):
+        tensor, mask, factors, _, config = setup
+        t = 7
+        u = factors[-1]
+        value = local_cost(
+            tensor[..., t],
+            mask[..., t],
+            factors[:-1],
+            u[t],
+            u[t - 1],
+            u[t - config.period],
+            np.zeros(tensor.shape[:-1]),
+            config,
+        )
+        recon = kruskal_to_tensor(factors[:-1], weights=u[t])
+        expected = (
+            np.sum(np.where(mask[..., t], tensor[..., t] - recon, 0.0) ** 2)
+            + config.lambda1 * np.sum((u[t - 1] - u[t]) ** 2)
+            + config.lambda2 * np.sum((u[t - config.period] - u[t]) ** 2)
+        )
+        assert value == pytest.approx(expected)
+
+    def test_outlier_l1_included(self, setup):
+        tensor, mask, factors, _, config = setup
+        o = np.full(tensor.shape[:-1], 0.5)
+        u = factors[-1]
+        with_o = local_cost(
+            tensor[..., 5], mask[..., 5], factors[:-1], u[5], u[4], u[1], o, config
+        )
+        without = local_cost(
+            tensor[..., 5],
+            mask[..., 5],
+            factors[:-1],
+            u[5],
+            u[4],
+            u[1],
+            np.zeros_like(o),
+            config,
+        )
+        # difference includes both the L1 term and the residual change
+        assert with_o - without > config.lambda3 * np.sum(np.abs(o)) - np.sum(
+            np.where(mask[..., 5], tensor[..., 5], 0.0) ** 2
+        )

@@ -1,0 +1,144 @@
+"""Unit tests for outlier estimation and error scales (Eq. 12, 21, 22)."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_outliers, soft_threshold, update_error_scale
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        x = np.array([-3.0, -0.5, 0.0, 0.5, 3.0])
+        np.testing.assert_allclose(
+            soft_threshold(x, 1.0), [-2.0, 0.0, 0.0, 0.0, 2.0]
+        )
+
+    def test_zero_threshold_identity(self):
+        x = np.array([-1.5, 2.5])
+        np.testing.assert_allclose(soft_threshold(x, 0.0), x)
+
+    def test_preserves_sign(self):
+        x = np.linspace(-5, 5, 11)
+        out = soft_threshold(x, 2.0)
+        assert np.all(np.sign(out) * np.sign(x) >= 0)
+
+    def test_is_prox_of_l1(self):
+        # prox property: out = argmin_z 0.5(z-x)^2 + lam|z| -- check the
+        # subgradient optimality condition numerically.
+        rng = np.random.default_rng(0)
+        x = rng.normal(scale=3.0, size=100)
+        lam = 1.2
+        z = soft_threshold(x, lam)
+        for zi, xi in zip(z, x):
+            if zi != 0:
+                assert zi - xi + lam * np.sign(zi) == pytest.approx(0.0, abs=1e-12)
+            else:
+                assert abs(xi) <= lam + 1e-12
+
+    def test_tensor_shape_preserved(self):
+        x = np.ones((2, 3, 4))
+        assert soft_threshold(x, 0.5).shape == (2, 3, 4)
+
+
+class TestEstimateOutliers:
+    def test_inliers_give_zero(self):
+        y = np.array([[1.0, 2.0]])
+        yhat = np.array([[1.1, 1.9]])
+        sigma = np.full((1, 2), 1.0)
+        mask = np.ones((1, 2), dtype=bool)
+        np.testing.assert_allclose(
+            estimate_outliers(y, yhat, sigma, mask), 0.0, atol=1e-12
+        )
+
+    def test_outlier_is_excess_over_k_sigma(self):
+        y = np.array([[100.0]])
+        yhat = np.array([[10.0]])
+        sigma = np.array([[2.0]])
+        mask = np.ones((1, 1), dtype=bool)
+        out = estimate_outliers(y, yhat, sigma, mask, k=2.0)
+        # residual 90, clipped residual 2*2=4 -> outlier 86
+        assert out[0, 0] == pytest.approx(86.0)
+
+    def test_negative_outlier(self):
+        out = estimate_outliers(
+            np.array([[-50.0]]),
+            np.array([[0.0]]),
+            np.array([[1.0]]),
+            np.ones((1, 1), dtype=bool),
+        )
+        assert out[0, 0] == pytest.approx(-48.0)
+
+    def test_missing_entries_zero(self):
+        y = np.full((2, 2), 1000.0)
+        yhat = np.zeros((2, 2))
+        sigma = np.ones((2, 2))
+        mask = np.array([[True, False], [False, True]])
+        out = estimate_outliers(y, yhat, sigma, mask)
+        assert out[0, 1] == 0.0
+        assert out[1, 0] == 0.0
+        assert out[0, 0] > 0.0
+
+    def test_decomposition_identity(self):
+        # Y - O == psi-cleaned value (Eq. 21 rearranged): the cleaned
+        # tensor stays within k*sigma of the prediction.
+        rng = np.random.default_rng(1)
+        y = rng.normal(scale=10.0, size=(5, 5))
+        yhat = rng.normal(size=(5, 5))
+        sigma = np.full((5, 5), 0.5)
+        mask = np.ones((5, 5), dtype=bool)
+        out = estimate_outliers(y, yhat, sigma, mask, k=2.0)
+        cleaned = y - out
+        assert np.all(np.abs(cleaned - yhat) <= 2.0 * sigma + 1e-9)
+
+
+class TestUpdateErrorScale:
+    def test_missing_entries_keep_scale(self):
+        y = np.array([[5.0, 5.0]])
+        yhat = np.zeros((1, 2))
+        sigma = np.array([[1.0, 1.0]])
+        mask = np.array([[True, False]])
+        new = update_error_scale(y, yhat, sigma, mask, phi=0.5)
+        assert new[0, 1] == pytest.approx(1.0)
+        assert new[0, 0] != pytest.approx(1.0)
+
+    def test_bounded_growth_under_huge_outlier(self):
+        sigma = np.array([[1.0]])
+        new = update_error_scale(
+            np.array([[1e9]]),
+            np.array([[0.0]]),
+            sigma,
+            np.ones((1, 1), dtype=bool),
+            phi=0.01,
+        )
+        # rho saturates at ck=2.52: sigma^2 <= 0.01*2.52 + 0.99
+        assert new[0, 0] <= np.sqrt(0.01 * 2.52 + 0.99) + 1e-12
+
+    def test_shrinks_on_zero_residual(self):
+        sigma = np.array([[2.0]])
+        new = update_error_scale(
+            np.array([[3.0]]),
+            np.array([[3.0]]),
+            sigma,
+            np.ones((1, 1), dtype=bool),
+            phi=0.5,
+        )
+        assert new[0, 0] == pytest.approx(2.0 * np.sqrt(0.5))
+
+    def test_phi_zero_is_identity(self):
+        rng = np.random.default_rng(2)
+        y = rng.normal(size=(3, 3))
+        yhat = rng.normal(size=(3, 3))
+        sigma = np.abs(rng.normal(size=(3, 3))) + 0.1
+        mask = rng.random((3, 3)) > 0.5
+        new = update_error_scale(y, yhat, sigma, mask, phi=0.0)
+        np.testing.assert_allclose(new, sigma)
+
+    def test_positive(self):
+        rng = np.random.default_rng(3)
+        y = rng.normal(scale=100, size=(4, 4))
+        yhat = rng.normal(size=(4, 4))
+        sigma = np.full((4, 4), 0.1)
+        mask = np.ones((4, 4), dtype=bool)
+        for _ in range(50):
+            sigma = update_error_scale(y, yhat, sigma, mask, phi=0.1)
+        assert np.all(sigma > 0)

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for SOFIA core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import estimate_outliers, soft_threshold, update_error_scale
+from repro.core.smoothness import smoothness_penalty
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+small_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+thresholds = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def masked_pair(draw):
+    seed = draw(seeds)
+    rng = np.random.default_rng(seed)
+    shape = (draw(st.integers(2, 6)), draw(st.integers(2, 6)))
+    y = rng.normal(scale=draw(st.floats(0.1, 20.0)), size=shape)
+    yhat = rng.normal(scale=5.0, size=shape)
+    sigma = np.abs(rng.normal(size=shape)) + 0.05
+    mask = rng.random(shape) > 0.4
+    return y, yhat, sigma, mask
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(small_floats, min_size=1, max_size=30), thresholds)
+def test_soft_threshold_nonexpansive(values, lam):
+    """|S(x) - S(y)| <= |x - y| — the prox of a convex function is
+    nonexpansive; test against 0: |S(x)| <= |x|."""
+    x = np.asarray(values)
+    out = soft_threshold(x, lam)
+    assert np.all(np.abs(out) <= np.abs(x) + 1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(small_floats, min_size=1, max_size=30), thresholds)
+def test_soft_threshold_shrinks_by_exactly_lambda(values, lam):
+    x = np.asarray(values)
+    out = soft_threshold(x, lam)
+    big = np.abs(x) > lam
+    np.testing.assert_allclose(np.abs(out[big]), np.abs(x[big]) - lam,
+                               atol=1e-9)
+    np.testing.assert_array_equal(out[~big], 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(masked_pair())
+def test_outlier_decomposition_bounds_cleaned_residual(case):
+    """Y - O always lies within k·sigma of the prediction on observed
+    entries (Eq. 21's defining property)."""
+    y, yhat, sigma, mask = case
+    outliers = estimate_outliers(y, yhat, sigma, mask, k=2.0)
+    cleaned = y - outliers
+    assert np.all(np.abs((cleaned - yhat)[mask]) <= 2.0 * sigma[mask] + 1e-9)
+    assert np.all(outliers[~mask] == 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(masked_pair())
+def test_outliers_zero_iff_residual_within_k_sigma(case):
+    y, yhat, sigma, mask = case
+    outliers = estimate_outliers(y, yhat, sigma, mask, k=2.0)
+    inlier = (np.abs(y - yhat) <= 2.0 * sigma) & mask
+    np.testing.assert_allclose(outliers[inlier], 0.0, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(masked_pair(), st.floats(min_value=0.0, max_value=1.0))
+def test_error_scale_stays_positive_and_bounded(case, phi):
+    """One biweight update keeps sigma positive and within the bracket
+    [sqrt(1-phi)·sigma, sqrt(1-phi+phi·ck)·sigma]."""
+    y, yhat, sigma, mask = case
+    new = update_error_scale(y, yhat, sigma, mask, phi=phi)
+    assert np.all(new > 0)
+    lower = np.sqrt(max(1.0 - phi, 0.0)) * sigma
+    upper = np.sqrt(1.0 - phi + phi * 2.52) * sigma
+    assert np.all(new[mask] >= lower[mask] - 1e-9)
+    assert np.all(new[mask] <= upper[mask] + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seeds, st.integers(2, 10), st.integers(1, 4))
+def test_smoothness_penalty_nonnegative_and_shift_invariant(seed, length, lag):
+    """The penalty is a seminorm: non-negative and blind to constant
+    row shifts (constants are in L's null space)."""
+    rng = np.random.default_rng(seed)
+    u = rng.normal(size=(length, 3))
+    penalty = smoothness_penalty(u, lag)
+    assert penalty >= 0.0
+    shifted = u + rng.normal(size=(1, 3))
+    assert np.isclose(smoothness_penalty(shifted, lag), penalty)

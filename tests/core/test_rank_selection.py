@@ -1,0 +1,63 @@
+"""Unit tests for RAE-based rank selection (paper §VI-A protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SofiaConfig
+from repro.core.rank_selection import select_rank
+from repro.exceptions import ShapeError
+from repro.streams import CorruptionSpec, TensorStream, corrupt
+
+from tests.core.conftest import make_seasonal_stream
+
+
+@pytest.fixture(scope="module")
+def observed_stream():
+    tensor, _, _ = make_seasonal_stream(
+        dims=(10, 8), rank=3, period=8, n_steps=56, seed=9
+    )
+    corrupted = corrupt(tensor, CorruptionSpec(20, 5, 2), seed=10)
+    return TensorStream(
+        data=corrupted.observed, mask=corrupted.mask, period=8
+    )
+
+
+class TestSelectRank:
+    def test_prefers_adequate_rank(self, observed_stream):
+        config = SofiaConfig(
+            rank=1, period=8, lambda1=0.1, lambda2=0.1,
+            max_outer_iters=100, tol=1e-5,
+        )
+        result = select_rank(
+            observed_stream,
+            config,
+            candidate_ranks=(1, 3, 6),
+            seed=0,
+        )
+        # ground truth rank is 3: rank 1 must be clearly worse
+        assert result.scores[1] > result.scores[3]
+        assert result.best_rank in (3, 6)
+
+    def test_scores_for_all_candidates(self, observed_stream):
+        config = SofiaConfig(
+            rank=1, period=8, lambda1=0.1, lambda2=0.1,
+            max_outer_iters=50, tol=1e-4,
+        )
+        result = select_rank(
+            observed_stream, config, candidate_ranks=(2, 4), seed=1
+        )
+        assert set(result.scores) == {2, 4}
+        assert all(np.isfinite(v) for v in result.scores.values())
+
+    def test_bad_fraction(self, observed_stream):
+        config = SofiaConfig(rank=2, period=8)
+        with pytest.raises(ShapeError):
+            select_rank(
+                observed_stream, config, validation_fraction=0.0
+            )
+
+    def test_stream_too_short(self):
+        config = SofiaConfig(rank=2, period=8)
+        short = TensorStream.fully_observed(np.ones((4, 4, 25)), period=8)
+        with pytest.raises(ShapeError):
+            select_rank(short, config)

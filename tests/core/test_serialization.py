@@ -1,0 +1,80 @@
+"""Unit tests for SOFIA model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Sofia, SofiaConfig
+from repro.core.serialization import load_sofia, save_sofia
+from repro.exceptions import NotFittedError
+
+from tests.core.conftest import corrupt_tensor, make_seasonal_stream
+
+
+@pytest.fixture(scope="module")
+def fitted_sofia():
+    tensor, _, _ = make_seasonal_stream(
+        dims=(8, 6), rank=2, period=6, n_steps=30, seed=3
+    )
+    corrupted, mask, _ = corrupt_tensor(tensor, 20, 5, 2)
+    config = SofiaConfig(
+        rank=2, period=6, lambda1=0.1, lambda2=0.1,
+        max_outer_iters=100, tol=1e-6,
+    )
+    sofia = Sofia(config)
+    ti = config.init_steps
+    sofia.initialize(
+        [corrupted[..., t] for t in range(ti)],
+        [mask[..., t] for t in range(ti)],
+    )
+    for t in range(ti, 24):
+        sofia.step(corrupted[..., t], mask[..., t])
+    return sofia, tensor, corrupted, mask
+
+
+class TestRoundtrip:
+    def test_state_preserved(self, fitted_sofia, tmp_path):
+        sofia, _, _, _ = fitted_sofia
+        path = tmp_path / "model.npz"
+        save_sofia(sofia, path)
+        restored = load_sofia(path)
+        assert restored.config == sofia.config
+        assert restored.state.t == sofia.state.t
+        for a, b in zip(
+            restored.state.non_temporal, sofia.state.non_temporal
+        ):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(restored.state.sigma, sofia.state.sigma)
+        np.testing.assert_array_equal(
+            restored.state.temporal_buffer, sofia.state.temporal_buffer
+        )
+        np.testing.assert_array_equal(
+            restored.state.hw.level, sofia.state.hw.level
+        )
+
+    def test_restored_model_continues_identically(self, fitted_sofia, tmp_path):
+        import copy
+
+        sofia, tensor, corrupted, mask = fitted_sofia
+        original = copy.deepcopy(sofia)
+        path = tmp_path / "model.npz"
+        save_sofia(sofia, path)
+        restored = load_sofia(path)
+        for t in range(24, 30):
+            a = original.step(corrupted[..., t], mask[..., t])
+            b = restored.step(corrupted[..., t], mask[..., t])
+            np.testing.assert_allclose(a.completed, b.completed)
+            np.testing.assert_allclose(a.outliers, b.outliers)
+
+    def test_forecast_identical(self, fitted_sofia, tmp_path):
+        sofia, _, _, _ = fitted_sofia
+        path = tmp_path / "model.npz"
+        save_sofia(sofia, path)
+        restored = load_sofia(path)
+        np.testing.assert_allclose(restored.forecast(6), sofia.forecast(6))
+
+
+class TestErrors:
+    def test_unfitted_rejected(self, tmp_path):
+        sofia = Sofia(SofiaConfig(rank=2, period=4))
+        with pytest.raises(NotFittedError):
+            save_sofia(sofia, tmp_path / "x.npz")

@@ -1,0 +1,133 @@
+"""Unit tests for smoothness operators (paper Eq. 10, 17-18)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    difference_matrix,
+    neighbor_count,
+    neighbor_sum,
+    smoothness_penalty,
+)
+from repro.exceptions import ConfigError, ShapeError
+
+
+class TestDifferenceMatrix:
+    def test_shape(self):
+        assert difference_matrix(10, 1).shape == (9, 10)
+        assert difference_matrix(10, 3).shape == (7, 10)
+
+    def test_structure(self):
+        mat = difference_matrix(4, 2)
+        expected = np.array(
+            [[1.0, 0.0, -1.0, 0.0], [0.0, 1.0, 0.0, -1.0]]
+        )
+        np.testing.assert_array_equal(mat, expected)
+
+    def test_lag_at_least_length(self):
+        assert difference_matrix(3, 3).shape == (0, 3)
+        assert difference_matrix(3, 5).shape == (0, 3)
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigError):
+            difference_matrix(0, 1)
+        with pytest.raises(ConfigError):
+            difference_matrix(5, 0)
+
+    def test_constant_vector_in_null_space(self):
+        mat = difference_matrix(8, 2)
+        np.testing.assert_allclose(mat @ np.ones(8), 0.0)
+
+
+class TestSmoothnessPenalty:
+    def test_matches_matrix_form(self):
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=(12, 3))
+        for lag in (1, 3, 5):
+            l_mat = difference_matrix(12, lag)
+            expected = np.linalg.norm(l_mat @ u) ** 2
+            assert smoothness_penalty(u, lag) == pytest.approx(expected)
+
+    def test_constant_rows_zero(self):
+        u = np.ones((10, 2)) * 5.0
+        assert smoothness_penalty(u, 1) == 0.0
+        assert smoothness_penalty(u, 4) == 0.0
+
+    def test_perfectly_periodic_zero_seasonal_penalty(self):
+        # A period-m signal has zero lag-m penalty but nonzero lag-1.
+        t = np.arange(20)
+        u = np.sin(2 * np.pi * t / 5)[:, None]
+        assert smoothness_penalty(u, 5) == pytest.approx(0.0, abs=1e-12)
+        assert smoothness_penalty(u, 1) > 0.1
+
+    def test_lag_exceeds_length(self):
+        assert smoothness_penalty(np.ones((3, 2)), 10) == 0.0
+
+    def test_rejects_vector(self):
+        with pytest.raises(ShapeError):
+            smoothness_penalty(np.ones(5), 1)
+
+    def test_known_value(self):
+        u = np.array([[0.0], [1.0], [3.0]])
+        # (0-1)^2 + (1-3)^2 = 5
+        assert smoothness_penalty(u, 1) == pytest.approx(5.0)
+
+
+class TestNeighborHelpers:
+    def test_count_interior(self):
+        assert neighbor_count(5, 10, 1) == 2
+
+    def test_count_boundaries(self):
+        assert neighbor_count(0, 10, 1) == 1
+        assert neighbor_count(9, 10, 1) == 1
+
+    def test_count_seasonal_lag(self):
+        # length 10, lag 4: index 2 has only a forward neighbor (6).
+        assert neighbor_count(2, 10, 4) == 1
+        assert neighbor_count(5, 10, 4) == 2
+        assert neighbor_count(8, 10, 4) == 1
+
+    def test_count_lag_too_large(self):
+        assert neighbor_count(3, 5, 7) == 0
+
+    def test_count_out_of_range(self):
+        with pytest.raises(ShapeError):
+            neighbor_count(10, 10, 1)
+
+    def test_sum_interior(self):
+        u = np.arange(12, dtype=float).reshape(6, 2)
+        np.testing.assert_allclose(neighbor_sum(u, 2, 1), u[1] + u[3])
+
+    def test_sum_boundary(self):
+        u = np.arange(12, dtype=float).reshape(6, 2)
+        np.testing.assert_allclose(neighbor_sum(u, 0, 1), u[1])
+        np.testing.assert_allclose(neighbor_sum(u, 5, 1), u[4])
+
+    def test_sum_no_neighbors(self):
+        u = np.ones((3, 2))
+        np.testing.assert_allclose(neighbor_sum(u, 1, 5), 0.0)
+
+    def test_paper_eq17_case_structure(self):
+        """The general neighbor form reduces to Eq. 17's five cases when
+        I_N >= 2m: check the diagonal multiplicities."""
+        length, m = 20, 5
+        lam1, lam2 = 0.3, 0.7
+
+        def diag_coefficient(i):
+            return lam1 * neighbor_count(i, length, 1) + lam2 * neighbor_count(
+                i, length, m
+            )
+
+        # iN = 1 (paper, 1-indexed) -> index 0: lambda1 + lambda2
+        assert diag_coefficient(0) == pytest.approx(lam1 + lam2)
+        # 1 < iN <= m -> indices 1..4: 2*lambda1 + lambda2
+        for i in range(1, m):
+            assert diag_coefficient(i) == pytest.approx(2 * lam1 + lam2)
+        # m < iN <= IN - m -> indices 5..14: 2*(lambda1 + lambda2)
+        for i in range(m, length - m):
+            assert diag_coefficient(i) == pytest.approx(2 * (lam1 + lam2))
+        # IN - m < iN <= IN - 1 -> indices 15..18: 2*lambda1 + lambda2
+        for i in range(length - m, length - 1):
+            assert diag_coefficient(i) == pytest.approx(2 * lam1 + lam2)
+        # iN = IN -> index 19: lambda1 + lambda2
+        assert diag_coefficient(length - 1) == pytest.approx(lam1 + lam2)

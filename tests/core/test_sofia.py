@@ -1,0 +1,214 @@
+"""End-to-end tests for the Sofia facade (paper §V)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Sofia, SofiaConfig
+from repro.exceptions import NotFittedError, ShapeError
+from repro.tensor import relative_error
+
+from tests.core.conftest import corrupt_tensor, make_seasonal_stream
+
+
+@pytest.fixture(scope="module")
+def stream_case():
+    tensor, temporal, non_temporal = make_seasonal_stream(
+        dims=(10, 8), rank=2, period=8, n_steps=64, trend=0.001, seed=11
+    )
+    corrupted, mask, outlier_idx = corrupt_tensor(tensor, 30, 10, 3, seed=13)
+    return tensor, corrupted, mask, outlier_idx
+
+
+def make_config(**kwargs):
+    base = dict(
+        rank=2, period=8, lambda1=0.1, lambda2=0.1,
+        max_outer_iters=300, tol=1e-6,
+    )
+    base.update(kwargs)
+    return SofiaConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def fitted(stream_case):
+    tensor, corrupted, mask, _ = stream_case
+    cfg = make_config()
+    sofia = Sofia(cfg)
+    ti = cfg.init_steps
+    sofia.initialize(
+        [corrupted[..., t] for t in range(ti)],
+        [mask[..., t] for t in range(ti)],
+    )
+    return sofia, cfg
+
+
+class TestLifecycle:
+    def test_not_initialized_errors(self):
+        sofia = Sofia(make_config())
+        with pytest.raises(NotFittedError):
+            sofia.step(np.zeros((10, 8)))
+        with pytest.raises(NotFittedError):
+            sofia.forecast(3)
+        with pytest.raises(NotFittedError):
+            _ = sofia.state
+        with pytest.raises(NotFittedError):
+            _ = sofia.initialization
+        assert not sofia.is_initialized
+
+    def test_too_few_startup_subtensors(self):
+        sofia = Sofia(make_config())
+        with pytest.raises(ShapeError):
+            sofia.initialize([np.zeros((10, 8))] * 5)
+
+    def test_initialize_returns_completed_startup(self, stream_case):
+        tensor, corrupted, mask, _ = stream_case
+        cfg = make_config()
+        sofia = Sofia(cfg)
+        ti = cfg.init_steps
+        completed = sofia.initialize(
+            [corrupted[..., t] for t in range(ti)],
+            [mask[..., t] for t in range(ti)],
+        )
+        assert len(completed) == ti
+        err = np.mean(
+            [relative_error(completed[t], tensor[..., t]) for t in range(ti)]
+        )
+        assert err < 0.15
+        assert sofia.is_initialized
+
+    def test_initialize_without_masks(self, stream_case):
+        tensor, _, _, _ = stream_case
+        cfg = make_config()
+        sofia = Sofia(cfg)
+        ti = cfg.init_steps
+        completed = sofia.initialize([tensor[..., t] for t in range(ti)])
+        err = np.mean(
+            [relative_error(completed[t], tensor[..., t]) for t in range(ti)]
+        )
+        assert err < 0.05
+
+
+class TestStreaming:
+    def test_imputation_accuracy_over_stream(self, stream_case, fitted):
+        tensor, corrupted, mask, _ = stream_case
+        sofia, cfg = fitted
+        import copy
+
+        live = copy.deepcopy(sofia)
+        errors = []
+        for t in range(cfg.init_steps, tensor.shape[-1]):
+            step = live.step(corrupted[..., t], mask[..., t])
+            errors.append(relative_error(step.completed, tensor[..., t]))
+        assert np.mean(errors) < 0.2
+
+    def test_impute_keeps_observed_values(self, stream_case, fitted):
+        _, corrupted, mask, _ = stream_case
+        sofia, cfg = fitted
+        import copy
+
+        live = copy.deepcopy(sofia)
+        t = cfg.init_steps
+        filled = live.impute(corrupted[..., t], mask[..., t])
+        np.testing.assert_array_equal(
+            filled[mask[..., t]], corrupted[..., t][mask[..., t]]
+        )
+
+    def test_step_without_mask_means_fully_observed(self, stream_case, fitted):
+        tensor, _, _, _ = stream_case
+        sofia, cfg = fitted
+        import copy
+
+        live = copy.deepcopy(sofia)
+        step = live.step(tensor[..., cfg.init_steps])
+        assert step.completed.shape == (10, 8)
+
+    def test_run_consumes_pairs(self, stream_case, fitted):
+        _, corrupted, mask, _ = stream_case
+        sofia, cfg = fitted
+        import copy
+
+        live = copy.deepcopy(sofia)
+        t0 = cfg.init_steps
+        pairs = [
+            (corrupted[..., t], mask[..., t]) for t in range(t0, t0 + 5)
+        ]
+        steps = live.run(pairs)
+        assert len(steps) == 5
+
+    def test_outlier_detection_live(self, stream_case, fitted):
+        tensor, _, _, _ = stream_case
+        sofia, cfg = fitted
+        import copy
+
+        live = copy.deepcopy(sofia)
+        t = cfg.init_steps
+        y = tensor[..., t].copy()
+        y[3, 3] += 50.0
+        step = live.step(y)
+        assert abs(step.outliers[3, 3]) > 40.0
+
+
+class TestForecast:
+    def test_shape(self, fitted):
+        sofia, _ = fitted
+        import copy
+
+        live = copy.deepcopy(sofia)
+        fc = live.forecast(7)
+        assert fc.shape == (7, 10, 8)
+
+    def test_accuracy_on_clean_stream(self, stream_case):
+        """Consume most of a clean stream, forecast the rest."""
+        tensor, _, _, _ = stream_case
+        cfg = make_config()
+        sofia = Sofia(cfg)
+        ti = cfg.init_steps
+        horizon = 8
+        t_end = tensor.shape[-1] - horizon
+        sofia.initialize([tensor[..., t] for t in range(ti)])
+        for t in range(ti, t_end):
+            sofia.step(tensor[..., t])
+        fc = sofia.forecast(horizon)
+        errors = [
+            relative_error(fc[h], tensor[..., t_end + h])
+            for h in range(horizon)
+        ]
+        assert np.mean(errors) < 0.1
+
+    def test_forecast_does_not_mutate_state(self, fitted):
+        sofia, _ = fitted
+        import copy
+
+        live = copy.deepcopy(sofia)
+        level_before = live.state.hw.level.copy()
+        t_before = live.state.t
+        live.forecast(5)
+        np.testing.assert_array_equal(live.state.hw.level, level_before)
+        assert live.state.t == t_before
+
+
+class TestRobustness:
+    def test_forecast_resists_stream_outliers(self, stream_case):
+        """Outliers during streaming should barely move the forecast
+        (the Fig. 6 mechanism)."""
+        tensor, _, _, _ = stream_case
+        cfg = make_config()
+        horizon = 8
+        t_end = tensor.shape[-1] - horizon
+        rng = np.random.default_rng(17)
+
+        def run(with_outliers):
+            sofia = Sofia(cfg)
+            ti = cfg.init_steps
+            sofia.initialize([tensor[..., t] for t in range(ti)])
+            for t in range(ti, t_end):
+                y = tensor[..., t].copy()
+                if with_outliers:
+                    idx = rng.random(y.shape) < 0.1
+                    y[idx] += np.abs(tensor).max() * 3
+                sofia.step(y)
+            return sofia.forecast(horizon)
+
+        fc_clean = run(False)
+        fc_noisy = run(True)
+        gap = relative_error(fc_noisy, fc_clean)
+        assert gap < 0.15

@@ -1,0 +1,155 @@
+"""Unit tests for the dataset generators: structure and seasonality."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    fig2_tensor,
+    load_dataset,
+    scalability_stream,
+    seasonal_stream,
+)
+from repro.exceptions import ShapeError
+
+
+def seasonal_autocorrelation(data: np.ndarray, period: int) -> float:
+    """Mean correlation between each step and the step one season later,
+    averaged over flattened non-temporal entries — high for seasonal data."""
+    flat = data.reshape(-1, data.shape[-1])
+    a = flat[:, :-period].ravel()
+    b = flat[:, period:].ravel()
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+class TestSeasonalStream:
+    def test_shapes(self):
+        s = seasonal_stream((5, 6), rank=2, period=8, n_steps=24, seed=0)
+        assert s.data.shape == (5, 6, 24)
+        assert s.temporal.shape == (24, 2)
+        assert [f.shape for f in s.non_temporal] == [(5, 2), (6, 2)]
+        assert s.rank == 2
+        assert s.period == 8
+
+    def test_consistent_with_factors(self):
+        from repro.tensor import kruskal_to_tensor
+
+        s = seasonal_stream((4, 4), rank=2, period=6, n_steps=12, seed=1)
+        for t in range(12):
+            np.testing.assert_allclose(
+                s.data[..., t],
+                kruskal_to_tensor(s.non_temporal, weights=s.temporal[t]),
+            )
+
+    def test_seasonality(self):
+        s = seasonal_stream((6, 6), rank=3, period=12, n_steps=60, seed=2)
+        assert seasonal_autocorrelation(s.data, 12) > 0.95
+
+    def test_trend(self):
+        s = seasonal_stream(
+            (4, 4), rank=1, period=6, n_steps=60, trend=0.05, seed=3
+        )
+        first = s.temporal[:6].mean()
+        last = s.temporal[-6:].mean()
+        assert last > first + 2.0
+
+    def test_noise(self):
+        clean = seasonal_stream((5, 5), rank=2, period=6, n_steps=30, seed=4)
+        noisy = seasonal_stream(
+            (5, 5), rank=2, period=6, n_steps=30, noise=0.2, seed=4
+        )
+        assert not np.allclose(clean.data, noisy.data)
+
+    def test_reproducible(self):
+        s1 = seasonal_stream((5, 5), rank=2, period=6, n_steps=30, seed=5)
+        s2 = seasonal_stream((5, 5), rank=2, period=6, n_steps=30, seed=5)
+        np.testing.assert_array_equal(s1.data, s2.data)
+
+    def test_bad_steps(self):
+        with pytest.raises(ShapeError):
+            seasonal_stream((5, 5), rank=2, period=6, n_steps=0)
+
+    def test_three_way_dims(self):
+        s = seasonal_stream((3, 4, 5), rank=2, period=4, n_steps=8, seed=6)
+        assert s.data.shape == (3, 4, 5, 8)
+
+
+class TestFig2Tensor:
+    def test_paper_dimensions(self):
+        s = fig2_tensor(seed=0)
+        assert s.data.shape == (30, 30, 90)
+        assert s.temporal.shape == (90, 3)
+        assert s.period == 30
+
+    def test_temporal_columns_are_sinusoids(self):
+        s = fig2_tensor(seed=1)
+        # Each column must be exactly periodic with period 30.
+        for r in range(3):
+            col = s.temporal[:, r]
+            np.testing.assert_allclose(col[:30], col[30:60], atol=1e-9)
+            np.testing.assert_allclose(col[:30], col[60:90], atol=1e-9)
+
+    def test_nonnegative_spatial_factors(self):
+        s = fig2_tensor(seed=2)
+        for f in s.non_temporal:
+            assert (f >= 0).all()
+            assert (f <= 1).all()
+
+
+class TestScalabilityStream:
+    def test_shape(self):
+        s = scalability_stream(50, 20, 40, period=10, seed=0)
+        assert s.data.shape == (50, 20, 40)
+        assert s.period == 10
+
+
+class TestStandIns:
+    @pytest.mark.parametrize(
+        "name, kwargs, expected_shape",
+        [
+            ("intel_lab", dict(n_positions=8, period=12, n_seasons=5), (8, 4, 60)),
+            ("network_traffic", dict(n_routers=6, period=12, n_seasons=5), (6, 6, 60)),
+            ("chicago_taxi", dict(n_zones=8, period=12, n_seasons=5), (8, 8, 60)),
+            ("nyc_taxi", dict(n_zones=8, n_weeks=6), (8, 8, 42)),
+        ],
+    )
+    def test_shapes(self, name, kwargs, expected_shape):
+        ds = load_dataset(name, seed=0, **kwargs)
+        assert ds.shape == expected_shape
+
+    @pytest.mark.parametrize(
+        "name, kwargs, period",
+        [
+            ("intel_lab", dict(n_positions=10, period=16, n_seasons=8), 16),
+            ("network_traffic", dict(n_routers=8, period=16, n_seasons=8), 16),
+            ("chicago_taxi", dict(n_zones=10, period=16, n_seasons=8), 16),
+            ("nyc_taxi", dict(n_zones=10, n_weeks=12), 7),
+        ],
+    )
+    def test_seasonal_structure(self, name, kwargs, period):
+        ds = load_dataset(name, seed=0, **kwargs)
+        assert seasonal_autocorrelation(ds.data, period) > 0.6
+
+    def test_intel_lab_standardized_per_sensor(self):
+        ds = load_dataset("intel_lab", seed=1)
+        for s in range(4):
+            assert ds.data[:, s, :].mean() == pytest.approx(0.0, abs=1e-9)
+            assert ds.data[:, s, :].std() == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "name", ["network_traffic", "chicago_taxi", "nyc_taxi"]
+    )
+    def test_log_transformed_nonnegative(self, name):
+        ds = load_dataset(name, seed=2)
+        assert (ds.data >= 0).all()
+        # log2 keeps values laptop-scale
+        assert ds.data.max() < 30
+
+    def test_taxi_counts_have_quiet_hours(self):
+        ds = load_dataset("chicago_taxi", seed=3)
+        per_step = ds.data.sum(axis=(0, 1))
+        assert per_step.min() < 0.35 * per_step.max()
+
+    def test_reproducible(self):
+        d1 = load_dataset("nyc_taxi", seed=9)
+        d2 = load_dataset("nyc_taxi", seed=9)
+        np.testing.assert_array_equal(d1.data, d2.data)

@@ -1,0 +1,78 @@
+"""Unit tests for the dataset registry and Table III metadata."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    DatasetInfo,
+    dataset_info,
+    list_datasets,
+    load_dataset,
+    register_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_all_four_paper_datasets_registered(self):
+        names = list_datasets()
+        for expected in (
+            "chicago_taxi",
+            "intel_lab",
+            "network_traffic",
+            "nyc_taxi",
+        ):
+            assert expected in names
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    def test_info_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            dataset_info("nope")
+
+    def test_duplicate_registration_rejected(self):
+        info = dataset_info("intel_lab")
+        with pytest.raises(DatasetError):
+            register_dataset(info)(lambda **kwargs: None)
+
+    def test_load_passes_kwargs(self):
+        ds = load_dataset("nyc_taxi", n_zones=5, n_weeks=8, seed=1)
+        assert ds.shape == (5, 5, 56)
+
+
+class TestTableIIIMetadata:
+    """The registry must reproduce the paper's Table III rows."""
+
+    @pytest.mark.parametrize(
+        "name, shape, period, granularity",
+        [
+            ("intel_lab", (54, 4, 1152), 144, "every 10 minutes"),
+            ("network_traffic", (23, 23, 2000), 168, "hourly"),
+            ("chicago_taxi", (77, 77, 2016), 168, "hourly"),
+            ("nyc_taxi", (265, 265, 904), 7, "daily"),
+        ],
+    )
+    def test_paper_rows(self, name, shape, period, granularity):
+        info = dataset_info(name)
+        assert info.paper_shape == shape
+        assert info.period == period
+        assert info.granularity == granularity
+
+    def test_ranks_match_fig3_captions(self):
+        assert dataset_info("intel_lab").rank == 4
+        assert dataset_info("network_traffic").rank == 5
+        assert dataset_info("chicago_taxi").rank == 10
+        assert dataset_info("nyc_taxi").rank == 5
+
+
+class TestDatasetObject:
+    def test_properties(self):
+        ds = load_dataset("intel_lab", n_positions=6, period=12, n_seasons=4)
+        assert isinstance(ds, Dataset)
+        assert ds.name == "intel_lab"
+        assert ds.shape == (6, 4, 48)
+        assert ds.n_steps == 48
+        assert ds.period == 12

@@ -1,0 +1,42 @@
+"""Unit tests for ASCII reporting."""
+
+import numpy as np
+
+from repro.experiments import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["x", 1.0], ["yyyy", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_scientific_for_small(self):
+        text = format_table(["v"], [[1.5e-7]])
+        assert "e-07" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestFormatSeries:
+    def test_short_series_full(self):
+        text = format_series("x", np.array([1.0, 2.0]))
+        assert text == "x: 1.000 2.000"
+
+    def test_long_series_downsampled(self):
+        text = format_series("x", np.arange(100.0), max_points=5)
+        assert len(text.split(":")[1].split()) == 5
+
+    def test_empty(self):
+        assert "empty" in format_series("x", np.array([]))

@@ -1,0 +1,75 @@
+"""Unit tests for the Table I / Table III renders."""
+
+from repro.experiments import (
+    table1_capabilities,
+    table1_text,
+    table3_rows,
+    table3_text,
+)
+
+
+class TestTable1:
+    def test_sofia_is_last_and_has_everything(self):
+        rows = table1_capabilities()
+        sofia = rows[-1]
+        assert sofia.name == "SOFIA"
+        assert all(
+            (
+                sofia.imputation,
+                sofia.forecasting,
+                sofia.robust_missing,
+                sofia.robust_outliers,
+                sofia.online,
+                sofia.seasonality_aware,
+                sofia.trend_aware,
+            )
+        )
+
+    def test_only_sofia_has_everything(self):
+        """The paper's headline: only SOFIA satisfies all criteria."""
+        for caps in table1_capabilities()[:-1]:
+            assert not all(
+                (
+                    caps.imputation,
+                    caps.forecasting,
+                    caps.robust_missing,
+                    caps.robust_outliers,
+                    caps.online,
+                    caps.seasonality_aware,
+                    caps.trend_aware,
+                )
+            ), f"{caps.name} should not satisfy all criteria"
+
+    def test_expected_rows_present(self):
+        names = {caps.name for caps in table1_capabilities()}
+        assert {
+            "CP-WOPT",
+            "OnlineSGD",
+            "OLSTEC",
+            "MAST",
+            "BRST",
+            "OR-MSTC",
+            "SMF",
+            "CPHW",
+            "SOFIA",
+        } <= names
+
+    def test_render_contains_all_names(self):
+        text = table1_text()
+        for caps in table1_capabilities():
+            assert caps.name in text
+
+
+class TestTable3:
+    def test_four_rows(self):
+        assert len(table3_rows()) == 4
+
+    def test_paper_shapes_rendered(self):
+        text = table3_text()
+        for fragment in ("54x4x1152", "23x23x2000", "77x77x2016", "265x265x904"):
+            assert fragment in text
+
+    def test_periods_rendered(self):
+        text = table3_text()
+        for period in ("144", "168", "7"):
+            assert period in text

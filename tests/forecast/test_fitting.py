@@ -1,0 +1,64 @@
+"""Unit tests for HW parameter estimation (paper §V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.forecast import fit_holt_winters, initial_state, one_step_sse
+from repro.forecast.holt_winters import HoltWintersParams
+
+
+def make_series(n=60, period=6, trend=0.1, amplitude=3.0, noise=0.0, seed=0):
+    t = np.arange(n)
+    y = 5.0 + trend * t + amplitude * np.sin(2 * np.pi * t / period)
+    if noise:
+        y = y + np.random.default_rng(seed).normal(0, noise, n)
+    return y
+
+
+class TestFitHoltWinters:
+    def test_params_within_bounds(self):
+        fit = fit_holt_winters(make_series(noise=0.2), 6)
+        for v in fit.params.as_array():
+            assert 0.0 <= v <= 1.0
+
+    def test_fit_beats_default_params(self):
+        y = make_series(noise=0.3, seed=3)
+        fit = fit_holt_winters(y, 6)
+        default = one_step_sse(y, HoltWintersParams(0.5, 0.5, 0.5), initial_state(y, 6))
+        assert fit.sse <= default + 1e-9
+
+    def test_sse_consistent_with_fitted(self):
+        y = make_series(noise=0.3, seed=4)
+        fit = fit_holt_winters(y, 6)
+        assert fit.sse == pytest.approx(np.sum((y - fit.fitted) ** 2), rel=1e-6)
+
+    def test_forecast_accuracy_on_clean_series(self):
+        y = make_series(n=72, period=6)
+        fit = fit_holt_winters(y[:60], 6)
+        fc = fit.forecast(12)
+        np.testing.assert_allclose(fc, y[60:72], atol=0.5)
+
+    def test_forecast_shape(self):
+        fit = fit_holt_winters(make_series(), 6)
+        assert fit.forecast(5).shape == (5,)
+
+    def test_too_short_series(self):
+        with pytest.raises(ShapeError):
+            fit_holt_winters(np.ones(10), 6)
+
+    def test_constant_series(self):
+        fit = fit_holt_winters(np.full(30, 4.0), 5)
+        np.testing.assert_allclose(fit.forecast(5), 4.0, atol=1e-6)
+
+    def test_trend_only_series(self):
+        y = 1.0 + 0.5 * np.arange(40)
+        fit = fit_holt_winters(y, 5)
+        np.testing.assert_allclose(fit.forecast(4), y[-1] + 0.5 * np.arange(1, 5),
+                                   atol=0.1)
+
+    def test_deterministic(self):
+        y = make_series(noise=0.2, seed=9)
+        f1 = fit_holt_winters(y, 6)
+        f2 = fit_holt_winters(y, 6)
+        np.testing.assert_array_equal(f1.params.as_array(), f2.params.as_array())

@@ -1,0 +1,171 @@
+"""Unit tests for the additive Holt-Winters recursions (paper Eq. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError, ShapeError
+from repro.forecast import (
+    HoltWintersParams,
+    HoltWintersState,
+    hw_filter,
+    hw_forecast,
+    hw_update,
+    initial_state,
+    one_step_sse,
+)
+
+
+def seasonal_series(n, period, level=10.0, trend=0.1, amplitude=2.0, seed=None):
+    t = np.arange(n)
+    y = level + trend * t + amplitude * np.sin(2 * np.pi * t / period)
+    if seed is not None:
+        y = y + np.random.default_rng(seed).normal(0, 0.05, n)
+    return y
+
+
+class TestParams:
+    def test_valid(self):
+        p = HoltWintersParams(0.5, 0.1, 0.3)
+        np.testing.assert_array_equal(p.as_array(), [0.5, 0.1, 0.3])
+
+    @pytest.mark.parametrize("bad", [(-0.1, 0, 0), (0, 1.5, 0), (0, 0, 2)])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ConfigError):
+            HoltWintersParams(*bad)
+
+
+class TestState:
+    def test_period(self):
+        s = HoltWintersState(1.0, 0.0, np.zeros(7))
+        assert s.period == 7
+
+    def test_forecast_next_uses_oldest_seasonal(self):
+        s = HoltWintersState(10.0, 1.0, np.array([5.0, -5.0]))
+        assert s.forecast_next() == pytest.approx(10.0 + 1.0 + 5.0)
+
+    def test_empty_seasonal_rejected(self):
+        with pytest.raises(ShapeError):
+            HoltWintersState(0.0, 0.0, np.array([]))
+
+
+class TestInitialState:
+    def test_constant_series(self):
+        state = initial_state(np.full(20, 3.0), 5)
+        assert state.level == pytest.approx(3.0)
+        assert state.trend == pytest.approx(0.0)
+        np.testing.assert_allclose(state.seasonal, 0.0, atol=1e-12)
+
+    def test_linear_series_trend(self):
+        y = 2.0 * np.arange(20)
+        state = initial_state(y, 5)
+        assert state.trend == pytest.approx(2.0)
+
+    def test_seasonal_components_sum_to_zero(self):
+        y = seasonal_series(30, 6)
+        state = initial_state(y, 6)
+        assert state.seasonal.sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_pure_seasonal_recovered(self):
+        pattern = np.array([1.0, -2.0, 3.0, -2.0])
+        y = np.tile(pattern, 4) + 5.0
+        state = initial_state(y, 4)
+        np.testing.assert_allclose(state.seasonal, pattern, atol=1e-9)
+
+    def test_too_short(self):
+        with pytest.raises(ShapeError):
+            initial_state(np.ones(9), 5)
+
+    def test_bad_period(self):
+        with pytest.raises(ConfigError):
+            initial_state(np.ones(10), 0)
+
+
+class TestUpdate:
+    def test_matches_hand_computation(self):
+        # One hand-checked step of Eq. (5) with m=2.
+        params = HoltWintersParams(0.5, 0.4, 0.3)
+        state = HoltWintersState(10.0, 1.0, np.array([2.0, -2.0]))
+        new = hw_update(state, 14.0, params)
+        # l = 0.5*(14-2) + 0.5*(10+1) = 11.5
+        assert new.level == pytest.approx(11.5)
+        # b = 0.4*(11.5-10) + 0.6*1 = 1.2
+        assert new.trend == pytest.approx(1.2)
+        # s_new = 0.3*(14-10-1) + 0.7*2 = 2.3 ; buffer rolls to [-2, 2.3]
+        np.testing.assert_allclose(new.seasonal, [-2.0, 2.3])
+
+    def test_alpha_one_tracks_deseasonalized_value(self):
+        params = HoltWintersParams(1.0, 0.0, 0.0)
+        state = HoltWintersState(0.0, 0.0, np.array([1.0, -1.0]))
+        new = hw_update(state, 7.0, params)
+        assert new.level == pytest.approx(6.0)  # 7 - s_{t-m}
+
+    def test_zero_params_keep_level_trend(self):
+        params = HoltWintersParams(0.0, 0.0, 0.0)
+        state = HoltWintersState(5.0, 0.5, np.array([0.0, 0.0]))
+        new = hw_update(state, 100.0, params)
+        assert new.level == pytest.approx(5.5)  # l+b
+        assert new.trend == pytest.approx(0.5)
+
+    def test_immutability(self):
+        params = HoltWintersParams(0.5, 0.5, 0.5)
+        state = HoltWintersState(1.0, 1.0, np.array([0.0, 0.0]))
+        hw_update(state, 3.0, params)
+        assert state.level == 1.0
+
+
+class TestForecast:
+    def test_linear_extension(self):
+        state = HoltWintersState(10.0, 2.0, np.zeros(3))
+        np.testing.assert_allclose(hw_forecast(state, 4), [12.0, 14.0, 16.0, 18.0])
+
+    def test_seasonal_phase_alignment(self):
+        # Buffer holds s_{t-m+1..t} = [a, b, c]; forecasts h=1,2,3 must use
+        # a, b, c and h=4 wraps back to a (Eq. 6 floor term).
+        state = HoltWintersState(0.0, 0.0, np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(hw_forecast(state, 7), [1, 2, 3, 1, 2, 3, 1])
+
+    def test_bad_horizon(self):
+        state = HoltWintersState(0.0, 0.0, np.zeros(2))
+        with pytest.raises(ConfigError):
+            hw_forecast(state, 0)
+
+    def test_perfect_seasonal_forecast(self):
+        # A noiseless seasonal+trend series is forecast exactly once the
+        # state matches the generating process.
+        period = 4
+        pattern = np.array([1.0, -1.0, 0.5, -0.5])
+        state = HoltWintersState(level=20.0, trend=0.25, seasonal=pattern)
+        fc = hw_forecast(state, 8)
+        expected = 20.0 + 0.25 * np.arange(1, 9) + np.tile(pattern, 2)
+        np.testing.assert_allclose(fc, expected)
+
+
+class TestFilterAndSSE:
+    def test_filter_returns_per_step_forecasts(self):
+        y = seasonal_series(24, 6)
+        params = HoltWintersParams(0.3, 0.1, 0.2)
+        state = initial_state(y, 6)
+        forecasts, final_state = hw_filter(y, params, state)
+        assert forecasts.shape == y.shape
+        assert final_state.period == 6
+
+    def test_sse_matches_filter(self):
+        y = seasonal_series(24, 6, seed=0)
+        params = HoltWintersParams(0.3, 0.1, 0.2)
+        state = initial_state(y, 6)
+        forecasts, _ = hw_filter(y, params, state)
+        assert one_step_sse(y, params, state) == pytest.approx(
+            np.sum((y - forecasts) ** 2)
+        )
+
+    def test_noiseless_series_small_sse(self):
+        y = seasonal_series(40, 5)
+        state = initial_state(y, 5)
+        sse = one_step_sse(y, HoltWintersParams(0.9, 0.1, 0.9), state)
+        assert sse / len(y) < 0.5
+
+    def test_filter_empty_series(self):
+        state = HoltWintersState(0.0, 0.0, np.zeros(2))
+        forecasts, out = hw_filter(np.array([]), HoltWintersParams(0.5, 0.5, 0.5), state)
+        assert forecasts.size == 0
+        assert out.level == state.level

@@ -1,0 +1,179 @@
+"""Unit tests for robust statistics and Gelper robust HW (paper §III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.forecast import (
+    DEFAULT_CK,
+    DEFAULT_K,
+    HoltWintersParams,
+    RobustHoltWinters,
+    biweight_rho,
+    clean_value,
+    huber_psi,
+    initial_state,
+    update_scale_gelper,
+)
+
+
+class TestHuberPsi:
+    def test_identity_inside(self):
+        assert huber_psi(1.5) == pytest.approx(1.5)
+        assert huber_psi(-1.5) == pytest.approx(-1.5)
+
+    def test_clipped_outside(self):
+        assert huber_psi(10.0) == pytest.approx(DEFAULT_K)
+        assert huber_psi(-10.0) == pytest.approx(-DEFAULT_K)
+
+    def test_boundary(self):
+        assert huber_psi(DEFAULT_K) == pytest.approx(DEFAULT_K)
+
+    def test_custom_k(self):
+        assert huber_psi(5.0, k=3.0) == pytest.approx(3.0)
+
+    def test_array_input(self):
+        out = huber_psi(np.array([-5.0, 0.0, 5.0]))
+        np.testing.assert_allclose(out, [-2.0, 0.0, 2.0])
+
+    def test_scalar_returns_float(self):
+        assert isinstance(huber_psi(0.5), float)
+
+    def test_odd_function(self):
+        x = np.linspace(-5, 5, 21)
+        np.testing.assert_allclose(huber_psi(x), -huber_psi(-x))
+
+
+class TestBiweightRho:
+    def test_zero_at_zero(self):
+        assert biweight_rho(0.0) == pytest.approx(0.0)
+
+    def test_saturates_at_ck(self):
+        assert biweight_rho(10.0) == pytest.approx(DEFAULT_CK)
+        assert biweight_rho(DEFAULT_K) == pytest.approx(DEFAULT_CK)
+
+    def test_even_function(self):
+        x = np.linspace(-3, 3, 13)
+        np.testing.assert_allclose(biweight_rho(x), biweight_rho(-x))
+
+    def test_monotone_on_positive_axis(self):
+        x = np.linspace(0, 2.5, 50)
+        rho = biweight_rho(x)
+        assert np.all(np.diff(rho) >= -1e-12)
+
+    def test_bounded(self):
+        x = np.linspace(-100, 100, 100)
+        assert np.all(biweight_rho(x) <= DEFAULT_CK + 1e-12)
+
+    def test_expected_value_near_unbiased(self):
+        # E[rho(Z)] for Z~N(0,1) should be close to 1 with ck=2.52, which
+        # is why Gelper et al. chose that constant.
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=200_000)
+        assert np.mean(biweight_rho(z)) == pytest.approx(1.0, abs=0.02)
+
+
+class TestCleanValue:
+    def test_inlier_unchanged(self):
+        assert clean_value(10.5, 10.0, 1.0) == pytest.approx(10.5)
+
+    def test_outlier_clipped_high(self):
+        # y=100, yhat=10, sigma=1 -> cleaned = 10 + 2*1
+        assert clean_value(100.0, 10.0, 1.0) == pytest.approx(12.0)
+
+    def test_outlier_clipped_low(self):
+        assert clean_value(-100.0, 10.0, 1.0) == pytest.approx(8.0)
+
+    def test_scales_with_sigma(self):
+        assert clean_value(100.0, 10.0, 5.0) == pytest.approx(20.0)
+
+    def test_array(self):
+        out = clean_value(np.array([100.0, 10.5]), np.array([10.0, 10.0]), 1.0)
+        np.testing.assert_allclose(out, [12.0, 10.5])
+
+
+class TestUpdateScale:
+    def test_zero_residual_shrinks_scale(self):
+        new = update_scale_gelper(10.0, 10.0, 2.0, phi=0.5)
+        # rho(0)=0 -> sigma^2 *= (1-phi)
+        assert new == pytest.approx(2.0 * np.sqrt(0.5))
+
+    def test_huge_residual_bounded_growth(self):
+        new = update_scale_gelper(1e6, 0.0, 1.0, phi=0.5)
+        # rho saturates at ck: sigma^2 = 0.5*2.52 + 0.5
+        assert new == pytest.approx(np.sqrt(0.5 * DEFAULT_CK + 0.5))
+
+    def test_phi_zero_keeps_scale(self):
+        assert update_scale_gelper(99.0, 0.0, 3.0, phi=0.0) == pytest.approx(3.0)
+
+    def test_invalid_phi(self):
+        with pytest.raises(ConfigError):
+            update_scale_gelper(1.0, 0.0, 1.0, phi=1.5)
+
+    def test_scale_converges_to_fixed_point(self):
+        # With constant absolute residual c, sigma converges to the value
+        # where rho(c/sigma) == 1, i.e. sigma* = c / x1 with x1 ~= 0.788
+        # solving 2.52*(1-(1-(x/2)^2)^3) = 1.  So sigma* ~= 1.269 * c.
+        sigma = 5.0
+        for _ in range(2000):
+            sigma = update_scale_gelper(1.0, 0.0, sigma, phi=0.1)
+        assert sigma == pytest.approx(1.269, abs=0.02)
+
+
+class TestRobustHoltWinters:
+    @pytest.fixture
+    def clean_series(self):
+        t = np.arange(60)
+        return 10.0 + 0.05 * t + 2.0 * np.sin(2 * np.pi * t / 6)
+
+    def test_outliers_are_cleaned(self, clean_series):
+        corrupted = clean_series.copy()
+        corrupted[30] += 50.0
+        state = initial_state(clean_series[:12], 6)
+        rhw = RobustHoltWinters(
+            params=HoltWintersParams(0.3, 0.05, 0.2),
+            state=state,
+            sigma=1.0,
+            phi=0.1,
+        )
+        cleaned = rhw.run(corrupted)
+        assert abs(cleaned[30] - clean_series[30]) < 10.0
+        assert abs(cleaned[30] - corrupted[30]) > 40.0
+
+    def test_forecast_resists_outliers(self, clean_series):
+        corrupted = clean_series.copy()
+        rng = np.random.default_rng(1)
+        idx = rng.choice(60, size=6, replace=False)
+        corrupted[idx] += 40.0
+        state = initial_state(clean_series[:12], 6)
+
+        def run(series):
+            rhw = RobustHoltWinters(
+                params=HoltWintersParams(0.3, 0.05, 0.2),
+                state=state,
+                sigma=1.0,
+                phi=0.1,
+            )
+            rhw.run(series)
+            return rhw.forecast(6)
+
+        fc_clean = run(clean_series)
+        fc_corrupt = run(corrupted)
+        assert np.max(np.abs(fc_clean - fc_corrupt)) < 5.0
+
+    def test_invalid_sigma(self, clean_series):
+        state = initial_state(clean_series[:12], 6)
+        with pytest.raises(ConfigError):
+            RobustHoltWinters(
+                params=HoltWintersParams(0.3, 0.05, 0.2),
+                state=state,
+                sigma=0.0,
+            )
+
+    def test_step_returns_forecast_and_cleaned(self, clean_series):
+        state = initial_state(clean_series[:12], 6)
+        rhw = RobustHoltWinters(
+            params=HoltWintersParams(0.3, 0.05, 0.2), state=state, sigma=1.0
+        )
+        forecast, cleaned = rhw.step(1e9)
+        assert cleaned == pytest.approx(forecast + rhw.k * rhw.sigma)

@@ -1,0 +1,103 @@
+"""Unit tests for the (X, Y, Z) corruption model (paper §VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.streams import PAPER_SETTINGS, CorruptionSpec, corrupt
+
+
+@pytest.fixture
+def clean():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(20, 15, 40))
+
+
+class TestCorruptionSpec:
+    def test_label(self):
+        assert CorruptionSpec(70, 20, 5).label == "(70, 20, 5)"
+
+    def test_label_fractional(self):
+        assert CorruptionSpec(12.5, 0, 0).label == "(12.5, 0, 0)"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"missing_pct": -1, "outlier_pct": 0, "magnitude": 0},
+            {"missing_pct": 100, "outlier_pct": 0, "magnitude": 0},
+            {"missing_pct": 0, "outlier_pct": 101, "magnitude": 0},
+            {"missing_pct": 0, "outlier_pct": 0, "magnitude": -2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            CorruptionSpec(**kwargs)
+
+    def test_paper_settings(self):
+        labels = [s.label for s in PAPER_SETTINGS]
+        assert labels == [
+            "(20, 10, 2)",
+            "(30, 15, 3)",
+            "(50, 20, 4)",
+            "(70, 20, 5)",
+        ]
+
+
+class TestCorrupt:
+    def test_missing_fraction(self, clean):
+        result = corrupt(clean, CorruptionSpec(70, 0, 0), seed=1)
+        assert (~result.mask).mean() == pytest.approx(0.70, abs=0.02)
+
+    def test_outlier_fraction(self, clean):
+        result = corrupt(clean, CorruptionSpec(0, 20, 5), seed=2)
+        assert result.outlier_mask.mean() == pytest.approx(0.20, abs=0.02)
+
+    def test_outlier_magnitude(self, clean):
+        spec = CorruptionSpec(0, 10, 5)
+        result = corrupt(clean, spec, seed=3)
+        deviation = result.observed - clean
+        hit = result.outlier_mask
+        np.testing.assert_allclose(
+            np.abs(deviation[hit]), 5 * np.abs(clean).max()
+        )
+        np.testing.assert_array_equal(deviation[~hit], 0.0)
+
+    def test_outlier_signs_mixed(self, clean):
+        result = corrupt(clean, CorruptionSpec(0, 30, 3), seed=4)
+        deviation = (result.observed - clean)[result.outlier_mask]
+        assert (deviation > 0).any()
+        assert (deviation < 0).any()
+        # roughly balanced
+        assert abs((deviation > 0).mean() - 0.5) < 0.1
+
+    def test_clean_untouched(self, clean):
+        snapshot = clean.copy()
+        corrupt(clean, CorruptionSpec(50, 20, 4), seed=5)
+        np.testing.assert_array_equal(clean, snapshot)
+
+    def test_zero_setting_is_identity(self, clean):
+        result = corrupt(clean, CorruptionSpec(0, 0, 0), seed=6)
+        np.testing.assert_array_equal(result.observed, clean)
+        assert result.mask.all()
+
+    def test_reproducible(self, clean):
+        spec = CorruptionSpec(50, 20, 4)
+        r1 = corrupt(clean, spec, seed=7)
+        r2 = corrupt(clean, spec, seed=7)
+        np.testing.assert_array_equal(r1.observed, r2.observed)
+        np.testing.assert_array_equal(r1.mask, r2.mask)
+
+    def test_different_seeds_differ(self, clean):
+        spec = CorruptionSpec(50, 20, 4)
+        r1 = corrupt(clean, spec, seed=8)
+        r2 = corrupt(clean, spec, seed=9)
+        assert not np.array_equal(r1.mask, r2.mask)
+
+    def test_missing_and_outliers_independent(self, clean):
+        # Some outliers should land on missing entries (invisible).
+        result = corrupt(clean, CorruptionSpec(50, 20, 4), seed=10)
+        assert (result.outlier_mask & ~result.mask).any()
+
+    def test_shape_property(self, clean):
+        result = corrupt(clean, CorruptionSpec(10, 10, 2), seed=11)
+        assert result.shape == clean.shape

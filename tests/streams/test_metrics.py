@@ -1,0 +1,63 @@
+"""Unit tests for evaluation metrics (paper §VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.streams import (
+    RunningAverage,
+    average_forecast_error,
+    normalized_residual_error,
+)
+
+
+class TestNRE:
+    def test_zero_for_exact(self):
+        x = np.ones((3, 3))
+        assert normalized_residual_error(x, x) == 0.0
+
+    def test_known_value(self):
+        truth = np.full((2, 2), 2.0)
+        est = np.full((2, 2), 3.0)
+        assert normalized_residual_error(est, truth) == pytest.approx(0.5)
+
+
+class TestAFE:
+    def test_mean_of_per_step_nre(self):
+        rng = np.random.default_rng(0)
+        truths = rng.normal(size=(4, 3, 3))
+        forecasts = truths.copy()
+        forecasts[0] *= 1.5  # NRE 0.5 at step 0 only
+        afe = average_forecast_error(forecasts, truths)
+        assert afe == pytest.approx(0.5 / 4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            average_forecast_error(np.zeros((3, 2, 2)), np.zeros((4, 2, 2)))
+
+    def test_empty_horizon(self):
+        with pytest.raises(ShapeError):
+            average_forecast_error(np.zeros((0, 2, 2)), np.zeros((0, 2, 2)))
+
+    def test_perfect_forecast(self):
+        truths = np.random.default_rng(1).normal(size=(5, 2, 2))
+        assert average_forecast_error(truths, truths) == 0.0
+
+
+class TestRunningAverage:
+    def test_mean(self):
+        acc = RunningAverage()
+        for v in (1.0, 2.0, 3.0):
+            acc.add(v)
+        assert acc.mean == pytest.approx(2.0)
+        assert acc.count == 3
+
+    def test_series(self):
+        acc = RunningAverage()
+        acc.add(1.5)
+        acc.add(2.5)
+        np.testing.assert_array_equal(acc.series(), [1.5, 2.5])
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ShapeError):
+            _ = RunningAverage().mean

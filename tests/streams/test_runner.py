@@ -1,0 +1,162 @@
+"""Unit tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.streams import (
+    CorruptionSpec,
+    TensorStream,
+    corrupt,
+    run_forecasting,
+    run_imputation,
+)
+
+
+class PerfectOracle:
+    """Test double that returns the clean truth it was given."""
+
+    name = "oracle"
+
+    def __init__(self, truth):
+        self._truth = truth
+        self._t = 0
+        self.initialized_with = None
+
+    def initialize(self, subtensors, masks):
+        self.initialized_with = (len(subtensors), len(masks))
+        self._t = len(subtensors)
+
+    def step(self, subtensor, mask):
+        completed = self._truth[..., self._t]
+        self._t += 1
+        return completed
+
+    def forecast(self, horizon):
+        return np.stack(
+            [self._truth[..., self._t + h] for h in range(horizon)], axis=0
+        )
+
+
+class ZeroImputer:
+    """Test double that always answers zeros."""
+
+    name = "zeros"
+
+    def initialize(self, subtensors, masks):
+        pass
+
+    def step(self, subtensor, mask):
+        return np.zeros_like(subtensor)
+
+    def forecast(self, horizon):
+        raise NotImplementedError
+
+
+@pytest.fixture
+def streams():
+    rng = np.random.default_rng(0)
+    clean = rng.normal(size=(4, 5, 20)) + 5.0
+    corrupted = corrupt(clean, CorruptionSpec(30, 10, 3), seed=1)
+    observed = TensorStream(
+        data=corrupted.observed, mask=corrupted.mask, period=4
+    )
+    truth = TensorStream.fully_observed(clean, period=4)
+    return observed, truth, clean
+
+
+class TestRunImputation:
+    def test_oracle_gets_zero_error(self, streams):
+        observed, truth, clean = streams
+        result = run_imputation(
+            PerfectOracle(clean), observed, truth, startup_steps=6
+        )
+        assert result.rae == pytest.approx(0.0)
+        assert result.n_steps == 14
+        np.testing.assert_array_equal(result.nre_series, 0.0)
+
+    def test_zero_imputer_gets_unit_error(self, streams):
+        observed, truth, _ = streams
+        result = run_imputation(
+            ZeroImputer(), observed, truth, startup_steps=6
+        )
+        np.testing.assert_allclose(result.nre_series, 1.0)
+        assert result.rae == pytest.approx(1.0)
+
+    def test_initialize_receives_startup_window(self, streams):
+        observed, truth, clean = streams
+        oracle = PerfectOracle(clean)
+        run_imputation(oracle, observed, truth, startup_steps=7)
+        assert oracle.initialized_with == (7, 7)
+
+    def test_timing_fields_populated(self, streams):
+        observed, truth, clean = streams
+        result = run_imputation(
+            PerfectOracle(clean), observed, truth, startup_steps=6
+        )
+        assert result.art_seconds >= 0.0
+        assert result.init_seconds >= 0.0
+
+    def test_bad_startup(self, streams):
+        observed, truth, clean = streams
+        with pytest.raises(ShapeError):
+            run_imputation(
+                PerfectOracle(clean), observed, truth, startup_steps=0
+            )
+        with pytest.raises(ShapeError):
+            run_imputation(
+                PerfectOracle(clean), observed, truth, startup_steps=20
+            )
+
+    def test_shape_mismatch(self, streams):
+        observed, _, clean = streams
+        bad_truth = TensorStream.fully_observed(clean[..., :10], period=4)
+        with pytest.raises(ShapeError):
+            run_imputation(
+                PerfectOracle(clean), observed, bad_truth, startup_steps=5
+            )
+
+
+class TestRunForecasting:
+    def test_oracle_forecast_perfect(self, streams):
+        observed, truth, clean = streams
+        result = run_forecasting(
+            PerfectOracle(clean),
+            observed,
+            truth,
+            startup_steps=6,
+            horizon=4,
+        )
+        assert result.afe == pytest.approx(0.0)
+        assert result.horizon == 4
+        assert result.forecast.shape == (4, 4, 5)
+
+    def test_stream_too_short(self, streams):
+        observed, truth, clean = streams
+        with pytest.raises(ShapeError):
+            run_forecasting(
+                PerfectOracle(clean),
+                observed,
+                truth,
+                startup_steps=6,
+                horizon=14,
+            )
+
+    def test_algorithm_never_sees_holdout(self, streams):
+        observed, truth, clean = streams
+
+        class CountingOracle(PerfectOracle):
+            def __init__(self, truth):
+                super().__init__(truth)
+                self.steps_seen = 0
+
+            def step(self, subtensor, mask):
+                self.steps_seen += 1
+                return super().step(subtensor, mask)
+
+        oracle = CountingOracle(clean)
+        run_forecasting(
+            oracle, observed, truth, startup_steps=6, horizon=4
+        )
+        # 20 total - 6 startup - 4 holdout = 10 dynamic steps
+        assert oracle.steps_seen == 10

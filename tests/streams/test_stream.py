@@ -1,0 +1,89 @@
+"""Unit tests for the TensorStream abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.streams import TensorStream
+
+
+@pytest.fixture
+def stream():
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(4, 5, 12))
+    mask = rng.random((4, 5, 12)) > 0.3
+    return TensorStream(data=data, mask=mask, period=4)
+
+
+class TestConstruction:
+    def test_properties(self, stream):
+        assert stream.n_steps == 12
+        assert stream.subtensor_shape == (4, 5)
+        assert stream.entries_per_step == 20
+
+    def test_fully_observed(self):
+        s = TensorStream.fully_observed(np.zeros((3, 8)), period=2)
+        assert s.mask.all()
+        assert s.n_steps == 8
+
+    def test_1d_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorStream(
+                data=np.zeros(5), mask=np.ones(5, dtype=bool), period=1
+            )
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            TensorStream(
+                data=np.zeros((3, 4)),
+                mask=np.ones((4, 3), dtype=bool),
+                period=1,
+            )
+
+    def test_bad_period(self):
+        with pytest.raises(ShapeError):
+            TensorStream(
+                data=np.zeros((3, 4)),
+                mask=np.ones((3, 4), dtype=bool),
+                period=0,
+            )
+
+
+class TestSlicing:
+    def test_subtensor(self, stream):
+        np.testing.assert_array_equal(stream.subtensor(3), stream.data[..., 3])
+
+    def test_mask_at(self, stream):
+        np.testing.assert_array_equal(stream.mask_at(3), stream.mask[..., 3])
+
+    def test_startup(self, stream):
+        subtensors, masks = stream.startup(5)
+        assert len(subtensors) == 5
+        assert len(masks) == 5
+        np.testing.assert_array_equal(subtensors[2], stream.data[..., 2])
+
+    def test_startup_out_of_range(self, stream):
+        with pytest.raises(ShapeError):
+            stream.startup(0)
+        with pytest.raises(ShapeError):
+            stream.startup(13)
+
+    def test_iter_from(self, stream):
+        steps = list(stream.iter_from(9))
+        assert [t for t, _, _ in steps] == [9, 10, 11]
+        np.testing.assert_array_equal(steps[0][1], stream.data[..., 9])
+
+    def test_iter_from_end_is_empty(self, stream):
+        assert list(stream.iter_from(12)) == []
+
+    def test_slice_steps(self, stream):
+        sub = stream.slice_steps(2, 7)
+        assert sub.n_steps == 5
+        np.testing.assert_array_equal(sub.data, stream.data[..., 2:7])
+        assert sub.period == stream.period
+
+    def test_slice_steps_invalid(self, stream):
+        with pytest.raises(ShapeError):
+            stream.slice_steps(5, 5)
+        with pytest.raises(ShapeError):
+            stream.slice_steps(0, 13)

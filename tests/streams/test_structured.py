@@ -1,0 +1,111 @@
+"""Unit tests for structured missingness generators and SOFIA's
+behaviour under them (the intro's network-disconnection scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.streams.structured import blackout_mask, dropped_steps_mask
+
+
+class TestBlackoutMask:
+    def test_contiguous_blackout(self):
+        mask = blackout_mask((4, 5, 50), n_blackouts=1, duration=10, seed=0)
+        missing = ~mask
+        # exactly one fiber has missing entries
+        per_fiber = missing.sum(axis=-1)
+        assert (per_fiber > 0).sum() == 1
+        # and they are contiguous
+        fiber = missing[per_fiber > 0][0]
+        idx = np.nonzero(fiber)[0]
+        assert idx.size == 10
+        assert idx[-1] - idx[0] == 9
+
+    def test_zero_blackouts(self):
+        mask = blackout_mask((3, 3, 10), n_blackouts=0, duration=5, seed=1)
+        assert mask.all()
+
+    def test_many_blackouts_reduce_coverage(self):
+        mask = blackout_mask((6, 6, 60), n_blackouts=30, duration=12, seed=2)
+        assert mask.mean() < 0.95
+
+    def test_reproducible(self):
+        a = blackout_mask((4, 4, 20), n_blackouts=3, duration=5, seed=7)
+        b = blackout_mask((4, 4, 20), n_blackouts=3, duration=5, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            blackout_mask((10,), n_blackouts=1, duration=2)
+        with pytest.raises(ConfigError):
+            blackout_mask((3, 10), n_blackouts=1, duration=0)
+
+
+class TestDroppedStepsMask:
+    def test_whole_steps_dropped(self):
+        mask = dropped_steps_mask((4, 5, 40), drop_fraction=0.25, seed=0)
+        per_step = mask.reshape(-1, 40).all(axis=0)
+        fully_dropped = (~mask.reshape(-1, 40)).all(axis=0)
+        assert fully_dropped.sum() == 10
+        assert (per_step | fully_dropped).all()
+
+    def test_zero_fraction(self):
+        assert dropped_steps_mask((3, 3, 10), drop_fraction=0.0, seed=1).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            dropped_steps_mask((3, 3, 10), drop_fraction=1.0)
+
+
+class TestSofiaUnderStructuredMissingness:
+    def test_blackout_recovery(self):
+        """SOFIA imputes a blacked-out sensor from the cross-section and
+        seasonal structure."""
+        from repro.core import Sofia, SofiaConfig
+        from repro.datasets import seasonal_stream
+        from repro.tensor import relative_error
+
+        # offsets exceed amplitudes so the stream never passes through
+        # zero norm (which would inflate the NRE denominator)
+        tensor = seasonal_stream(
+            (10, 8), rank=2, period=8, n_steps=56,
+            amplitude_range=(0.4, 0.8), offset_range=(1.5, 2.5), seed=5,
+        ).data
+        mask = blackout_mask(tensor.shape, n_blackouts=6, duration=12, seed=6)
+        mask[..., :24] = True  # keep the start-up window clean
+        config = SofiaConfig(
+            rank=2, period=8, lambda1=0.1, lambda2=0.1,
+            max_outer_iters=200, tol=1e-6,
+        )
+        sofia = Sofia(config)
+        sofia.initialize([tensor[..., t] for t in range(24)])
+        errors = []
+        for t in range(24, 56):
+            step = sofia.step(
+                np.where(mask[..., t], tensor[..., t], 0.0), mask[..., t]
+            )
+            errors.append(relative_error(step.completed, tensor[..., t]))
+        assert np.mean(errors) < 0.1
+
+    def test_dropped_step_bridged_by_forecast(self):
+        """A fully dropped step is reconstructed from the HW forecast."""
+        from repro.core import Sofia, SofiaConfig
+        from repro.datasets import seasonal_stream
+        from repro.tensor import relative_error
+
+        tensor = seasonal_stream(
+            (10, 8), rank=2, period=8, n_steps=40,
+            amplitude_range=(0.4, 0.8), offset_range=(1.5, 2.5), seed=7,
+        ).data
+        config = SofiaConfig(
+            rank=2, period=8, lambda1=0.1, lambda2=0.1,
+            max_outer_iters=200, tol=1e-6,
+        )
+        sofia = Sofia(config)
+        sofia.initialize([tensor[..., t] for t in range(24)])
+        for t in range(24, 32):
+            sofia.step(tensor[..., t])
+        # step 32 arrives fully missing
+        empty_mask = np.zeros(tensor.shape[:-1], dtype=bool)
+        step = sofia.step(np.zeros(tensor.shape[:-1]), empty_mask)
+        assert relative_error(step.completed, tensor[..., 32]) < 0.15

@@ -1,0 +1,129 @@
+"""Unit tests for repro.tensor.dense (unfold/fold/vec/norms)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor import fold, frobenius_norm, relative_error, unfold, vec
+from repro.tensor.dense import mode_lengths_product
+
+
+@pytest.fixture
+def tensor_3way():
+    return np.arange(24, dtype=float).reshape(2, 3, 4)
+
+
+class TestUnfold:
+    def test_mode0_shape(self, tensor_3way):
+        assert unfold(tensor_3way, 0).shape == (2, 12)
+
+    def test_mode1_shape(self, tensor_3way):
+        assert unfold(tensor_3way, 1).shape == (3, 8)
+
+    def test_mode2_shape(self, tensor_3way):
+        assert unfold(tensor_3way, 2).shape == (4, 6)
+
+    def test_negative_mode(self, tensor_3way):
+        np.testing.assert_array_equal(
+            unfold(tensor_3way, -1), unfold(tensor_3way, 2)
+        )
+
+    def test_mode0_is_reshape(self, tensor_3way):
+        np.testing.assert_array_equal(
+            unfold(tensor_3way, 0), tensor_3way.reshape(2, 12)
+        )
+
+    def test_rows_are_mode_fibers(self, tensor_3way):
+        row = unfold(tensor_3way, 1)[2]
+        expected = tensor_3way[:, 2, :].reshape(-1)
+        np.testing.assert_array_equal(row, expected)
+
+    def test_known_values_mode2(self):
+        x = np.arange(8, dtype=float).reshape(2, 2, 2)
+        expected = np.array([[0.0, 2.0, 4.0, 6.0], [1.0, 3.0, 5.0, 7.0]])
+        np.testing.assert_array_equal(unfold(x, 2), expected)
+
+    def test_mode_out_of_range(self, tensor_3way):
+        with pytest.raises(ShapeError):
+            unfold(tensor_3way, 3)
+
+    def test_non_integer_mode(self, tensor_3way):
+        with pytest.raises(ShapeError):
+            unfold(tensor_3way, 1.5)
+
+    def test_matrix_mode0_identity(self):
+        mat = np.arange(6, dtype=float).reshape(2, 3)
+        np.testing.assert_array_equal(unfold(mat, 0), mat)
+
+    def test_empty_tensor_rejected(self):
+        with pytest.raises(ShapeError):
+            unfold(np.zeros((0, 2)), 0)
+
+
+class TestFold:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_roundtrip(self, tensor_3way, mode):
+        unfolded = unfold(tensor_3way, mode)
+        np.testing.assert_array_equal(
+            fold(unfolded, mode, tensor_3way.shape), tensor_3way
+        )
+
+    def test_roundtrip_4way(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 5))
+        for mode in range(4):
+            np.testing.assert_array_equal(fold(unfold(x, mode), mode, x.shape), x)
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            fold(np.zeros((2, 5)), 0, (2, 3, 4))
+
+    def test_mode_out_of_range(self):
+        with pytest.raises(ShapeError):
+            fold(np.zeros((2, 12)), 5, (2, 3, 4))
+
+
+class TestVec:
+    def test_c_order(self, tensor_3way):
+        np.testing.assert_array_equal(vec(tensor_3way), tensor_3way.reshape(-1))
+
+    def test_length(self, tensor_3way):
+        assert vec(tensor_3way).shape == (24,)
+
+
+class TestNorms:
+    def test_frobenius_matches_numpy(self, tensor_3way):
+        assert frobenius_norm(tensor_3way) == pytest.approx(
+            np.linalg.norm(tensor_3way.ravel())
+        )
+
+    def test_frobenius_zero(self):
+        assert frobenius_norm(np.zeros((3, 3))) == 0.0
+
+    def test_relative_error_zero_for_equal(self, tensor_3way):
+        assert relative_error(tensor_3way, tensor_3way) == 0.0
+
+    def test_relative_error_scale_invariant(self, tensor_3way):
+        e1 = relative_error(1.1 * tensor_3way, tensor_3way)
+        e2 = relative_error(1.1 * (5 * tensor_3way), 5 * tensor_3way)
+        assert e1 == pytest.approx(e2)
+
+    def test_relative_error_known_value(self):
+        truth = np.ones((2, 2))
+        est = np.full((2, 2), 1.5)
+        assert relative_error(est, truth) == pytest.approx(0.5)
+
+    def test_relative_error_zero_truth(self):
+        est = np.ones((2, 2))
+        assert relative_error(est, np.zeros((2, 2))) == pytest.approx(2.0)
+
+    def test_relative_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_error(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestModeLengthsProduct:
+    def test_full_product(self):
+        assert mode_lengths_product((2, 3, 4)) == 24
+
+    def test_skip(self):
+        assert mode_lengths_product((2, 3, 4), skip=1) == 8

@@ -1,0 +1,109 @@
+"""Unit tests for repro.tensor.masked."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor import (
+    apply_mask,
+    impute,
+    masked_frobenius_norm,
+    masked_relative_error,
+    observed_fraction,
+)
+
+
+@pytest.fixture
+def data():
+    tensor = np.arange(12, dtype=float).reshape(3, 4)
+    mask = np.zeros((3, 4), dtype=bool)
+    mask[0, :] = True
+    mask[1, 2] = True
+    return tensor, mask
+
+
+class TestApplyMask:
+    def test_zeros_missing(self, data):
+        tensor, mask = data
+        out = apply_mask(tensor, mask)
+        assert out[2, 2] == 0.0
+        assert out[0, 1] == tensor[0, 1]
+
+    def test_integer_mask_accepted(self, data):
+        tensor, mask = data
+        np.testing.assert_array_equal(
+            apply_mask(tensor, mask.astype(int)), apply_mask(tensor, mask)
+        )
+
+    def test_non_binary_mask_rejected(self, data):
+        tensor, _ = data
+        with pytest.raises(ShapeError):
+            apply_mask(tensor, np.full(tensor.shape, 2))
+
+    def test_shape_mismatch(self, data):
+        tensor, _ = data
+        with pytest.raises(ShapeError):
+            apply_mask(tensor, np.ones((2, 2), dtype=bool))
+
+    def test_original_untouched(self, data):
+        tensor, mask = data
+        apply_mask(tensor, mask)
+        assert tensor[2, 2] == 10.0
+
+
+class TestMaskedNorms:
+    def test_norm_counts_only_observed(self, data):
+        tensor, mask = data
+        expected = np.linalg.norm(tensor[mask])
+        assert masked_frobenius_norm(tensor, mask) == pytest.approx(expected)
+
+    def test_norm_all_observed(self, data):
+        tensor, _ = data
+        full = np.ones_like(tensor, dtype=bool)
+        assert masked_frobenius_norm(tensor, full) == pytest.approx(
+            np.linalg.norm(tensor.ravel())
+        )
+
+    def test_relative_error_ignores_missing(self, data):
+        tensor, mask = data
+        estimate = tensor.copy()
+        estimate[~mask] = 999.0  # wrong only where missing
+        assert masked_relative_error(estimate, tensor, mask) == 0.0
+
+    def test_relative_error_known(self):
+        truth = np.ones((2, 2))
+        est = np.full((2, 2), 2.0)
+        mask = np.array([[True, False], [False, False]])
+        assert masked_relative_error(est, truth, mask) == pytest.approx(1.0)
+
+    def test_relative_error_zero_masked_truth(self):
+        truth = np.zeros((2, 2))
+        est = np.ones((2, 2))
+        mask = np.ones((2, 2), dtype=bool)
+        assert masked_relative_error(est, truth, mask) == pytest.approx(2.0)
+
+
+class TestObservedFraction:
+    def test_value(self, data):
+        _, mask = data
+        assert observed_fraction(mask) == pytest.approx(5 / 12)
+
+    def test_full(self):
+        assert observed_fraction(np.ones((3, 3), dtype=bool)) == 1.0
+
+    def test_empty(self):
+        assert observed_fraction(np.zeros((3, 3), dtype=bool)) == 0.0
+
+
+class TestImpute:
+    def test_keeps_observed(self, data):
+        tensor, mask = data
+        estimate = np.full_like(tensor, -1.0)
+        completed = impute(tensor, mask, estimate)
+        np.testing.assert_array_equal(completed[mask], tensor[mask])
+        np.testing.assert_array_equal(completed[~mask], -1.0)
+
+    def test_shape_mismatch(self, data):
+        tensor, mask = data
+        with pytest.raises(ShapeError):
+            impute(tensor, mask, np.zeros((2, 2)))

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the tensor algebra substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import (
+    fold,
+    frobenius_norm,
+    khatri_rao,
+    kruskal_to_tensor,
+    normalize_columns,
+    unfold,
+)
+
+dims = st.integers(min_value=1, max_value=5)
+ranks = st.integers(min_value=1, max_value=4)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def tensor_and_mode(draw):
+    ndim = draw(st.integers(min_value=2, max_value=4))
+    shape = tuple(draw(dims) for _ in range(ndim))
+    mode = draw(st.integers(min_value=0, max_value=ndim - 1))
+    seed = draw(seeds)
+    tensor = np.random.default_rng(seed).normal(size=shape)
+    return tensor, mode
+
+
+@st.composite
+def factor_lists(draw):
+    ndim = draw(st.integers(min_value=2, max_value=4))
+    rank = draw(ranks)
+    shape = tuple(draw(dims) for _ in range(ndim))
+    seed = draw(seeds)
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(d, rank)) for d in shape]
+
+
+@settings(max_examples=60, deadline=None)
+@given(tensor_and_mode())
+def test_fold_unfold_roundtrip(case):
+    tensor, mode = case
+    np.testing.assert_array_equal(
+        fold(unfold(tensor, mode), mode, tensor.shape), tensor
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(tensor_and_mode())
+def test_unfold_preserves_frobenius_norm(case):
+    tensor, mode = case
+    assert np.isclose(
+        frobenius_norm(unfold(tensor, mode)), frobenius_norm(tensor)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(factor_lists())
+def test_cp_unfold_identity(factors):
+    """unfold([[U1..UN]], n) == Un @ KR(others).T for every mode."""
+    x = kruskal_to_tensor(factors)
+    n_modes = len(factors)
+    for n in range(n_modes):
+        others = [factors[l] for l in range(n_modes) if l != n]
+        if others:
+            expected = factors[n] @ khatri_rao(others).T
+        else:
+            expected = factors[n].sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(unfold(x, n), expected, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(factor_lists())
+def test_kruskal_linear_in_each_factor(factors):
+    """Scaling one factor by c scales the tensor by c."""
+    x = kruskal_to_tensor(factors)
+    scaled = [factors[0] * 3.0] + factors[1:]
+    np.testing.assert_allclose(kruskal_to_tensor(scaled), 3.0 * x, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(factor_lists())
+def test_normalization_preserves_kruskal_tensor(factors):
+    """Pushing non-temporal column norms into weights leaves [[.]] fixed."""
+    x = kruskal_to_tensor(factors)
+    normalized = []
+    weights = np.ones(factors[0].shape[1])
+    for f in factors:
+        nf, norms = normalize_columns(f)
+        normalized.append(nf)
+        weights = weights * norms
+    np.testing.assert_allclose(
+        kruskal_to_tensor(normalized, weights=weights), x, atol=1e-9
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(factor_lists())
+def test_khatri_rao_column_norm_product(factors):
+    """||kr(:, r)|| == prod_n ||U_n(:, r)|| for each column r."""
+    kr = khatri_rao(factors)
+    expected = np.ones(factors[0].shape[1])
+    for f in factors:
+        expected = expected * np.linalg.norm(f, axis=0)
+    np.testing.assert_allclose(np.linalg.norm(kr, axis=0), expected, atol=1e-9)

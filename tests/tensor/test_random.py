@@ -1,0 +1,75 @@
+"""Unit tests for repro.tensor.random."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor import as_generator, random_factors, random_kruskal_tensor
+
+
+class TestAsGenerator:
+    def test_from_int(self):
+        gen = as_generator(42)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = as_generator(7).normal(size=5)
+        b = as_generator(7).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRandomFactors:
+    def test_shapes(self):
+        factors = random_factors((3, 4, 5), 2, seed=0)
+        assert [f.shape for f in factors] == [(3, 2), (4, 2), (5, 2)]
+
+    def test_reproducible(self):
+        a = random_factors((3, 4), 2, seed=11)
+        b = random_factors((3, 4), 2, seed=11)
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(fa, fb)
+
+    def test_nonnegative(self):
+        factors = random_factors((10, 10), 3, seed=1, nonnegative=True)
+        assert all((f >= 0).all() for f in factors)
+
+    def test_scale(self):
+        factors = random_factors((1000,), 1, seed=2, scale=5.0)
+        assert np.std(factors[0]) == pytest.approx(5.0, rel=0.2)
+
+    def test_bad_rank(self):
+        with pytest.raises(ShapeError):
+            random_factors((3, 4), 0)
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            random_factors((3, 0), 2)
+
+
+class TestRandomKruskalTensor:
+    def test_consistent_with_factors(self):
+        tensor, factors = random_kruskal_tensor((3, 4, 5), 2, seed=3)
+        from repro.tensor import kruskal_to_tensor
+
+        np.testing.assert_allclose(tensor, kruskal_to_tensor(factors))
+
+    def test_noise_changes_tensor(self):
+        clean, _ = random_kruskal_tensor((4, 4, 4), 2, seed=5, noise=0.0)
+        noisy, _ = random_kruskal_tensor((4, 4, 4), 2, seed=5, noise=0.5)
+        assert not np.allclose(clean, noisy)
+
+    def test_noise_magnitude(self):
+        clean, factors = random_kruskal_tensor((20, 20, 20), 3, seed=6)
+        noisy, _ = random_kruskal_tensor((20, 20, 20), 3, seed=6, noise=0.1)
+        from repro.tensor import kruskal_to_tensor
+
+        resid = noisy - kruskal_to_tensor(factors)
+        rms_clean = np.sqrt(np.mean(clean**2))
+        assert np.std(resid) == pytest.approx(0.1 * rms_clean, rel=0.2)

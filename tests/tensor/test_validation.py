@@ -1,0 +1,110 @@
+"""Unit tests for repro.tensor.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor.validation import (
+    as_tensor,
+    check_factor_matrices,
+    check_mask,
+    check_mode,
+    check_rank,
+    check_same_shape,
+)
+
+
+class TestAsTensor:
+    def test_list_converted(self):
+        out = as_tensor([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_min_ndim(self):
+        with pytest.raises(ShapeError):
+            as_tensor(np.ones(3), min_ndim=2)
+
+    def test_empty(self):
+        with pytest.raises(ShapeError):
+            as_tensor(np.array([]))
+
+
+class TestCheckMode:
+    def test_valid(self):
+        assert check_mode(1, 3) == 1
+
+    def test_negative(self):
+        assert check_mode(-1, 3) == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ShapeError):
+            check_mode(3, 3)
+
+    def test_numpy_integer(self):
+        assert check_mode(np.int64(2), 3) == 2
+
+
+class TestCheckRank:
+    def test_valid(self):
+        assert check_rank(5) == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2"])
+    def test_invalid(self, bad):
+        with pytest.raises(ShapeError):
+            check_rank(bad)
+
+
+class TestCheckSameShape:
+    def test_ok(self):
+        check_same_shape(np.ones((2, 3)), np.zeros((2, 3)))
+
+    def test_mismatch(self):
+        with pytest.raises(ShapeError):
+            check_same_shape(np.ones((2, 3)), np.zeros((3, 2)))
+
+
+class TestCheckMask:
+    def test_bool_passthrough(self):
+        m = np.array([[True, False]])
+        out = check_mask(m)
+        assert out.dtype == np.bool_
+
+    def test_int_converted(self):
+        out = check_mask(np.array([[1, 0], [0, 1]]))
+        assert out.dtype == np.bool_
+
+    def test_non_binary(self):
+        with pytest.raises(ShapeError):
+            check_mask(np.array([[0.5]]))
+
+    def test_shape_enforced(self):
+        with pytest.raises(ShapeError):
+            check_mask(np.ones((2, 2), dtype=bool), shape=(3, 3))
+
+
+class TestCheckFactorMatrices:
+    def test_ok(self):
+        mats = check_factor_matrices([np.ones((3, 2)), np.ones((4, 2))])
+        assert len(mats) == 2
+
+    def test_empty(self):
+        with pytest.raises(ShapeError):
+            check_factor_matrices([])
+
+    def test_not_2d(self):
+        with pytest.raises(ShapeError):
+            check_factor_matrices([np.ones(3)])
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ShapeError):
+            check_factor_matrices([np.ones((3, 2)), np.ones((4, 3))])
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeError):
+            check_factor_matrices(
+                [np.ones((3, 2)), np.ones((4, 2))], shape=(3, 5)
+            )
+
+    def test_mode_count_check(self):
+        with pytest.raises(ShapeError):
+            check_factor_matrices([np.ones((3, 2))], shape=(3, 4))

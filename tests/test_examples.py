@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+The quickstart runs end to end (it is fast); the domain examples are
+compile-checked here and executed by the benchmark/CI harness — they
+each take tens of seconds.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+)
+def test_example_compiles(script):
+    py_compile.compile(str(EXAMPLES_DIR / script), doraise=True)
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "taxi_imputation.py",
+        "sensor_forecasting.py",
+        "anomaly_detection.py",
+    } <= names
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "dynamic phase" in result.stdout
+    assert "forecast shape" in result.stdout
