@@ -4,7 +4,6 @@ rank-collapse diagnosis (the reason its curves are absent from Fig. 3).
 The benchmark times the full-SOFIA variant's streaming run.
 """
 
-import numpy as np
 from conftest import report
 
 from repro.baselines import Brst, SofiaImputer

@@ -6,7 +6,6 @@ NRE curve on Chicago Taxi at (70, 20, 5), (b) the ART-vs-RAE trade-off,
 times the panel assembly.
 """
 
-import numpy as np
 from conftest import report
 
 from repro.experiments import format_series, format_table

@@ -6,7 +6,6 @@ reports the recovery trace; the benchmark times one full SOFIA
 initialization at a reduced budget.
 """
 
-import numpy as np
 from conftest import report
 
 from repro.core import SofiaConfig, initialize

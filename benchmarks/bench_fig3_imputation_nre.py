@@ -6,7 +6,6 @@ every cell.  The benchmark times one SOFIA dynamic step on the Chicago
 stand-in.
 """
 
-import numpy as np
 from conftest import report
 
 from repro.baselines import SofiaImputer

@@ -6,7 +6,6 @@ and asserts the ordering.  The benchmark times a full RAE evaluation of
 one pre-recorded series.
 """
 
-import numpy as np
 from conftest import report
 
 from repro.experiments import SMALL_SCALE, format_table

@@ -5,6 +5,15 @@ shared grid run, plus the paper's headline ratio (SOFIA's speed-up over
 the second-most accurate method).  The parametrized benchmarks time one
 streaming step of each algorithm on the same warmed-up Chicago stream,
 which is the honest pytest-benchmark analogue of Fig. 5.
+
+Run as a script, this file instead times the batched kernel layer
+against the scalar reference backend on the SOFIA hot paths (one ALS
+sweep, a run of dynamic steps, a run of OLSTEC RLS steps) and writes the
+scalar-vs-batched wall-clock to a JSON artifact so the perf trajectory
+is tracked over time::
+
+    python benchmarks/bench_fig5_speed.py --json BENCH_kernels.json
+    python benchmarks/bench_fig5_speed.py --quick   # reduced CI smoke mode
 """
 
 import numpy as np
@@ -89,3 +98,169 @@ def test_bench_fig5_step(benchmark, name):
     mask = observed.mask_at(3 * ds.period)
     out = benchmark(lambda: algo.step(y, mask))
     assert out.shape == observed.subtensor_shape
+
+
+# ---------------------------------------------------------------------------
+# Scalar-vs-batched kernel speed report (standalone mode)
+# ---------------------------------------------------------------------------
+
+
+def _best_of(fn, repeats):
+    """Best wall-clock of ``repeats`` calls (min filters scheduler noise)."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_kernel_speed_report(
+    shape=(50, 50, 2000),
+    rank=5,
+    period=24,
+    *,
+    n_dynamic_steps=200,
+    n_rls_steps=50,
+    observed=0.8,
+    seed=0,
+    repeats=3,
+):
+    """Time the SOFIA hot paths under each kernel backend.
+
+    Returns a list of dicts, one per case, with scalar/batched seconds
+    and the resulting speed-up.  The ALS case is one full SOFIA_ALS sweep
+    (normal-equation accumulation, stacked row solves, and the Theorem-2
+    temporal sweep) over the whole ``shape`` stream; the dynamic case
+    runs ``n_dynamic_steps`` online updates; the RLS case runs OLSTEC
+    steps on matrix slices.
+    """
+    from repro.baselines import Olstec
+    from repro.core import SofiaConfig, dynamic_step, sofia_als
+    from repro.core.model import SofiaModelState
+    from repro.forecast.vector_hw import VectorHoltWinters
+    from repro.tensor import kernels, kruskal_to_tensor, random_factors
+
+    rng = np.random.default_rng(seed)
+    true = random_factors(shape, rank, seed=seed)
+    tensor = kruskal_to_tensor(true) + 0.05 * rng.normal(size=shape)
+    mask = rng.random(shape) < observed
+    config = SofiaConfig(
+        rank=rank, period=period, lambda1=1e-3, lambda2=1e-3,
+        max_als_iters=1, tol=1e-12,
+    )
+    init = random_factors(shape, rank, seed=seed + 1, scale=0.1)
+    outliers = np.zeros_like(tensor)
+
+    def als_sweep():
+        sofia_als(tensor, mask, outliers, init, config)
+
+    sub_shape = shape[:-1]
+
+    def dynamic_steps():
+        state = SofiaModelState(
+            non_temporal=[f.copy() for f in true[:-1]],
+            temporal_buffer=np.ones((period, rank)),
+            hw=VectorHoltWinters(
+                level=np.ones(rank),
+                trend=np.zeros(rank),
+                seasonal=np.zeros((period, rank)),
+                alpha=np.full(rank, 0.3),
+                beta=np.full(rank, 0.1),
+                gamma=np.full(rank, 0.1),
+            ),
+            sigma=np.full(sub_shape, config.initial_sigma),
+            t=0,
+        )
+        for t in range(n_dynamic_steps):
+            dynamic_step(state, tensor[..., t], mask[..., t], config)
+
+    def olstec_steps():
+        algo = Olstec(rank, seed=seed)
+        for t in range(n_rls_steps):
+            algo.step(tensor[..., t], mask[..., t])
+
+    cases = [
+        ("sofia_als_sweep", als_sweep, 1),
+        ("dynamic_steps", dynamic_steps, repeats),
+        ("olstec_rls_steps", olstec_steps, repeats),
+    ]
+    results = []
+    for name, fn, batched_repeats in cases:
+        with kernels.use_backend("reference"):
+            scalar_seconds = _best_of(fn, 1)
+        with kernels.use_backend("batched"):
+            batched_seconds = _best_of(fn, batched_repeats)
+        results.append(
+            {
+                "case": name,
+                "scalar_seconds": scalar_seconds,
+                "batched_seconds": batched_seconds,
+                "speedup": scalar_seconds / max(batched_seconds, 1e-12),
+            }
+        )
+    return results
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import platform
+
+    parser = argparse.ArgumentParser(
+        description="Scalar-vs-batched kernel wall-clock on SOFIA hot paths."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sizes for CI smoke runs (50x50x300, fewer steps)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the report to this JSON file (e.g. BENCH_kernels.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json:
+        # Fail fast on an unwritable path instead of after the timing run.
+        with open(args.json, "a"):
+            pass
+
+    if args.quick:
+        results = run_kernel_speed_report(
+            shape=(50, 50, 300), n_dynamic_steps=50, n_rls_steps=20, repeats=2
+        )
+        shape = [50, 50, 300]
+    else:
+        results = run_kernel_speed_report()
+        shape = [50, 50, 2000]
+
+    payload = {
+        "benchmark": "kernels_scalar_vs_batched",
+        "shape": shape,
+        "rank": 5,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+    }
+    text = json.dumps(payload, indent=2)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+    for entry in results:
+        print(
+            f"{entry['case']}: scalar {entry['scalar_seconds']:.3f}s -> "
+            f"batched {entry['batched_seconds']:.3f}s "
+            f"({entry['speedup']:.1f}x)"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,6 @@ Run with::
     python examples/sensor_forecasting.py
 """
 
-import numpy as np
 
 from repro.baselines import Cphw, Smf, SofiaImputer
 from repro.core import SofiaConfig

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.tensor import kernels
 
 __all__ = [
     "Capabilities",
@@ -111,9 +112,7 @@ def solve_temporal_weights(
     coords = np.nonzero(m)
     if coords[0].size == 0:
         return np.zeros(rank)
-    design = np.ones((coords[0].size, rank))
-    for axis, factor in enumerate(factors):
-        design *= factor[coords[axis], :]
+    design = kernels.observed_factor_products(coords, factors)
     gram = design.T @ design + ridge * np.eye(rank)
     rhs = design.T @ y[coords]
     try:

@@ -128,19 +128,23 @@ class Brst(ColdStartMixin, StreamingImputer):
         outliers = soft_threshold(residual, self.outlier_scale * max(mad, 1e-12))
         cleaned_residual = residual - outliers
 
-        from repro.tensor import khatri_rao, unfold
+        from repro.tensor import kernels
 
         n_modes = len(factors)
         updated = []
         for mode in range(n_modes):
             others = [factors[l] for l in range(n_modes) if l != mode]
-            if others:
-                kr = khatri_rao(others) * weights[None, :]
-                gradient = unfold(cleaned_residual, mode) @ kr
-            else:
-                kr = weights[None, :]
-                gradient = cleaned_residual[:, None] * weights[None, :]
-            lipschitz = max(float(np.sum(kr * kr)), 1e-12)
+            gradient = kernels.mttkrp(
+                cleaned_residual, factors, mode, weights=weights
+            )
+            lipschitz = max(
+                float(
+                    np.sum(
+                        kernels.kruskal_column_sq_norms(others, weights=weights)
+                    )
+                ),
+                1e-12,
+            )
             updated.append(
                 factors[mode]
                 + 2.0 * (self.learning_rate / lipschitz) * gradient

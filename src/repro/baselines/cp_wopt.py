@@ -19,7 +19,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro.exceptions import ShapeError
-from repro.tensor import khatri_rao, kruskal_to_tensor, random_factors, unfold
+from repro.tensor import kernels, kruskal_to_tensor, random_factors
 from repro.tensor.validation import check_mask
 
 __all__ = ["CpWoptResult", "cp_wopt", "cp_wopt_gradient"]
@@ -53,14 +53,10 @@ def cp_wopt_gradient(
     """Loss and exact gradient of the weighted CP objective."""
     residual = np.where(mask, tensor - kruskal_to_tensor(factors), 0.0)
     loss = 0.5 * float(np.sum(residual**2))
-    grads = []
-    n_modes = len(factors)
-    for mode in range(n_modes):
-        others = [factors[l] for l in range(n_modes) if l != mode]
-        if others:
-            grads.append(-unfold(residual, mode) @ khatri_rao(others))
-        else:
-            grads.append(-residual[:, None] * np.ones((1, factors[0].shape[1])))
+    grads = [
+        -kernels.mttkrp(residual, factors, mode)
+        for mode in range(len(factors))
+    ]
     return loss, grads
 
 

@@ -28,7 +28,7 @@ from repro.baselines.base import (
     solve_temporal_weights,
 )
 from repro.exceptions import ShapeError
-from repro.tensor import kruskal_to_tensor
+from repro.tensor import kernels, kruskal_to_tensor
 
 __all__ = ["Mast"]
 
@@ -97,26 +97,17 @@ class Mast(ColdStartMixin, StreamingImputer):
         """Regularized row-wise LS for one non-temporal factor."""
         rank = self.rank
         coords = np.nonzero(m)
-        design = np.ones((coords[0].size, rank)) * weights[None, :]
-        for axis, factor in enumerate(factors):
-            if axis != mode:
-                design *= factor[coords[axis], :]
+        design = kernels.observed_factor_products(
+            coords, factors, skip_mode=mode, weights=weights
+        )
         dim = factors[mode].shape[0]
-        gram = np.zeros((dim, rank, rank))
-        rhs = np.zeros((dim, rank))
-        np.add.at(gram, coords[mode], design[:, :, None] * design[:, None, :])
-        np.add.at(rhs, coords[mode], y[coords][:, None] * design)
+        gram, rhs = kernels.scatter_normal_equations(
+            coords[mode], design, y[coords], dim
+        )
         prox = self.alpha + self.gamma
-        updated = factors[mode].copy()
-        eye = np.eye(rank)
-        for i in range(dim):
-            lhs = gram[i] + prox * eye
-            target = rhs[i] + self.alpha * factors[mode][i]
-            try:
-                updated[i] = np.linalg.solve(lhs, target)
-            except np.linalg.LinAlgError:
-                updated[i] = np.linalg.lstsq(lhs, target, rcond=None)[0]
-        return updated
+        lhs = gram + prox * np.eye(rank)
+        targets = rhs + self.alpha * factors[mode]
+        return kernels.solve_rows(lhs, targets, fallback=factors[mode])
 
     def step(self, subtensor: np.ndarray, mask: np.ndarray) -> np.ndarray:
         y = np.asarray(subtensor, dtype=np.float64)

@@ -24,7 +24,7 @@ from repro.baselines.base import (
     solve_temporal_weights,
 )
 from repro.exceptions import ShapeError
-from repro.tensor import kruskal_to_tensor
+from repro.tensor import kernels, kruskal_to_tensor
 
 __all__ = ["Olstec"]
 
@@ -98,14 +98,14 @@ class Olstec(ColdStartMixin, StreamingImputer):
         regressors: np.ndarray,
         targets: np.ndarray,
     ) -> None:
-        """One RLS update per observed entry, grouped by factor row."""
-        for row, x, target in zip(rows, regressors, targets):
-            p = cov[row]
-            px = p @ x
-            gain = px / (self.beta + float(x @ px))
-            error = target - float(factor[row] @ x)
-            factor[row] += gain * error
-            cov[row] = (p - np.outer(gain, px)) / self.beta
+        """One RLS update per observed entry, grouped by factor row.
+
+        Dispatches to the kernel layer, which replays the per-row
+        recursions in batched rounds across independent rows.
+        """
+        kernels.rls_update_rows(
+            factor, cov, rows, regressors, targets, self.beta
+        )
 
     def step(self, subtensor: np.ndarray, mask: np.ndarray) -> np.ndarray:
         y = np.asarray(subtensor, dtype=np.float64)

@@ -25,7 +25,7 @@ from repro.baselines.base import (
     solve_temporal_weights,
 )
 from repro.exceptions import ShapeError
-from repro.tensor import khatri_rao, kruskal_to_tensor, unfold
+from repro.tensor import kernels, kruskal_to_tensor
 
 __all__ = ["OnlineSGD"]
 
@@ -93,13 +93,15 @@ class OnlineSGD(ColdStartMixin, StreamingImputer):
         updated = []
         for mode in range(n_modes):
             others = [factors[l] for l in range(n_modes) if l != mode]
-            if others:
-                kr = khatri_rao(others) * weights[None, :]
-                gradient = unfold(residual, mode) @ kr
-            else:
-                kr = weights[None, :]
-                gradient = residual[:, None] * weights[None, :]
-            lipschitz = max(float(np.sum(kr * kr)), 1e-12)
+            gradient = kernels.mttkrp(residual, factors, mode, weights=weights)
+            lipschitz = max(
+                float(
+                    np.sum(
+                        kernels.kruskal_column_sq_norms(others, weights=weights)
+                    )
+                ),
+                1e-12,
+            )
             step = self.learning_rate / lipschitz
             updated.append(
                 factors[mode]

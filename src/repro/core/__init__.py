@@ -17,6 +17,7 @@ from repro.core.model import SofiaModelState, SofiaStep
 from repro.core.objective import batch_cost, local_cost, streaming_cost
 from repro.core.outliers import (
     estimate_outliers,
+    robust_step,
     soft_threshold,
     update_error_scale,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "select_rank",
     "neighbor_count",
     "neighbor_sum",
+    "robust_step",
     "smoothness_penalty",
     "sofia_als",
     "soft_threshold",

@@ -3,12 +3,16 @@
 Row-wise alternating least squares on the masked, outlier-corrected
 tensor.  Non-temporal rows solve the plain normal equations of Theorem 1;
 temporal rows additionally carry the temporal/seasonal smoothness
-coupling of Theorem 2 (Eq. 17-18) and are swept sequentially
-(Gauss-Seidel), so each row sees its neighbors' freshest values.
+coupling of Theorem 2 (Eq. 17-18) and are swept Gauss-Seidel style so
+each row sees its neighbors' freshest values.
 
 The normal-equation pieces ``B_i`` and ``c_i`` (Eq. 14-15) are accumulated
 over observed entries only, in chunks, giving ``O(|Ω| R (N + R))`` work
-per sweep as stated in Lemma 1.
+per sweep as stated in Lemma 1.  All linear-algebra hot paths — the
+accumulation, the stacked row solves, and the temporal sweep — dispatch
+through :mod:`repro.tensor.kernels`, so the whole routine runs batched
+by default and can be pointed at other backends (the scalar reference,
+a future sparse/GPU path) without touching this module.
 """
 
 from __future__ import annotations
@@ -19,15 +23,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import SofiaConfig
-from repro.core.smoothness import neighbor_count, neighbor_sum
 from repro.exceptions import ShapeError
-from repro.tensor import kruskal_to_tensor, normalize_columns
+from repro.tensor import kernels, kruskal_to_tensor, normalize_columns
 from repro.tensor.validation import check_factor_matrices, check_mask
 
 __all__ = ["AlsResult", "accumulate_normal_equations", "sofia_als"]
-
-_CHUNK = 1 << 16
-_RIDGE = 1e-10
 
 
 @dataclass(frozen=True)
@@ -49,105 +49,44 @@ def accumulate_normal_equations(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Accumulate ``B_i`` and ``c_i`` (Eq. 14-15) for every row of ``mode``.
 
-    Parameters
-    ----------
-    coords:
-        Tuple of index arrays (one per mode) of the observed entries.
-    values:
-        Outlier-corrected observed values ``y*`` aligned with ``coords``.
-    factors:
-        Current factor matrices.
-    mode:
-        The mode being updated.
-
-    Returns
-    -------
-    (B, c):
-        ``B`` of shape ``(I_mode, R, R)`` and ``c`` of shape
-        ``(I_mode, R)``.
+    Delegates to the active kernel backend (segment-sum reductions by
+    default); see :func:`repro.tensor.kernels.accumulate_normal_equations`
+    for parameter details.
     """
-    n_modes = len(factors)
-    rank = factors[0].shape[1]
-    dim = factors[mode].shape[0]
-    big_b = np.zeros((dim, rank, rank))
-    big_c = np.zeros((dim, rank))
-    nnz = values.size
-    for start in range(0, nnz, _CHUNK):
-        stop = min(start + _CHUNK, nnz)
-        rows = coords[mode][start:stop]
-        prod = np.ones((stop - start, rank))
-        for l in range(n_modes):
-            if l != mode:
-                prod *= factors[l][coords[l][start:stop], :]
-        np.add.at(big_b, rows, prod[:, :, None] * prod[:, None, :])
-        np.add.at(big_c, rows, values[start:stop, None] * prod)
-    return big_b, big_c
-
-
-def _solve_row(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-    """Solve one R x R system, falling back to least-squares when the
-    (ridged) system is still numerically singular."""
-    rank = rhs.shape[0]
-    scale = float(np.trace(lhs)) / rank
-    ridged = lhs + (_RIDGE * (1.0 + scale)) * np.eye(rank)
-    try:
-        return np.linalg.solve(ridged, rhs)
-    except np.linalg.LinAlgError:
-        return np.linalg.lstsq(ridged, rhs, rcond=None)[0]
-
-
-def _solve_rows(
-    big_b: np.ndarray, rhs: np.ndarray, fallback: np.ndarray
-) -> np.ndarray:
-    """Solve the per-row systems, keeping ``fallback`` rows where the
-    system is all-zero (no observations and no smoothness coupling)."""
-    out = fallback.copy()
-    for i in range(big_b.shape[0]):
-        if not big_b[i].any() and not rhs[i].any():
-            continue
-        out[i] = _solve_row(big_b[i], rhs[i])
-    return out
+    return kernels.accumulate_normal_equations(coords, values, factors, mode)
 
 
 def _update_non_temporal_mode(
     coords, values, factors, mode
 ) -> np.ndarray:
     """Theorem 1: ``u_i = B_i^{-1} c_i`` for each row of a non-temporal
-    factor."""
+    factor, solved as one stacked batch."""
     big_b, big_c = accumulate_normal_equations(coords, values, factors, mode)
-    return _solve_rows(big_b, big_c, factors[mode])
+    return kernels.solve_rows(big_b, big_c, fallback=factors[mode])
 
 
 def _update_temporal_mode(
     coords, values, factors, config: SofiaConfig
 ) -> np.ndarray:
-    """Theorem 2 / Eq. 17: sequential (Gauss-Seidel) temporal row sweep.
+    """Theorem 2 / Eq. 17: Gauss-Seidel temporal row sweep.
 
     Uses the general neighbor form derived from Eq. 18 — the diagonal
     gains ``λ1·(#lag-1 neighbors) + λ2·(#lag-m neighbors)`` and the RHS
     gains the corresponding neighbor sums — which reduces to the paper's
-    five cases when ``I_N >= 2m``.
+    five cases when ``I_N >= 2m``.  The batched backend sweeps the rows
+    in multicolor blocks (an exact Gauss-Seidel ordering; see
+    :mod:`repro.tensor.kernels`).
     """
     mode = len(factors) - 1
     big_b, big_c = accumulate_normal_equations(coords, values, factors, mode)
-    temporal = factors[mode].copy()
-    length, rank = temporal.shape
-    eye = np.eye(rank)
-    for i in range(length):
-        diag = (
-            config.lambda1 * neighbor_count(i, length, 1)
-            + config.lambda2 * neighbor_count(i, length, config.period)
-        )
-        lhs = big_b[i] + diag * eye
-        rhs = (
-            big_c[i]
-            + config.lambda1 * neighbor_sum(temporal, i, 1)
-            + config.lambda2 * neighbor_sum(temporal, i, config.period)
-        )
-        if not lhs.any() and not rhs.any():
-            continue
-        temporal[i] = _solve_row(lhs, rhs)
-    return temporal
+    return kernels.temporal_sweep(
+        big_b,
+        big_c,
+        factors[mode],
+        lambda1=config.lambda1,
+        lambda2=config.lambda2,
+        period=config.period,
+    )
 
 
 def sofia_als(

@@ -9,6 +9,11 @@ the temporal vector (Eq. 25), and finally advance the HW components
 (Lemma 2); this implementation uses dense masked arithmetic, so its cost
 is linear in the subtensor size, which coincides with the bound for the
 fully observed streams of the scalability experiment (Fig. 7).
+
+The gradient contractions and Lipschitz bounds route through
+:mod:`repro.tensor.kernels`: the MTTKRP kernel contracts the residual
+against the factors directly (no materialized Khatri-Rao product) and
+the trace bound ``trace(KᵀK)`` comes from per-column norm products.
 """
 
 from __future__ import annotations
@@ -19,32 +24,11 @@ import numpy as np
 
 from repro.core.config import SofiaConfig
 from repro.core.model import SofiaModelState, SofiaStep
-from repro.core.outliers import estimate_outliers, update_error_scale
-from repro.tensor import khatri_rao, kruskal_to_tensor, unfold
+from repro.core.outliers import robust_step
+from repro.tensor import kernels, kruskal_to_tensor
 from repro.tensor.validation import check_mask
 
 __all__ = ["dynamic_step", "factor_gradient_step", "temporal_gradient_step"]
-
-_EINSUM_LETTERS = "abcdefghijklmnop"
-
-
-def _contract_all_modes(
-    residual: np.ndarray, factors: Sequence[np.ndarray]
-) -> np.ndarray:
-    """``(⊙_n U^(n))ᵀ · vec(R_t)`` without forming the Khatri-Rao product.
-
-    Contracts every mode of ``residual`` with the matching factor matrix,
-    leaving the rank index: ``out[r] = Σ_i R[i] Π_n U^(n)[i_n, r]``.
-    """
-    ndim = residual.ndim
-    letters = _EINSUM_LETTERS[:ndim]
-    spec = (
-        letters
-        + ","
-        + ",".join(f"{letter}r" for letter in letters)
-        + "->r"
-    )
-    return np.einsum(spec, residual, *factors)
 
 
 def factor_gradient_step(
@@ -70,16 +54,19 @@ def factor_gradient_step(
     n_modes = len(factors)
     updated = []
     for mode in range(n_modes):
-        others = [factors[l] for l in range(n_modes) if l != mode]
-        if others:
-            kr = khatri_rao(others) * temporal_forecast[None, :]
-            gradient = unfold(residual, mode) @ kr
-        else:
-            kr = temporal_forecast[None, :]
-            gradient = residual[:, None] * temporal_forecast[None, :]
+        gradient = kernels.mttkrp(
+            residual, factors, mode, weights=temporal_forecast
+        )
         step = mu
         if normalize:
-            lipschitz = float(np.sum(kr * kr))
+            others = [factors[l] for l in range(n_modes) if l != mode]
+            lipschitz = float(
+                np.sum(
+                    kernels.kruskal_column_sq_norms(
+                        others, weights=temporal_forecast
+                    )
+                )
+            )
             step = mu / max(lipschitz, 1e-12)
         updated.append(factors[mode] + 2.0 * step * gradient)
     return updated
@@ -100,13 +87,14 @@ def temporal_gradient_step(
     anchors.  Under ``step_normalization = "lipschitz"`` the step is
     scaled by ``trace(KᵀK) + λ1 + λ2`` with ``K = ⊙_n U^(n)``.
     """
-    data_term = _contract_all_modes(residual, factors)
+    data_term = kernels.mttkrp(residual, factors, None)
     step = config.mu
     if config.step_normalization == "lipschitz":
-        col_sq = np.ones(factors[0].shape[1])
-        for f in factors:
-            col_sq = col_sq * np.sum(f * f, axis=0)
-        lipschitz = float(np.sum(col_sq)) + config.lambda1 + config.lambda2
+        lipschitz = (
+            float(np.sum(kernels.kruskal_column_sq_norms(factors)))
+            + config.lambda1
+            + config.lambda2
+        )
         step = config.mu / max(lipschitz, 1e-12)
     return temporal_forecast + 2.0 * step * (
         data_term
@@ -140,17 +128,16 @@ def dynamic_step(
     prediction = kruskal_to_tensor(state.non_temporal, weights=u_forecast)
 
     # (2) Estimate outliers against the forecast (Eq. 21), then advance the
-    #     error scale (Eq. 22) — this order is SOFIA's robustness tweak.
-    outliers = estimate_outliers(
-        y, prediction, state.sigma, m, k=config.huber_k
-    )
-    state.sigma = update_error_scale(
+    #     error scale (Eq. 22) in one fused pass over the shared residual —
+    #     outliers are judged against the *previous* scale, which is
+    #     SOFIA's robustness tweak.
+    outliers, state.sigma = robust_step(
         y,
         prediction,
         state.sigma,
         m,
-        phi=config.phi,
         k=config.huber_k,
+        phi=config.phi,
         ck=config.biweight_c,
     )
 

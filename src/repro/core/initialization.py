@@ -30,9 +30,9 @@ import numpy as np
 
 from repro.core.als import sofia_als
 from repro.core.config import SofiaConfig
-from repro.core.outliers import soft_threshold
 from repro.exceptions import ShapeError
 from repro.tensor import kruskal_to_tensor, random_factors
+from repro.tensor.kernels import masked_soft_threshold
 from repro.tensor.validation import check_mask
 
 __all__ = ["InitializationResult", "initialize", "stack_subtensors"]
@@ -118,7 +118,7 @@ def initialize(
     converged = False
     outer = 0
     for outer in range(1, config.max_outer_iters + 1):
-        outliers = soft_threshold(np.where(m, y - completed, 0.0), lam3)
+        outliers = masked_soft_threshold(y, completed, m, lam3)
         lam3 = max(lam3 * config.lambda3_decay, config.lambda3_floor)
         result = sofia_als(y, m, outliers, factors, sweep_config, smooth=smooth)
         factors = result.factors

@@ -3,7 +3,9 @@
 These are the tensor-valued extensions of the robust-HW primitives in
 :mod:`repro.forecast.robust`: outliers are whatever part of the observed
 residual survives the Huber clipping, and each entry carries its own
-exponentially smoothed error scale.
+exponentially smoothed error scale.  :func:`robust_step` fuses the two
+updates over one shared residual, which is what the dynamic phase calls
+once per incoming subtensor.
 """
 
 from __future__ import annotations
@@ -11,9 +13,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forecast.robust import biweight_rho, huber_psi
+from repro.tensor.kernels import soft_threshold as _kernel_soft_threshold
 from repro.tensor.validation import check_mask, check_same_shape
 
-__all__ = ["estimate_outliers", "soft_threshold", "update_error_scale"]
+__all__ = [
+    "estimate_outliers",
+    "robust_step",
+    "soft_threshold",
+    "update_error_scale",
+]
 
 
 def soft_threshold(values: np.ndarray, threshold: float) -> np.ndarray:
@@ -21,9 +29,27 @@ def soft_threshold(values: np.ndarray, threshold: float) -> np.ndarray:
 
     This is the proximal operator of ``λ ||·||_1`` and is how the
     initialization phase refreshes its outlier tensor (Alg. 1 line 8).
+    Delegates to the shared kernel layer.
     """
-    arr = np.asarray(values, dtype=np.float64)
-    return np.sign(arr) * np.maximum(np.abs(arr) - threshold, 0.0)
+    return _kernel_soft_threshold(values, threshold)
+
+
+def _huber_excess(residual: np.ndarray, sigma: np.ndarray, k: float):
+    """Residual in excess of the Huber clip ``ψ(r/σ)σ`` (Eq. 21 core)."""
+    return residual - huber_psi(residual / sigma, k) * sigma
+
+
+def _biweight_scale(
+    residual: np.ndarray,
+    sigma: np.ndarray,
+    *,
+    phi: float,
+    k: float,
+    ck: float,
+) -> np.ndarray:
+    """One biweight recursion step of the error scale (Eq. 22 core)."""
+    rho = biweight_rho(residual / sigma, k, ck)
+    return np.sqrt(phi * rho * sigma**2 + (1.0 - phi) * sigma**2)
 
 
 def estimate_outliers(
@@ -46,9 +72,7 @@ def estimate_outliers(
     check_same_shape(y, yhat, names=("observed", "predicted"))
     check_same_shape(y, sg, names=("observed", "sigma"))
     m = check_mask(mask, y.shape)
-    residual = y - yhat
-    outliers = residual - huber_psi(residual / sg, k) * sg
-    return np.where(m, outliers, 0.0)
+    return np.where(m, _huber_excess(y - yhat, sg, k), 0.0)
 
 
 def update_error_scale(
@@ -76,6 +100,36 @@ def update_error_scale(
     check_same_shape(y, yhat, names=("observed", "predicted"))
     check_same_shape(y, sg, names=("observed", "sigma"))
     m = check_mask(mask, y.shape)
-    rho = biweight_rho((y - yhat) / sg, k, ck)
-    updated_sq = phi * rho * sg**2 + (1.0 - phi) * sg**2
-    return np.where(m, np.sqrt(updated_sq), sg)
+    updated = _biweight_scale(y - yhat, sg, phi=phi, k=k, ck=ck)
+    return np.where(m, updated, sg)
+
+
+def robust_step(
+    observed: np.ndarray,
+    predicted: np.ndarray,
+    sigma: np.ndarray,
+    mask: np.ndarray,
+    *,
+    k: float = 2.0,
+    phi: float = 0.01,
+    ck: float = 2.52,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused Eq. 21 + Eq. 22: outliers and the advanced error scale.
+
+    Computes the forecast residual once and applies both the Huber
+    outlier split (against the *previous* scale, preserving SOFIA's
+    ordering) and the biweight scale recursion — the exact pair of
+    updates Alg. 3 performs per incoming subtensor.
+    """
+    y = np.asarray(observed, dtype=np.float64)
+    yhat = np.asarray(predicted, dtype=np.float64)
+    sg = np.asarray(sigma, dtype=np.float64)
+    check_same_shape(y, yhat, names=("observed", "predicted"))
+    check_same_shape(y, sg, names=("observed", "sigma"))
+    m = check_mask(mask, y.shape)
+    residual = y - yhat
+    outliers = np.where(m, _huber_excess(residual, sg, k), 0.0)
+    new_sigma = np.where(
+        m, _biweight_scale(residual, sg, phi=phi, k=k, ck=ck), sg
+    )
+    return outliers, new_sigma

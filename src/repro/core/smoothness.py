@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigError, ShapeError
+from repro.tensor.kernels import lag_neighbor_sums
 
 __all__ = [
     "difference_matrix",
@@ -57,8 +58,8 @@ def neighbor_count(index: int, length: int, lag: int) -> int:
     """Number of lag-``lag`` neighbors of ``index`` inside ``[0, length)``.
 
     This is the diagonal coefficient multiplicity in the temporal row
-    update (paper Eq. 17-18): each existing neighbor contributes one
-    ``λ I_R`` to the left-hand side.
+    update (paper Eq. 17-18); the vectorized all-rows form lives in
+    :func:`repro.tensor.kernels.lag_neighbor_counts`.
     """
     if not 0 <= index < length:
         raise ShapeError(f"index {index} out of range for length {length}")
@@ -73,20 +74,12 @@ def neighbor_count(index: int, length: int, lag: int) -> int:
 def neighbor_sum(
     temporal_factor: np.ndarray, index: int, lag: int
 ) -> np.ndarray:
-    """Sum of the lag-``lag`` neighbor rows of row ``index``.
-
-    The right-hand side of the temporal row update (Eq. 17) adds
-    ``λ (u_{i-lag} + u_{i+lag})``, keeping only neighbors that exist.
-    Rows are read from the *current* matrix, i.e. Gauss-Seidel style, as
-    in Algorithm 2's sequential row sweep.
+    """Sum of the existing lag-``lag`` neighbor rows of row ``index``
+    (Eq. 17's right-hand-side smoothness term); delegates to the batched
+    kernel layer's :func:`repro.tensor.kernels.lag_neighbor_sums`.
     """
     u = np.asarray(temporal_factor, dtype=np.float64)
     length = u.shape[0]
     if not 0 <= index < length:
         raise ShapeError(f"index {index} out of range for length {length}")
-    total = np.zeros(u.shape[1])
-    if index - lag >= 0:
-        total += u[index - lag]
-    if index + lag < length:
-        total += u[index + lag]
-    return total
+    return lag_neighbor_sums(u, lag, np.array([index]))[0]

@@ -28,8 +28,10 @@ from repro.tensor.products import (
     outer,
 )
 from repro.tensor.random import as_generator, random_factors, random_kruskal_tensor
+from repro.tensor import kernels
 
 __all__ = [
+    "kernels",
     "apply_mask",
     "as_generator",
     "fold",

@@ -1,6 +1,5 @@
 """Shared fixtures for baseline tests."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import seasonal_stream

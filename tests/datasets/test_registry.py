@@ -1,11 +1,9 @@
 """Unit tests for the dataset registry and Table III metadata."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import (
     Dataset,
-    DatasetInfo,
     dataset_info,
     list_datasets,
     load_dataset,
