@@ -14,6 +14,16 @@ is tracked over time::
 
     python benchmarks/bench_fig5_speed.py --json BENCH_kernels.json
     python benchmarks/bench_fig5_speed.py --quick   # reduced CI smoke mode
+
+It also times the mini-batch streaming engine on a Fig. 7-style fully
+observed stream — amortized per-step wall-clock at batch sizes
+B in {1, 4, 16} — and can write that to a second artifact::
+
+    python benchmarks/bench_fig5_speed.py --streaming-json BENCH_streaming.json
+
+CI runs both in ``--quick`` mode and gates merges on
+``benchmarks/check_regression.py`` against the committed baseline in
+``benchmarks/baseline/``.
 """
 
 import numpy as np
@@ -204,6 +214,74 @@ def run_kernel_speed_report(
     return results
 
 
+def run_streaming_minibatch_report(
+    shape=(60, 40),
+    n_steps=1200,
+    period=10,
+    rank=5,
+    *,
+    batch_sizes=(1, 4, 16),
+    seed=0,
+    repeats=2,
+):
+    """Time the mini-batch streaming engine on a Fig. 7-style workload.
+
+    A fully observed ``shape x n_steps`` stream (the Fig. 7 generator) is
+    consumed after one shared initialization recipe, once per batch size
+    in ``batch_sizes``; each run reports the *amortized* per-step
+    wall-clock (total dynamic time over live steps) and its speed-up over
+    the sequential ``B = 1`` run (prepended to ``batch_sizes`` when
+    absent, so the ``speedup_vs_b1`` field is always what it claims).
+    Subtensors in this regime are small enough that per-step Python
+    dispatch dominates — exactly the overhead mini-batching amortizes.
+    """
+    import time
+
+    from repro.core import Sofia, SofiaConfig
+    from repro.datasets import scalability_stream
+
+    batch_sizes = tuple(batch_sizes)
+    if batch_sizes[0] != 1:
+        batch_sizes = (1,) + tuple(b for b in batch_sizes if b != 1)
+
+    stream = scalability_stream(
+        shape[0], shape[1], n_steps, period=period, rank=rank, seed=seed
+    )
+    startup = 3 * period
+    init_subtensors = [stream.data[..., t] for t in range(startup)]
+    config = SofiaConfig(
+        rank=rank, period=period, lambda1=0.1, lambda2=0.1,
+        max_outer_iters=50, tol=1e-4,
+    )
+    live_steps = n_steps - startup
+
+    def consume(batch):
+        sofia = Sofia(config)
+        sofia.initialize(init_subtensors)
+        t = startup
+        t0 = time.perf_counter()
+        while t < n_steps:
+            stop = min(t + batch, n_steps)
+            sofia.step_batch(np.moveaxis(stream.data[..., t:stop], -1, 0))
+            t = stop
+        return (time.perf_counter() - t0) / live_steps
+
+    results = []
+    baseline_per_step = None
+    for batch in batch_sizes:
+        per_step = min(consume(batch) for _ in range(repeats))
+        if baseline_per_step is None:
+            baseline_per_step = per_step
+        results.append(
+            {
+                "batch_size": int(batch),
+                "per_step_seconds": per_step,
+                "speedup_vs_b1": baseline_per_step / max(per_step, 1e-12),
+            }
+        )
+    return results
+
+
 def main(argv=None):
     import argparse
     import json
@@ -223,21 +301,32 @@ def main(argv=None):
         default=None,
         help="write the report to this JSON file (e.g. BENCH_kernels.json)",
     )
+    parser.add_argument(
+        "--streaming-json",
+        metavar="PATH",
+        default=None,
+        dest="streaming_json",
+        help="write the mini-batch streaming report to this JSON file "
+        "(e.g. BENCH_streaming.json)",
+    )
     args = parser.parse_args(argv)
 
-    if args.json:
-        # Fail fast on an unwritable path instead of after the timing run.
-        with open(args.json, "a"):
-            pass
+    for path in (args.json, args.streaming_json):
+        if path:
+            # Fail fast on an unwritable path instead of after the run.
+            with open(path, "a"):
+                pass
 
     if args.quick:
         results = run_kernel_speed_report(
             shape=(50, 50, 300), n_dynamic_steps=50, n_rls_steps=20, repeats=2
         )
         shape = [50, 50, 300]
+        streaming_shape, streaming_steps = (40, 30), 500
     else:
         results = run_kernel_speed_report()
         shape = [50, 50, 2000]
+        streaming_shape, streaming_steps = (60, 40), 1200
 
     payload = {
         "benchmark": "kernels_scalar_vs_batched",
@@ -250,14 +339,44 @@ def main(argv=None):
     }
     text = json.dumps(payload, indent=2)
     if args.json:
+        # Written before the streaming sweep so an interrupted run keeps
+        # the completed kernel timings.
         with open(args.json, "w") as handle:
             handle.write(text + "\n")
+
+    # The streaming sweep runs when its artifact was requested, and in
+    # --quick (CI) mode where it doubles as the mini-batch smoke test;
+    # a full-mode kernel-only invocation skips it.
+    streaming_results = []
+    if args.streaming_json or args.quick:
+        streaming_results = run_streaming_minibatch_report(
+            shape=streaming_shape, n_steps=streaming_steps
+        )
+    streaming_payload = {
+        "benchmark": "streaming_minibatch",
+        "shape": list(streaming_shape),
+        "n_steps": streaming_steps,
+        "rank": 5,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": streaming_results,
+    }
+    if args.streaming_json:
+        with open(args.streaming_json, "w") as handle:
+            handle.write(json.dumps(streaming_payload, indent=2) + "\n")
     print(text)
     for entry in results:
         print(
             f"{entry['case']}: scalar {entry['scalar_seconds']:.3f}s -> "
             f"batched {entry['batched_seconds']:.3f}s "
             f"({entry['speedup']:.1f}x)"
+        )
+    for entry in streaming_results:
+        print(
+            f"streaming B={entry['batch_size']}: "
+            f"{entry['per_step_seconds'] * 1e3:.3f} ms/step "
+            f"({entry['speedup_vs_b1']:.2f}x vs B=1)"
         )
     return results
 

@@ -1,0 +1,116 @@
+"""Benchmark-regression gate: fail CI when a kernel timing regresses.
+
+Compares a fresh ``bench_fig5_speed.py --quick --json`` report against
+the committed baseline in ``benchmarks/baseline/BENCH_kernels.json`` and
+exits non-zero when a kernel regresses past ``--threshold``, on either
+of two signals per case:
+
+* any absolute timing (scalar or batched seconds) more than
+  ``threshold`` times slower than the baseline — the literal wall-clock
+  gate (absolute seconds do vary across machines; the 1.5x default
+  leaves headroom for runner variance, and the baseline should be
+  refreshed from a CI-class machine on purposeful perf changes);
+* the scalar/batched *speedup ratio* shrinking by more than
+  ``threshold`` — machine-independent, so a real de-vectorization of a
+  hot path is caught even on a runner whose absolute speed differs from
+  the baseline machine.
+
+Faster-than-baseline runs always pass.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baseline/BENCH_kernels.json \
+        --fresh BENCH_kernels.json
+"""
+
+import argparse
+import json
+import sys
+
+#: Timing fields of one kernel-report case that the gate inspects.
+TIMING_KEYS = ("scalar_seconds", "batched_seconds")
+
+
+def compare_reports(baseline, fresh, threshold):
+    """Return (report lines, failure lines) for two kernel reports."""
+    lines = []
+    failures = []
+    base_cases = {entry["case"]: entry for entry in baseline["results"]}
+    fresh_cases = {entry["case"]: entry for entry in fresh["results"]}
+    missing = sorted(set(base_cases) - set(fresh_cases))
+    if missing:
+        failures.append(f"cases missing from the fresh run: {missing}")
+    for name in sorted(base_cases):
+        if name not in fresh_cases:
+            continue
+        for key in TIMING_KEYS:
+            base_seconds = base_cases[name][key]
+            fresh_seconds = fresh_cases[name][key]
+            ratio = fresh_seconds / max(base_seconds, 1e-12)
+            line = (
+                f"{name}.{key}: baseline {base_seconds:.4f}s, "
+                f"fresh {fresh_seconds:.4f}s ({ratio:.2f}x)"
+            )
+            if ratio > threshold:
+                line += f"  REGRESSION (> {threshold:.2f}x)"
+                failures.append(line)
+            lines.append(line)
+        base_speedup = base_cases[name].get("speedup")
+        fresh_speedup = fresh_cases[name].get("speedup")
+        if base_speedup is not None and fresh_speedup is not None:
+            shrink = base_speedup / max(fresh_speedup, 1e-12)
+            line = (
+                f"{name}.speedup: baseline {base_speedup:.2f}x, "
+                f"fresh {fresh_speedup:.2f}x"
+            )
+            if shrink > threshold:
+                line += f"  REGRESSION (shrunk > {threshold:.2f}x)"
+                failures.append(line)
+            lines.append(line)
+    return lines, failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh kernel benchmark run regresses "
+        "past the committed baseline."
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baseline/BENCH_kernels.json",
+        help="committed baseline report",
+    )
+    parser.add_argument(
+        "--fresh",
+        default="BENCH_kernels.json",
+        help="report from the current run",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="maximum allowed fresh/baseline slowdown per timing "
+        "(default 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+
+    lines, failures = compare_reports(baseline, fresh, args.threshold)
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,5 +45,14 @@ class SofiaImputer(StreamingForecaster):
     def step(self, subtensor: np.ndarray, mask: np.ndarray) -> np.ndarray:
         return self.sofia.step(subtensor, mask).completed
 
+    def step_batch(
+        self,
+        subtensors: Sequence[np.ndarray] | np.ndarray,
+        masks: Sequence[np.ndarray] | np.ndarray,
+    ) -> np.ndarray:
+        """Batched fast path: one fused dynamic update per mini-batch."""
+        steps = self.sofia.step_batch(subtensors, masks)
+        return np.stack([s.completed for s in steps], axis=0)
+
     def forecast(self, horizon: int) -> np.ndarray:
         return self.sofia.forecast(horizon)

@@ -67,6 +67,29 @@ class StreamingImputer(abc.ABC):
     def step(self, subtensor: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Consume one subtensor; return the completed reconstruction."""
 
+    def step_batch(
+        self,
+        subtensors: Sequence[np.ndarray] | np.ndarray,
+        masks: Sequence[np.ndarray] | np.ndarray,
+    ) -> np.ndarray:
+        """Consume a mini-batch; return stacked reconstructions.
+
+        The default implementation is the sequential fallback — one
+        :meth:`step` per subtensor, results stacked batch-first — so
+        every baseline accepts mini-batches with unchanged semantics.
+        Algorithms with a true batched fast path (SOFIA) override this.
+        """
+        if len(subtensors) != len(masks):
+            raise ShapeError(
+                f"{len(subtensors)} subtensors vs {len(masks)} masks"
+            )
+        if len(subtensors) == 0:
+            raise ShapeError("mini-batch must contain at least one subtensor")
+        return np.stack(
+            [self.step(y_t, m_t) for y_t, m_t in zip(subtensors, masks)],
+            axis=0,
+        )
+
 
 class StreamingForecaster(StreamingImputer):
     """A streaming algorithm that can forecast future subtensors."""

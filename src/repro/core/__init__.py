@@ -7,7 +7,7 @@ estimation, smoothness operators, objectives) for tests and ablations.
 
 from repro.core.als import AlsResult, sofia_als
 from repro.core.config import SofiaConfig
-from repro.core.dynamic import dynamic_step
+from repro.core.dynamic import dynamic_step, dynamic_step_batch
 from repro.core.initialization import (
     InitializationResult,
     initialize,
@@ -18,6 +18,7 @@ from repro.core.objective import batch_cost, local_cost, streaming_cost
 from repro.core.outliers import (
     estimate_outliers,
     robust_step,
+    robust_step_batch,
     soft_threshold,
     update_error_scale,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "batch_cost",
     "difference_matrix",
     "dynamic_step",
+    "dynamic_step_batch",
     "estimate_outliers",
     "initialize",
     "load_sofia",
@@ -51,6 +53,7 @@ __all__ = [
     "neighbor_count",
     "neighbor_sum",
     "robust_step",
+    "robust_step_batch",
     "smoothness_penalty",
     "sofia_als",
     "soft_threshold",

@@ -75,6 +75,15 @@ class SofiaConfig:
         Scale of the random initial factors in Alg. 1.  Small values keep
         the first reconstruction near zero so the first soft-thresholding
         strips the gross outliers straight off the raw data.
+    batch_size:
+        Mini-batch size ``B`` of the dynamic phase: how many incoming
+        subtensors :meth:`Sofia.run` fuses into one
+        :func:`repro.core.dynamic.dynamic_step_batch` call.  ``1`` (the
+        default) reproduces the paper's strictly sequential Alg. 3
+        trajectory; larger values amortize the per-step dispatch cost
+        over the batch at the cost of a bounded within-batch
+        approximation (factors frozen at the batch boundary, multi-step
+        HW forecasts).
     """
 
     rank: int
@@ -95,6 +104,7 @@ class SofiaConfig:
     step_normalization: str = "lipschitz"
     als_sweeps_per_outer: int = 1
     init_factor_scale: float = 0.1
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.rank < 1:
@@ -132,6 +142,10 @@ class SofiaConfig:
             raise ConfigError("als_sweeps_per_outer must be >= 1")
         if self.init_factor_scale <= 0:
             raise ConfigError("init_factor_scale must be positive")
+        if self.batch_size < 1:
+            raise ConfigError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
 
     @property
     def init_steps(self) -> int:

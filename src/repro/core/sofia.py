@@ -19,7 +19,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.core.config import SofiaConfig
-from repro.core.dynamic import dynamic_step
+from repro.core.dynamic import dynamic_step, dynamic_step_batch
 from repro.core.initialization import (
     InitializationResult,
     initialize,
@@ -137,12 +137,81 @@ class Sofia:
             mask = np.ones(y.shape, dtype=bool)
         return dynamic_step(state, y, mask, self.config)
 
+    def step_batch(
+        self,
+        subtensors: Sequence[np.ndarray] | np.ndarray,
+        masks: Sequence[np.ndarray] | np.ndarray | None = None,
+    ) -> list[SofiaStep]:
+        """Consume ``B`` subtensors as one mini-batch (batched Alg. 3).
+
+        The tensor-sized work of the whole batch runs through one kernel
+        call per operation instead of ``B`` per-step dispatches; see
+        :func:`repro.core.dynamic.dynamic_step_batch` for the exact
+        semantics (``B = 1`` is bit-identical to :meth:`step`, ``B > 1``
+        freezes the factors at the batch boundary).
+
+        Parameters
+        ----------
+        subtensors:
+            Stacked ``(B, *subtensor_shape)`` array, or a sequence of
+            ``B`` subtensors.
+        masks:
+            Matching observation masks; ``None`` means fully observed.
+
+        Returns
+        -------
+        list of SofiaStep
+            One per consumed subtensor, oldest first.
+        """
+        state = self._require_state()
+        ys = np.asarray(subtensors, dtype=np.float64)
+        if masks is None:
+            masks = np.ones(ys.shape, dtype=bool)
+        else:
+            masks = np.asarray(masks)
+        return dynamic_step_batch(state, ys, masks, self.config)
+
     def run(
         self,
         stream: Iterable[tuple[np.ndarray, np.ndarray | None]],
     ) -> list[SofiaStep]:
-        """Consume ``(subtensor, mask)`` pairs; returns all step results."""
-        return [self.step(y_t, m_t) for y_t, m_t in stream]
+        """Consume ``(subtensor, mask)`` pairs; returns all step results.
+
+        With ``config.batch_size > 1`` the stream is consumed in
+        mini-batch chunks through :meth:`step_batch` (the final chunk may
+        be smaller); per-step results are returned either way.
+        """
+        batch = self.config.batch_size
+        if batch == 1:
+            return [self.step(y_t, m_t) for y_t, m_t in stream]
+        results: list[SofiaStep] = []
+        pending: list[tuple[np.ndarray, np.ndarray | None]] = []
+        for pair in stream:
+            pending.append(pair)
+            if len(pending) == batch:
+                results.extend(self._flush_chunk(pending))
+                pending = []
+        if pending:
+            results.extend(self._flush_chunk(pending))
+        return results
+
+    def _flush_chunk(
+        self, pending: Sequence[tuple[np.ndarray, np.ndarray | None]]
+    ) -> list[SofiaStep]:
+        """Run one collected mini-batch, materializing default masks."""
+        ys = np.stack(
+            [np.asarray(y, dtype=np.float64) for y, _ in pending], axis=0
+        )
+        masks = np.stack(
+            [
+                np.ones(ys.shape[1:], dtype=bool)
+                if m is None
+                else check_mask(m, ys.shape[1:])
+                for (_, m) in pending
+            ],
+            axis=0,
+        )
+        return self.step_batch(ys, masks)
 
     def impute(
         self, subtensor: np.ndarray, mask: np.ndarray | None = None

@@ -31,7 +31,10 @@ __all__ = ["main"]
 
 
 def _scale(args):
-    return TINY_SCALE if args.tiny else SMALL_SCALE
+    scale = TINY_SCALE if args.tiny else SMALL_SCALE
+    if args.batch_size != 1:
+        scale = scale.with_batch_size(args.batch_size)
+    return scale
 
 
 def _cmd_table1(args) -> str:
@@ -85,7 +88,7 @@ def _cmd_fig6(args) -> str:
 
 
 def _cmd_fig7(args) -> str:
-    result = run_scalability()
+    result = run_scalability(batch_size=args.batch_size)
     rows = [
         [int(e), s]
         for e, s in zip(result.entries_per_step, result.total_seconds)
@@ -138,6 +141,14 @@ def main(argv: Sequence[str] | None = None) -> str:
         type=int,
         default=300,
         help="outer-iteration budget for fig2",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        dest="batch_size",
+        help="mini-batch size for the dynamic phase (1 = the paper's "
+        "sequential protocol)",
     )
     args = parser.parse_args(argv)
     output = _COMMANDS[args.command](args)

@@ -144,6 +144,7 @@ def run_imputation_grid(
                         observed,
                         truth,
                         startup_steps=startup,
+                        batch_size=scale.batch_size,
                     )
                     series_runs.append(result.nre_series)
                     rae_runs.append(result.rae)

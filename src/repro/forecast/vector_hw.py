@@ -125,6 +125,22 @@ class VectorHoltWinters:
         self.trend = trend
         self.seasonal = np.vstack([self.seasonal[1:], s_new[None, :]])
 
+    def update_many(self, values: np.ndarray) -> None:
+        """Advance the state with ``B`` temporal vectors in one call.
+
+        Applies Eq. 26a-26c once per row of ``values`` (oldest first) —
+        the smoothing recurrences are sequential by definition, but each
+        iteration is ``O(R)``, so a whole mini-batch advances without
+        re-entering the per-step dispatch path.
+        """
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.ndim != 2 or vals.shape[1] != self.rank:
+            raise ShapeError(
+                f"expected a (batch, {self.rank}) array, got {vals.shape}"
+            )
+        for row in vals:
+            self.update(row)
+
     def copy(self) -> "VectorHoltWinters":
         """Deep copy (used to forecast without disturbing live state)."""
         return VectorHoltWinters(

@@ -90,17 +90,53 @@ class TensorStream:
         return subtensors, masks
 
     def iter_from(self, start: int) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
-        """Yield ``(t, Y_t, Ω_t)`` from ``start`` to the end."""
-        if not 0 <= start <= self.n_steps:
-            raise ShapeError(f"start {start} out of range")
+        """Yield ``(t, Y_t, Ω_t)`` from ``start`` to the end.
+
+        Raises
+        ------
+        ShapeError
+            If ``start`` is negative or the range ``[start, n_steps)`` is
+            empty — a silently empty iteration almost always means the
+            caller's start-up accounting is off.
+        """
+        self._check_live_range(start, self.n_steps, what="iter_from")
         for t in range(start, self.n_steps):
             yield t, self.data[..., t], self.mask[..., t]
 
+    def iter_batches(
+        self, start: int, batch_size: int
+    ) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(t0, Y_block, Ω_block)`` mini-batches from ``start``.
+
+        Blocks are stacked *batch-first* — shape
+        ``(b, I_1, ..., I_{N-1})`` with ``b <= batch_size`` (the final
+        block may be short) — matching the ``step_batch`` convention of
+        the streaming protocols.  ``t0`` is the time index of the
+        block's first subtensor.
+
+        Raises
+        ------
+        ShapeError
+            If ``batch_size < 1``, ``start`` is negative, or the range
+            ``[start, n_steps)`` is empty.
+        """
+        if batch_size < 1:
+            raise ShapeError(f"batch_size must be >= 1, got {batch_size}")
+        self._check_live_range(start, self.n_steps, what="iter_batches")
+        for t0 in range(start, self.n_steps, batch_size):
+            t1 = min(t0 + batch_size, self.n_steps)
+            yield (
+                t0,
+                np.moveaxis(self.data[..., t0:t1], -1, 0),
+                np.moveaxis(self.mask[..., t0:t1], -1, 0),
+            )
+
     def slice_steps(self, start: int, stop: int) -> "TensorStream":
         """Sub-stream covering time steps ``[start, stop)``."""
-        if not 0 <= start < stop <= self.n_steps:
+        self._check_live_range(start, stop, what="slice_steps")
+        if stop > self.n_steps:
             raise ShapeError(
-                f"invalid step range [{start}, {stop}) for length "
+                f"slice_steps stop {stop} exceeds stream length "
                 f"{self.n_steps}"
             )
         return TensorStream(
@@ -108,3 +144,13 @@ class TensorStream:
             mask=self.mask[..., start:stop],
             period=self.period,
         )
+
+    def _check_live_range(self, start: int, stop: int, *, what: str) -> None:
+        """Reject negative, out-of-range, or empty step ranges loudly."""
+        if start < 0:
+            raise ShapeError(f"{what} start must be >= 0, got {start}")
+        if start >= stop:
+            raise ShapeError(
+                f"{what} range [{start}, {stop}) is empty for stream of "
+                f"length {self.n_steps}"
+            )

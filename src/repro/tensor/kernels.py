@@ -25,6 +25,10 @@ replaces each of those with a batched formulation:
   batched rounds: entries of different factor rows are independent, so
   round ``j`` updates the ``j``-th observed entry of every row at once
   while preserving the per-row ordering bit for bit.
+* :func:`kruskal_reconstruct_rows` evaluates ``B`` Kruskal
+  reconstructions ``[[factors; w_b]]`` in one BLAS matmul against the
+  shared Khatri-Rao matrix — the mini-batch streaming engine uses it to
+  predict and complete a whole window of incoming subtensors per call.
 
 Backend seam
 ------------
@@ -59,7 +63,7 @@ import numpy as np
 
 from repro.exceptions import ConfigError, ShapeError
 from repro.tensor.dense import unfold
-from repro.tensor.products import khatri_rao
+from repro.tensor.products import khatri_rao, kruskal_to_tensor
 
 __all__ = [
     "KernelBackend",
@@ -67,6 +71,7 @@ __all__ = [
     "active_backend",
     "available_backends",
     "kruskal_column_sq_norms",
+    "kruskal_reconstruct_rows",
     "lag_neighbor_counts",
     "lag_neighbor_sums",
     "masked_soft_threshold",
@@ -564,6 +569,40 @@ def _batched_rls_update_rows(
         cov[r] = (p - gain[:, :, None] * px[:, None, :]) / beta
 
 
+def _batched_kruskal_reconstruct_rows(
+    factors: Sequence[np.ndarray],
+    weight_rows: np.ndarray,
+) -> np.ndarray:
+    """All ``B`` reconstructions ``[[factors; w_b]]`` in one fused pass.
+
+    Two equivalent strategies, picked by shape: when the batch is small
+    relative to the last mode, a broadcast chain grows
+    ``(B, I_1, ..., I_l, R)`` one mode at a time and finishes with a
+    single BLAS matmul against the last factor (no ``prod(I) x R``
+    Khatri-Rao temporary); otherwise the shared Khatri-Rao matrix is
+    materialized once and the whole mini-batch is one
+    ``W @ khatri_rao(factors)ᵀ`` matmul.
+    """
+    weight_rows = np.asarray(weight_rows, dtype=np.float64)
+    if weight_rows.ndim != 2:
+        raise ShapeError(
+            f"weight rows must be 2-D (batch, rank), got {weight_rows.shape}"
+        )
+    mats = [np.asarray(f, dtype=np.float64) for f in factors]
+    shape = tuple(f.shape[0] for f in mats)
+    n_batch = weight_rows.shape[0]
+    if len(mats) == 1:
+        return weight_rows @ mats[0].T
+    if n_batch < mats[-1].shape[0]:
+        out = weight_rows
+        for mat in mats[:-1]:
+            out = out[..., None, :] * mat
+        flat = out.reshape(-1, out.shape[-1])
+        return (flat @ mats[-1].T).reshape((n_batch,) + shape)
+    kr = khatri_rao(mats)
+    return (weight_rows @ kr.T).reshape((n_batch,) + shape)
+
+
 # ---------------------------------------------------------------------------
 # Reference kernels (the seed's scalar semantics)
 # ---------------------------------------------------------------------------
@@ -680,6 +719,23 @@ def _reference_mttkrp(
     return unfold(tensor, mode) @ kr
 
 
+def _reference_kruskal_reconstruct_rows(
+    factors: Sequence[np.ndarray],
+    weight_rows: np.ndarray,
+) -> np.ndarray:
+    """One Kruskal evaluation per weight row (the per-step semantics)."""
+    weight_rows = np.asarray(weight_rows, dtype=np.float64)
+    if weight_rows.ndim != 2:
+        raise ShapeError(
+            f"weight rows must be 2-D (batch, rank), got {weight_rows.shape}"
+        )
+    shape = tuple(f.shape[0] for f in factors)
+    out = np.empty((weight_rows.shape[0],) + shape)
+    for b in range(weight_rows.shape[0]):
+        out[b] = kruskal_to_tensor(factors, weights=weight_rows[b])
+    return out
+
+
 def _reference_rls_update_rows(
     factor: np.ndarray,
     cov: np.ndarray,
@@ -707,10 +763,10 @@ def _reference_rls_update_rows(
 class KernelBackend:
     """One pluggable set of hot-path kernels.
 
-    New execution paths (sparse, GPU, ...) implement these five
+    New execution paths (sparse, GPU, ...) implement these six
     callables and register themselves; every consumer — core ALS,
-    dynamic updates, and the streaming baselines — dispatches through
-    the active backend.
+    dynamic updates, the mini-batch streaming engine, and the streaming
+    baselines — dispatches through the active backend.
     """
 
     name: str
@@ -719,6 +775,7 @@ class KernelBackend:
     temporal_sweep: Callable[..., np.ndarray]
     mttkrp: Callable[..., np.ndarray]
     rls_update_rows: Callable[..., None]
+    kruskal_reconstruct_rows: Callable[..., np.ndarray]
 
 
 _BACKENDS: dict[str, KernelBackend] = {}
@@ -770,6 +827,7 @@ register_backend(
         temporal_sweep=_batched_temporal_sweep,
         mttkrp=_batched_mttkrp,
         rls_update_rows=_batched_rls_update_rows,
+        kruskal_reconstruct_rows=_batched_kruskal_reconstruct_rows,
     )
 )
 register_backend(
@@ -780,6 +838,7 @@ register_backend(
         temporal_sweep=_reference_temporal_sweep,
         mttkrp=_reference_mttkrp,
         rls_update_rows=_reference_rls_update_rows,
+        kruskal_reconstruct_rows=_reference_kruskal_reconstruct_rows,
     )
 )
 
@@ -867,6 +926,19 @@ def mttkrp(
     vector of Eq. 25.
     """
     return active_backend().mttkrp(tensor, factors, mode, weights)
+
+
+def kruskal_reconstruct_rows(
+    factors: Sequence[np.ndarray],
+    weight_rows: np.ndarray,
+) -> np.ndarray:
+    """Evaluate ``[[factors; w_b]]`` for every row ``w_b`` of a weight matrix.
+
+    Returns an array of shape ``(B, I_1, ..., I_N)`` — the stacked
+    reconstructions the mini-batch streaming engine uses for the Eq. 20
+    predictions and the per-step completions of a whole batch at once.
+    """
+    return active_backend().kruskal_reconstruct_rows(factors, weight_rows)
 
 
 def rls_update_rows(

@@ -98,6 +98,25 @@ class TestImputationGridDriver:
         with pytest.raises(KeyError):
             grid.cell("nope", "(30, 15, 3)", "SOFIA")
 
+    def test_mini_batch_grid_stays_close_to_sequential(self, grid):
+        batched = run_imputation_grid(
+            scale=TINY_SCALE.with_batch_size(8),
+            datasets=("nyc_taxi",),
+            settings=(CorruptionSpec(30, 15, 3),),
+        )
+        assert len(batched.cells) == len(grid.cells)
+        for cell in grid.cells:
+            twin = batched.cell(cell.dataset, cell.setting.label, cell.algorithm)
+            # nre_series length (= live step count) must be unchanged by
+            # chunking, and accuracy must stay in the same regime (SOFIA
+            # runs the mini-batch engine; baselines run the sequential
+            # fallback and match exactly).
+            assert twin.nre_series.shape == cell.nre_series.shape
+            if cell.algorithm == "SOFIA":
+                assert abs(twin.rae - cell.rae) < 0.05
+            else:
+                np.testing.assert_allclose(twin.rae, cell.rae, rtol=1e-12)
+
 
 class TestForecastingDriver:
     def test_sofia_beats_competitors(self):

@@ -166,6 +166,8 @@ class TestFilterAndSSE:
 
     def test_filter_empty_series(self):
         state = HoltWintersState(0.0, 0.0, np.zeros(2))
-        forecasts, out = hw_filter(np.array([]), HoltWintersParams(0.5, 0.5, 0.5), state)
+        forecasts, out = hw_filter(
+            np.array([]), HoltWintersParams(0.5, 0.5, 0.5), state
+        )
         assert forecasts.size == 0
         assert out.level == state.level

@@ -169,6 +169,32 @@ class TestFromFits:
             VectorHoltWinters.from_fits(fits)
 
 
+class TestUpdateMany:
+    def test_matches_repeated_update(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=(7, 2))
+        one_by_one = make_state()
+        for row in values:
+            one_by_one.update(row)
+        batched = make_state()
+        batched.update_many(values)
+        np.testing.assert_array_equal(batched.level, one_by_one.level)
+        np.testing.assert_array_equal(batched.trend, one_by_one.trend)
+        np.testing.assert_array_equal(
+            batched.seasonal, one_by_one.seasonal
+        )
+
+    def test_wrong_rank_rejected(self):
+        state = make_state()
+        with pytest.raises(ShapeError):
+            state.update_many(np.zeros((3, 5)))
+
+    def test_one_dim_rejected(self):
+        state = make_state()
+        with pytest.raises(ShapeError):
+            state.update_many(np.zeros(2))
+
+
 class TestCopy:
     def test_copy_is_independent(self):
         state = make_state()

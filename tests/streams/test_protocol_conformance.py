@@ -1,0 +1,111 @@
+"""Runtime protocol conformance of every registered algorithm.
+
+The runner drives algorithms through :class:`StreamingImputerProtocol`
+(and forecasters through :class:`StreamingForecasterProtocol`); these
+tests pin the contract with ``isinstance`` runtime checks — including the
+mini-batch ``step_batch`` member every conforming algorithm must now
+carry — and exercise the default sequential ``step_batch`` fallback
+against per-step stepping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Brst,
+    Cphw,
+    Mast,
+    Olstec,
+    OnlineSGD,
+    OrMstc,
+    Smf,
+    SofiaImputer,
+    StreamingImputer,
+)
+from repro.core import SofiaConfig
+from repro.streams import (
+    StreamingForecasterProtocol,
+    StreamingImputerProtocol,
+)
+
+RANK = 3
+PERIOD = 6
+
+IMPUTER_FACTORIES = {
+    "SOFIA": lambda: SofiaImputer(
+        SofiaConfig(rank=RANK, period=PERIOD, init_seasons=2)
+    ),
+    "OnlineSGD": lambda: OnlineSGD(RANK, seed=0),
+    "OLSTEC": lambda: Olstec(RANK, seed=0),
+    "MAST": lambda: Mast(RANK, seed=0),
+    "OR-MSTC": lambda: OrMstc(RANK, seed=0),
+    "BRST": lambda: Brst(RANK, seed=0),
+    "SMF": lambda: Smf(RANK, PERIOD, seed=0),
+    "CPHW": lambda: Cphw(RANK, PERIOD, seed=0),
+}
+
+FORECASTER_NAMES = ("SOFIA", "SMF", "CPHW")
+
+
+@pytest.mark.parametrize("name", sorted(IMPUTER_FACTORIES))
+def test_every_algorithm_satisfies_imputer_protocol(name):
+    algo = IMPUTER_FACTORIES[name]()
+    assert isinstance(algo, StreamingImputerProtocol)
+    # The protocol's members must all be present and callable.
+    for member in ("initialize", "step", "step_batch"):
+        assert callable(getattr(algo, member))
+    assert isinstance(algo.name, str) and algo.name
+
+
+@pytest.mark.parametrize("name", sorted(FORECASTER_NAMES))
+def test_forecasters_satisfy_forecaster_protocol(name):
+    algo = IMPUTER_FACTORIES[name]()
+    assert isinstance(algo, StreamingForecasterProtocol)
+    assert callable(algo.forecast)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in sorted(IMPUTER_FACTORIES) if n != "SOFIA"]
+)
+def test_default_step_batch_matches_sequential_steps(name):
+    """The base-class fallback must replay ``step`` exactly."""
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(5, 4, 3 * PERIOD)) + 2.0
+    mask = rng.random(data.shape) > 0.2
+    startup = 2 * PERIOD
+
+    seq = IMPUTER_FACTORIES[name]()
+    bat = IMPUTER_FACTORIES[name]()
+    for algo in (seq, bat):
+        algo.initialize(
+            [data[..., t] for t in range(startup)],
+            [mask[..., t] for t in range(startup)],
+        )
+    expected = np.stack(
+        [
+            seq.step(data[..., t], mask[..., t])
+            for t in range(startup, startup + 4)
+        ],
+        axis=0,
+    )
+    got = bat.step_batch(
+        np.moveaxis(data[..., startup:startup + 4], -1, 0),
+        np.moveaxis(mask[..., startup:startup + 4], -1, 0),
+    )
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_default_step_batch_validates_lengths():
+    algo = OnlineSGD(RANK, seed=0)
+    from repro.exceptions import ShapeError
+
+    with pytest.raises(ShapeError, match="vs"):
+        algo.step_batch(
+            np.zeros((2, 4, 4)), np.ones((3, 4, 4), dtype=bool)
+        )
+    with pytest.raises(ShapeError, match="at least one"):
+        algo.step_batch(np.zeros((0, 4, 4)), np.zeros((0, 4, 4), dtype=bool))
+
+
+def test_abstract_base_provides_the_default():
+    assert callable(StreamingImputer.step_batch)

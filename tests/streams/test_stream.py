@@ -73,8 +73,15 @@ class TestSlicing:
         assert [t for t, _, _ in steps] == [9, 10, 11]
         np.testing.assert_array_equal(steps[0][1], stream.data[..., 9])
 
-    def test_iter_from_end_is_empty(self, stream):
-        assert list(stream.iter_from(12)) == []
+    def test_iter_from_empty_range_raises(self, stream):
+        # Starting at (or past) the end used to yield nothing silently;
+        # it now fails loudly, as does a negative start.
+        with pytest.raises(ShapeError, match="empty"):
+            list(stream.iter_from(12))
+        with pytest.raises(ShapeError, match="empty"):
+            list(stream.iter_from(13))
+        with pytest.raises(ShapeError, match=">= 0"):
+            list(stream.iter_from(-1))
 
     def test_slice_steps(self, stream):
         sub = stream.slice_steps(2, 7)
@@ -83,7 +90,44 @@ class TestSlicing:
         assert sub.period == stream.period
 
     def test_slice_steps_invalid(self, stream):
-        with pytest.raises(ShapeError):
+        with pytest.raises(ShapeError, match="empty"):
             stream.slice_steps(5, 5)
-        with pytest.raises(ShapeError):
+        with pytest.raises(ShapeError, match="exceeds"):
             stream.slice_steps(0, 13)
+        with pytest.raises(ShapeError, match=">= 0"):
+            stream.slice_steps(-1, 4)
+        with pytest.raises(ShapeError, match="empty"):
+            stream.slice_steps(7, 2)
+
+
+class TestIterBatches:
+    def test_chunks_cover_stream(self, stream):
+        blocks = list(stream.iter_batches(2, 4))
+        assert [t0 for t0, _, _ in blocks] == [2, 6, 10]
+        assert [ys.shape[0] for _, ys, _ in blocks] == [4, 4, 2]
+        for t0, ys, ms in blocks:
+            assert ys.shape[1:] == stream.subtensor_shape
+            assert ms.shape == ys.shape
+            for offset in range(ys.shape[0]):
+                np.testing.assert_array_equal(
+                    ys[offset], stream.subtensor(t0 + offset)
+                )
+                np.testing.assert_array_equal(
+                    ms[offset], stream.mask_at(t0 + offset)
+                )
+
+    def test_batch_size_one_matches_iter_from(self, stream):
+        singles = list(stream.iter_batches(9, 1))
+        steps = list(stream.iter_from(9))
+        assert len(singles) == len(steps)
+        for (t0, ys, _), (t, y_t, _) in zip(singles, steps):
+            assert t0 == t
+            np.testing.assert_array_equal(ys[0], y_t)
+
+    def test_invalid_arguments(self, stream):
+        with pytest.raises(ShapeError, match="batch_size"):
+            list(stream.iter_batches(0, 0))
+        with pytest.raises(ShapeError, match="empty"):
+            list(stream.iter_batches(12, 4))
+        with pytest.raises(ShapeError, match=">= 0"):
+            list(stream.iter_batches(-2, 4))

@@ -11,8 +11,14 @@ import numpy as np
 import pytest
 
 from repro.core.smoothness import neighbor_count, neighbor_sum
-from repro.exceptions import ConfigError
-from repro.tensor import khatri_rao, kernels, random_factors, unfold
+from repro.exceptions import ConfigError, ShapeError
+from repro.tensor import (
+    khatri_rao,
+    kernels,
+    kruskal_to_tensor,
+    random_factors,
+    unfold,
+)
 from repro.tensor.kernels import (
     kruskal_column_sq_norms,
     lag_neighbor_counts,
@@ -319,6 +325,58 @@ class TestMttkrp:
             slow = kernels.mttkrp(tensor, factors, 0)
         np.testing.assert_allclose(fast, slow, atol=1e-12)
         np.testing.assert_allclose(fast, np.repeat(tensor[:, None], 3, axis=1))
+
+
+class TestKruskalReconstructRows:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("n_batch", [1, 2, 8, 40])
+    def test_matches_per_row_kruskal(self, seed, n_batch):
+        """Both backends (and both batched strategies, selected by the
+        batch-vs-last-mode size) must match B separate Kruskal calls."""
+        rng = np.random.default_rng(seed)
+        shape = (5, 6)
+        factors = random_factors(shape, 3, seed=seed)
+        weight_rows = rng.normal(size=(n_batch, 3))
+        expected = np.stack(
+            [
+                kruskal_to_tensor(factors, weights=weight_rows[b])
+                for b in range(n_batch)
+            ],
+            axis=0,
+        )
+        with kernels.use_backend("batched"):
+            fast = kernels.kruskal_reconstruct_rows(factors, weight_rows)
+        with kernels.use_backend("reference"):
+            slow = kernels.kruskal_reconstruct_rows(factors, weight_rows)
+        np.testing.assert_allclose(fast, expected, atol=1e-12)
+        np.testing.assert_allclose(slow, expected, atol=1e-15)
+
+    def test_three_mode_factors(self):
+        rng = np.random.default_rng(11)
+        factors = random_factors((4, 3, 5), 2, seed=11)
+        weight_rows = rng.normal(size=(3, 2))
+        with kernels.use_backend("batched"):
+            fast = kernels.kruskal_reconstruct_rows(factors, weight_rows)
+        assert fast.shape == (3, 4, 3, 5)
+        np.testing.assert_allclose(
+            fast[1], kruskal_to_tensor(factors, weights=weight_rows[1]),
+            atol=1e-12,
+        )
+
+    def test_single_factor(self):
+        rng = np.random.default_rng(5)
+        factor = rng.normal(size=(6, 3))
+        weight_rows = rng.normal(size=(2, 3))
+        with kernels.use_backend("batched"):
+            got = kernels.kruskal_reconstruct_rows([factor], weight_rows)
+        np.testing.assert_allclose(got, weight_rows @ factor.T, atol=1e-12)
+
+    def test_one_dim_weights_rejected(self):
+        factors = random_factors((4, 4), 2, seed=0)
+        for backend in ("batched", "reference"):
+            with kernels.use_backend(backend):
+                with pytest.raises(ShapeError):
+                    kernels.kruskal_reconstruct_rows(factors, np.ones(2))
 
 
 class TestRlsUpdateRows:

@@ -1,0 +1,138 @@
+"""Unit tests for the CI benchmark-regression gate."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_MODULE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", _MODULE_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _report(**timings):
+    return {
+        "benchmark": "kernels_scalar_vs_batched",
+        "results": [
+            {
+                "case": name,
+                "scalar_seconds": scalar,
+                "batched_seconds": batched,
+                "speedup": scalar / batched,
+            }
+            for name, (scalar, batched) in timings.items()
+        ],
+    }
+
+
+def test_identical_reports_pass(gate):
+    report = _report(als=(1.0, 0.1), rls=(0.5, 0.05))
+    _, failures = gate.compare_reports(report, report, threshold=1.5)
+    assert failures == []
+
+
+def test_faster_run_passes(gate):
+    baseline = _report(als=(1.0, 0.1))
+    fresh = _report(als=(0.2, 0.01))
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert failures == []
+
+
+def test_slowdown_beyond_threshold_fails(gate):
+    # Batched seconds regress 1.6x while the speedup ratio stays within
+    # its own 1.5x headroom, so exactly the absolute gate fires.
+    baseline = _report(als=(1.0, 0.1))
+    fresh = _report(als=(1.44, 0.16))
+    lines, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert len(failures) == 1
+    assert "als.batched_seconds" in failures[0]
+    assert "REGRESSION" in failures[0]
+
+
+def test_slowdown_within_threshold_passes(gate):
+    baseline = _report(als=(1.0, 0.1))
+    fresh = _report(als=(1.4, 0.14))
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert failures == []
+
+
+def test_speedup_shrink_fails_even_with_matching_absolute_budget(gate):
+    # A machine-independent signal: same scalar time, but the batched
+    # path de-vectorized relative to it (speedup 10x -> 2x) while still
+    # under the absolute threshold against a slower baseline machine.
+    baseline = _report(als=(1.0, 0.1))       # speedup 10x
+    fresh = _report(als=(0.28, 0.14))        # speedup 2x, both times fast
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert len(failures) == 1
+    assert "speedup" in failures[0]
+
+
+def test_reports_without_speedup_field_still_compare(gate):
+    baseline = _report(als=(1.0, 0.1))
+    fresh = _report(als=(1.0, 0.1))
+    for report in (baseline, fresh):
+        for entry in report["results"]:
+            del entry["speedup"]
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert failures == []
+
+
+def test_missing_case_fails(gate):
+    baseline = _report(als=(1.0, 0.1), rls=(0.5, 0.05))
+    fresh = _report(als=(1.0, 0.1))
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert any("missing" in f for f in failures)
+
+
+def test_extra_fresh_cases_are_ignored(gate):
+    baseline = _report(als=(1.0, 0.1))
+    fresh = _report(als=(1.0, 0.1), extra=(9.0, 9.0))
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert failures == []
+
+
+def test_main_exit_codes(gate, tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    fresh_path = tmp_path / "fresh.json"
+    baseline_path.write_text(json.dumps(_report(als=(1.0, 0.1))))
+    fresh_path.write_text(json.dumps(_report(als=(1.0, 0.1))))
+    assert (
+        gate.main(
+            ["--baseline", str(baseline_path), "--fresh", str(fresh_path)]
+        )
+        == 0
+    )
+    fresh_path.write_text(json.dumps(_report(als=(5.0, 0.1))))
+    assert (
+        gate.main(
+            ["--baseline", str(baseline_path), "--fresh", str(fresh_path)]
+        )
+        == 1
+    )
+
+
+def test_committed_baseline_is_valid(gate):
+    baseline_path = (
+        _MODULE_PATH.parent / "baseline" / "BENCH_kernels.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    _, failures = gate.compare_reports(baseline, baseline, threshold=1.5)
+    assert failures == []
+    assert {e["case"] for e in baseline["results"]} == {
+        "sofia_als_sweep",
+        "dynamic_steps",
+        "olstec_rls_steps",
+    }

@@ -1,0 +1,66 @@
+"""Formatting gate for the lint job (no third-party formatter needed).
+
+Enforces the mechanical formatting invariants the code base already
+follows, so drift fails CI loudly: LF line endings, no tabs, no trailing
+whitespace, a trailing newline at end of file, and the ruff line-length
+limit of 88 characters.  Runs on any Python without extra dependencies::
+
+    python tools/check_format.py src tests benchmarks examples tools
+"""
+
+import pathlib
+import sys
+
+MAX_LINE_LENGTH = 88
+
+
+def check_file(path):
+    """Return a list of violation strings for one Python file."""
+    violations = []
+    raw = path.read_bytes()
+    if b"\r" in raw:
+        violations.append(f"{path}: CRLF or bare CR line ending")
+    if raw and not raw.endswith(b"\n"):
+        violations.append(f"{path}: missing newline at end of file")
+    for number, line in enumerate(raw.decode("utf-8").splitlines(), 1):
+        if "\t" in line:
+            violations.append(f"{path}:{number}: tab character")
+        if line != line.rstrip():
+            violations.append(f"{path}:{number}: trailing whitespace")
+        if len(line) > MAX_LINE_LENGTH:
+            violations.append(
+                f"{path}:{number}: line too long "
+                f"({len(line)} > {MAX_LINE_LENGTH})"
+            )
+    return violations
+
+
+def main(argv=None):
+    roots = (argv if argv is not None else sys.argv[1:]) or ["src", "tests"]
+    violations = []
+    checked = 0
+    for root in roots:
+        root_path = pathlib.Path(root)
+        files = (
+            [root_path]
+            if root_path.is_file()
+            else sorted(root_path.rglob("*.py"))
+        )
+        for path in files:
+            checked += 1
+            violations.extend(check_file(path))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(
+            f"\n{len(violations)} formatting violation(s) in "
+            f"{checked} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{checked} files formatted cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
