@@ -21,8 +21,15 @@ B in {1, 4, 16} — and can write that to a second artifact::
 
     python benchmarks/bench_fig5_speed.py --streaming-json BENCH_streaming.json
 
-CI runs both in ``--quick`` mode and gates merges on
-``benchmarks/check_regression.py`` against the committed baseline in
+A third standalone report sweeps observed density over {1%, 5%, 25%}
+and times the sparse kernel backend against the dense batched one on
+the accumulation + reconstruction hot paths (the paper's real-world
+streams are observed down to a few percent)::
+
+    python benchmarks/bench_fig5_speed.py --density-json BENCH_density.json
+
+CI runs all three in ``--quick`` mode and gates merges on
+``benchmarks/check_regression.py`` against the committed baselines in
 ``benchmarks/baseline/``.
 """
 
@@ -282,6 +289,77 @@ def run_streaming_minibatch_report(
     return results
 
 
+def run_density_sweep_report(
+    shape=(50, 50, 2000),
+    rank=5,
+    *,
+    densities=(0.01, 0.05, 0.25),
+    seed=0,
+    repeats=3,
+):
+    """Sparse-vs-batched kernel wall-clock across observed densities.
+
+    For every observed fraction, times the two hot paths whose cost is
+    volume-bound on the dense backend and observed-entry-bound on the
+    sparse one:
+
+    * *accumulation* — one normal-equation accumulation per mode over
+      the observed entries (the work of one SOFIA_ALS sweep, Eq. 14-15);
+    * *reconstruction* — one ``kruskal_reconstruct_rows`` evaluation of
+      every temporal step's subtensor at the observed coordinates (the
+      streaming prediction/completion hot path, Eq. 20).
+
+    The reported ``speedup`` is batched over sparse on the summed
+    accumulation + reconstruction time; values below 1 at high density
+    are expected (that is the regime the auto backend routes to the
+    dense path).
+    """
+    from repro.tensor import kernels, random_factors
+
+    rng = np.random.default_rng(seed)
+    factors = list(random_factors(shape, rank, seed=seed))
+    spatial, temporal = factors[:-1], factors[-1]
+    results = []
+    for density in densities:
+        mask = rng.random(shape) < density
+        coords = np.nonzero(mask)
+        values = rng.normal(size=coords[0].size)
+        # Batch index (the temporal step) leads in the stacked layout.
+        recon_coords = (coords[-1],) + coords[:-1]
+        case = {
+            "case": f"density_{density:g}",
+            "density": density,
+            "nnz": int(values.size),
+        }
+        for backend in ("batched", "sparse"):
+            with kernels.use_backend(backend):
+                accumulate_seconds = _best_of(
+                    lambda: [
+                        kernels.accumulate_normal_equations(
+                            coords, values, factors, mode
+                        )
+                        for mode in range(len(shape))
+                    ],
+                    repeats,
+                )
+                reconstruct_seconds = _best_of(
+                    lambda: kernels.kruskal_reconstruct_rows(
+                        spatial, temporal, recon_coords
+                    ),
+                    repeats,
+                )
+            case[f"{backend}_accumulate_seconds"] = accumulate_seconds
+            case[f"{backend}_reconstruct_seconds"] = reconstruct_seconds
+            case[f"{backend}_seconds"] = (
+                accumulate_seconds + reconstruct_seconds
+            )
+        case["speedup"] = case["batched_seconds"] / max(
+            case["sparse_seconds"], 1e-12
+        )
+        results.append(case)
+    return results
+
+
 def main(argv=None):
     import argparse
     import json
@@ -309,9 +387,17 @@ def main(argv=None):
         help="write the mini-batch streaming report to this JSON file "
         "(e.g. BENCH_streaming.json)",
     )
+    parser.add_argument(
+        "--density-json",
+        metavar="PATH",
+        default=None,
+        dest="density_json",
+        help="write the sparse-vs-batched density sweep to this JSON "
+        "file (e.g. BENCH_density.json)",
+    )
     args = parser.parse_args(argv)
 
-    for path in (args.json, args.streaming_json):
+    for path in (args.json, args.streaming_json, args.density_json):
         if path:
             # Fail fast on an unwritable path instead of after the run.
             with open(path, "a"):
@@ -323,10 +409,12 @@ def main(argv=None):
         )
         shape = [50, 50, 300]
         streaming_shape, streaming_steps = (40, 30), 500
+        density_shape = (50, 50, 300)
     else:
         results = run_kernel_speed_report()
         shape = [50, 50, 2000]
         streaming_shape, streaming_steps = (60, 40), 1200
+        density_shape = (50, 50, 2000)
 
     payload = {
         "benchmark": "kernels_scalar_vs_batched",
@@ -365,6 +453,24 @@ def main(argv=None):
     if args.streaming_json:
         with open(args.streaming_json, "w") as handle:
             handle.write(json.dumps(streaming_payload, indent=2) + "\n")
+
+    # The density sweep runs when its artifact was requested, and in
+    # --quick (CI) mode where the regression gate tracks it.
+    density_results = []
+    if args.density_json or args.quick:
+        density_results = run_density_sweep_report(shape=density_shape)
+    if args.density_json:
+        density_payload = {
+            "benchmark": "kernels_density_sweep",
+            "shape": list(density_shape),
+            "rank": 5,
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "results": density_results,
+        }
+        with open(args.density_json, "w") as handle:
+            handle.write(json.dumps(density_payload, indent=2) + "\n")
     print(text)
     for entry in results:
         print(
@@ -377,6 +483,13 @@ def main(argv=None):
             f"streaming B={entry['batch_size']}: "
             f"{entry['per_step_seconds'] * 1e3:.3f} ms/step "
             f"({entry['speedup_vs_b1']:.2f}x vs B=1)"
+        )
+    for entry in density_results:
+        print(
+            f"{entry['case']} (nnz {entry['nnz']}): "
+            f"batched {entry['batched_seconds'] * 1e3:.1f} ms -> "
+            f"sparse {entry['sparse_seconds'] * 1e3:.1f} ms "
+            f"({entry['speedup']:.1f}x)"
         )
     return results
 

@@ -1,39 +1,63 @@
 """Benchmark-regression gate: fail CI when a kernel timing regresses.
 
-Compares a fresh ``bench_fig5_speed.py --quick --json`` report against
-the committed baseline in ``benchmarks/baseline/BENCH_kernels.json`` and
-exits non-zero when a kernel regresses past ``--threshold``, on either
-of two signals per case:
+Compares fresh ``bench_fig5_speed.py --quick`` reports against the
+committed baselines in ``benchmarks/baseline/`` and exits non-zero when
+a case regresses past ``--threshold``, on either of two signals:
 
-* any absolute timing (scalar or batched seconds) more than
-  ``threshold`` times slower than the baseline — the literal wall-clock
-  gate (absolute seconds do vary across machines; the 1.5x default
-  leaves headroom for runner variance, and the baseline should be
-  refreshed from a CI-class machine on purposeful perf changes);
-* the scalar/batched *speedup ratio* shrinking by more than
+* any absolute timing (every numeric field ending in ``_seconds``) more
+  than ``threshold`` times slower than the baseline — the literal
+  wall-clock gate (absolute seconds do vary across machines; the 1.5x
+  default leaves headroom for runner variance, and the baselines should
+  be refreshed from a CI-class machine on purposeful perf changes);
+* the case's *speedup ratio* (scalar/batched for the kernel report,
+  batched/sparse for the density sweep) shrinking by more than
   ``threshold`` — machine-independent, so a real de-vectorization of a
   hot path is caught even on a runner whose absolute speed differs from
   the baseline machine.
 
-Faster-than-baseline runs always pass.
+Timings whose *baseline* value is below ``--min-seconds`` (5 ms by
+default) are reported but not gated — sub-millisecond best-of timings
+on shared runners are noise-dominated and would make the absolute gate
+flaky.  The same floor exempts a case's speedup ratio when any of its
+baseline timings is sub-floor (a ratio of a noisy number is noisy).  A
+numeric timing field present in the baseline but missing from the fresh
+run is a failure (a silently renamed or dropped field would otherwise
+leave that path permanently ungated), as is a whole missing case.
 
-Usage::
+Faster-than-baseline runs always pass.  ``--baseline``/``--fresh`` may
+be repeated to gate several report pairs in one invocation::
 
     python benchmarks/check_regression.py \
         --baseline benchmarks/baseline/BENCH_kernels.json \
-        --fresh BENCH_kernels.json
+        --fresh BENCH_kernels.json \
+        --baseline benchmarks/baseline/BENCH_density.json \
+        --fresh BENCH_density.json
 """
 
 import argparse
 import json
 import sys
 
-#: Timing fields of one kernel-report case that the gate inspects.
-TIMING_KEYS = ("scalar_seconds", "batched_seconds")
+#: Default report pair when no --baseline/--fresh flags are given.
+DEFAULT_BASELINE = "benchmarks/baseline/BENCH_kernels.json"
+DEFAULT_FRESH = "BENCH_kernels.json"
 
 
-def compare_reports(baseline, fresh, threshold):
-    """Return (report lines, failure lines) for two kernel reports."""
+def timing_keys(entry):
+    """Numeric ``*_seconds`` fields of one benchmark case."""
+    return sorted(
+        key
+        for key, value in entry.items()
+        if key.endswith("_seconds") and isinstance(value, (int, float))
+    )
+
+
+def compare_reports(baseline, fresh, threshold, min_seconds=0.0):
+    """Return (report lines, failure lines) for two benchmark reports.
+
+    Timings whose baseline value is below ``min_seconds`` are reported
+    but exempt from the absolute gate (noise floor).
+    """
     lines = []
     failures = []
     base_cases = {entry["case"]: entry for entry in baseline["results"]}
@@ -44,15 +68,23 @@ def compare_reports(baseline, fresh, threshold):
     for name in sorted(base_cases):
         if name not in fresh_cases:
             continue
-        for key in TIMING_KEYS:
+        for key in timing_keys(base_cases[name]):
             base_seconds = base_cases[name][key]
-            fresh_seconds = fresh_cases[name][key]
-            ratio = fresh_seconds / max(base_seconds, 1e-12)
+            fresh_value = fresh_cases[name].get(key)
+            if not isinstance(fresh_value, (int, float)):
+                failures.append(
+                    f"{name}.{key}: in the baseline but missing from "
+                    f"the fresh run"
+                )
+                continue
+            ratio = fresh_value / max(base_seconds, 1e-12)
             line = (
                 f"{name}.{key}: baseline {base_seconds:.4f}s, "
-                f"fresh {fresh_seconds:.4f}s ({ratio:.2f}x)"
+                f"fresh {fresh_value:.4f}s ({ratio:.2f}x)"
             )
-            if ratio > threshold:
+            if base_seconds < min_seconds:
+                line += "  (below noise floor, not gated)"
+            elif ratio > threshold:
                 line += f"  REGRESSION (> {threshold:.2f}x)"
                 failures.append(line)
             lines.append(line)
@@ -64,7 +96,14 @@ def compare_reports(baseline, fresh, threshold):
                 f"{name}.speedup: baseline {base_speedup:.2f}x, "
                 f"fresh {fresh_speedup:.2f}x"
             )
-            if shrink > threshold:
+            # A ratio built from a sub-floor timing inherits its noise.
+            noisy = any(
+                base_cases[name][key] < min_seconds
+                for key in timing_keys(base_cases[name])
+            )
+            if noisy:
+                line += "  (below noise floor, not gated)"
+            elif shrink > threshold:
                 line += f"  REGRESSION (shrunk > {threshold:.2f}x)"
                 failures.append(line)
             lines.append(line)
@@ -73,18 +112,21 @@ def compare_reports(baseline, fresh, threshold):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Fail when a fresh kernel benchmark run regresses "
-        "past the committed baseline."
+        description="Fail when a fresh benchmark run regresses past the "
+        "committed baseline.  Repeat --baseline/--fresh to gate several "
+        "report pairs."
     )
     parser.add_argument(
         "--baseline",
-        default="benchmarks/baseline/BENCH_kernels.json",
-        help="committed baseline report",
+        action="append",
+        default=None,
+        help=f"committed baseline report (default {DEFAULT_BASELINE})",
     )
     parser.add_argument(
         "--fresh",
-        default="BENCH_kernels.json",
-        help="report from the current run",
+        action="append",
+        default=None,
+        help=f"report from the current run (default {DEFAULT_FRESH})",
     )
     parser.add_argument(
         "--threshold",
@@ -93,19 +135,44 @@ def main(argv=None):
         help="maximum allowed fresh/baseline slowdown per timing "
         "(default 1.5)",
     )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        dest="min_seconds",
+        help="baseline timings below this are reported but not gated "
+        "(sub-ms best-of timings are runner-noise-dominated; "
+        "default 0.005)",
+    )
     args = parser.parse_args(argv)
+    baselines = args.baseline or [DEFAULT_BASELINE]
+    freshes = args.fresh or [DEFAULT_FRESH]
+    if len(baselines) != len(freshes):
+        parser.error(
+            f"got {len(baselines)} --baseline but {len(freshes)} --fresh; "
+            "they pair up one-to-one"
+        )
 
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    with open(args.fresh) as handle:
-        fresh = json.load(handle)
+    all_failures = []
+    for baseline_path, fresh_path in zip(baselines, freshes):
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        with open(fresh_path) as handle:
+            fresh = json.load(handle)
+        lines, failures = compare_reports(
+            baseline, fresh, args.threshold, args.min_seconds
+        )
+        print(f"== {baseline_path} vs {fresh_path} ==")
+        for line in lines:
+            print(line)
+        all_failures.extend(failures)
 
-    lines, failures = compare_reports(baseline, fresh, args.threshold)
-    for line in lines:
-        print(line)
-    if failures:
-        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
-        for failure in failures:
+    if all_failures:
+        print(
+            f"\n{len(all_failures)} benchmark regression(s):",
+            file=sys.stderr,
+        )
+        for failure in all_failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print("\nno benchmark regressions")

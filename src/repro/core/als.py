@@ -10,9 +10,10 @@ The normal-equation pieces ``B_i`` and ``c_i`` (Eq. 14-15) are accumulated
 over observed entries only, in chunks, giving ``O(|Ω| R (N + R))`` work
 per sweep as stated in Lemma 1.  All linear-algebra hot paths — the
 accumulation, the stacked row solves, and the temporal sweep — dispatch
-through :mod:`repro.tensor.kernels`, so the whole routine runs batched
-by default and can be pointed at other backends (the scalar reference,
-a future sparse/GPU path) without touching this module.
+through :mod:`repro.tensor.kernels`, so the whole routine follows the
+active backend (density-dispatched ``"auto"`` by default, with dense
+``"batched"``, observed-entry ``"sparse"``, and scalar ``"reference"``
+paths selectable) without touching this module.
 """
 
 from __future__ import annotations

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.exceptions import ConfigError
+from repro.tensor.kernels import AUTO_DENSITY_THRESHOLD
 
 __all__ = ["SofiaConfig"]
 
@@ -84,6 +85,20 @@ class SofiaConfig:
         over the batch at the cost of a bounded within-batch
         approximation (factors frozen at the batch boundary, multi-step
         HW forecasts).
+    density_threshold:
+        Observed fraction *strictly below* which the dynamic phase
+        routes its tensor-sized work through the sparse execution path:
+        the Eq. 21-22 robust split and the Eq. 24-25 gradient
+        contractions run per observed entry (``O(nnz)``) instead of
+        over the dense subtensor.  The results are identical to
+        floating-point round-off — only the execution strategy changes.
+        The default *is*
+        ``repro.tensor.kernels.AUTO_DENSITY_THRESHOLD`` (5%), where
+        per-entry work starts beating the dense BLAS constants; ``0.0``
+        disables the sparse path, ``1.0`` takes it for every
+        not-fully-observed input.  The routing defers to the active
+        kernel backend: under the pure-dense ``"batched"`` and scalar
+        ``"reference"`` backends the sparse path is never taken.
     """
 
     rank: int
@@ -105,6 +120,7 @@ class SofiaConfig:
     als_sweeps_per_outer: int = 1
     init_factor_scale: float = 0.1
     batch_size: int = 1
+    density_threshold: float = AUTO_DENSITY_THRESHOLD
 
     def __post_init__(self) -> None:
         if self.rank < 1:
@@ -145,6 +161,11 @@ class SofiaConfig:
         if self.batch_size < 1:
             raise ConfigError(
                 f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if not 0.0 <= self.density_threshold <= 1.0:
+            raise ConfigError(
+                "density_threshold must be in [0, 1], "
+                f"got {self.density_threshold}"
             )
 
     @property

@@ -14,6 +14,31 @@ The gradient contractions and Lipschitz bounds route through
 :mod:`repro.tensor.kernels`: the MTTKRP kernel contracts the residual
 against the factors directly (no materialized Khatri-Rao product) and
 the trace bound ``trace(KᵀK)`` comes from per-column norm products.
+
+Sparse routing
+--------------
+When the incoming mask is observed below ``config.density_threshold``
+(5% by default), both :func:`dynamic_step` and
+:func:`dynamic_step_batch` switch to a per-observed-entry execution
+path: the Eq. 21-22 robust split runs only at the observed coordinates
+(:func:`repro.core.outliers.robust_step_at` /
+:func:`~repro.core.outliers.robust_step_batch_at`) and the Eq. 24-25
+gradient contractions gather factor rows per entry
+(:func:`repro.tensor.kernels.mttkrp_observed`) — ``O(|Ω_t| N R)``, the
+bound of Lemma 2, instead of work linear in the subtensor volume.  The
+arithmetic at observed entries is unchanged, so the two paths produce
+the same trajectory to floating-point round-off; only the dense
+per-step *outputs* (prediction, completion, the scattered outlier
+tensor) remain volume-sized.
+
+The routing defers to the active kernel backend via its
+``keeps_dense_steps`` capability flag: the pure-dense ``"batched"``
+and scalar ``"reference"`` backends (and, by default, any third-party
+backend) are never bypassed, so pinning one (``set_backend``,
+``REPRO_KERNEL_BACKEND``) exercises exactly that execution path end to
+end, as the CI backend matrix relies on.  Under ``"auto"`` (the
+default) and ``"sparse"``, which opt out of the flag, the density
+threshold decides.
 """
 
 from __future__ import annotations
@@ -24,7 +49,12 @@ import numpy as np
 
 from repro.core.config import SofiaConfig
 from repro.core.model import SofiaModelState, SofiaStep
-from repro.core.outliers import robust_step, robust_step_batch
+from repro.core.outliers import (
+    robust_step,
+    robust_step_at,
+    robust_step_batch,
+    robust_step_batch_at,
+)
 from repro.exceptions import ShapeError
 from repro.tensor import kernels, kruskal_to_tensor
 from repro.tensor.validation import check_mask
@@ -36,6 +66,17 @@ __all__ = [
     "temporal_gradient_step",
 ]
 
+def _takes_sparse_path(mask: np.ndarray, config: SofiaConfig) -> bool:
+    """Whether this step's tensor-sized work runs per observed entry.
+
+    Backends that declare ``keeps_dense_steps`` (the pure dense/scalar
+    paths, and any third-party backend that wants its kernels to see
+    all the work) are never bypassed.
+    """
+    if kernels.active_backend().keeps_dense_steps:
+        return False
+    return np.count_nonzero(mask) < config.density_threshold * mask.size
+
 
 def factor_gradient_step(
     residual: np.ndarray,
@@ -44,6 +85,7 @@ def factor_gradient_step(
     mu: float,
     *,
     normalize: bool = True,
+    coords: tuple[np.ndarray, ...] | None = None,
 ) -> list[np.ndarray]:
     """Gradient update of all non-temporal factors (Eq. 24).
 
@@ -56,13 +98,22 @@ def factor_gradient_step(
     ``K = (⊙_{l≠n} U^(l)) diag(û)`` — a trace upper bound on the Lipschitz
     constant of the data term's gradient, making the update stable for
     any ``μ < 1`` regardless of the data's scale.
+
+    With ``coords`` given (the sparse path), ``residual`` is the 1-D
+    vector of residual values at those observed coordinates and the
+    contractions run per entry instead of over the dense subtensor.
     """
     n_modes = len(factors)
     updated = []
     for mode in range(n_modes):
-        gradient = kernels.mttkrp(
-            residual, factors, mode, weights=temporal_forecast
-        )
+        if coords is None:
+            gradient = kernels.mttkrp(
+                residual, factors, mode, weights=temporal_forecast
+            )
+        else:
+            gradient = kernels.mttkrp_observed(
+                coords, residual, factors, mode, weights=temporal_forecast
+            )
         step = mu
         if normalize:
             others = [factors[l] for l in range(n_modes) if l != mode]
@@ -85,15 +136,22 @@ def temporal_gradient_step(
     previous_vector: np.ndarray,
     season_vector: np.ndarray,
     config: SofiaConfig,
+    *,
+    coords: tuple[np.ndarray, ...] | None = None,
 ) -> np.ndarray:
     """Gradient update of the temporal vector ``u_t`` (Eq. 25).
 
     Starts from the HW forecast ``û_{t|t-1}`` and descends the local cost,
     pulling toward the data term plus the lag-1 / lag-m smoothness
     anchors.  Under ``step_normalization = "lipschitz"`` the step is
-    scaled by ``trace(KᵀK) + λ1 + λ2`` with ``K = ⊙_n U^(n)``.
+    scaled by ``trace(KᵀK) + λ1 + λ2`` with ``K = ⊙_n U^(n)``.  With
+    ``coords``, ``residual`` holds the values at those observed
+    coordinates (the sparse path).
     """
-    data_term = kernels.mttkrp(residual, factors, None)
+    if coords is None:
+        data_term = kernels.mttkrp(residual, factors, None)
+    else:
+        data_term = kernels.mttkrp_observed(coords, residual, factors, None)
     step = config.mu
     if config.step_normalization == "lipschitz":
         lipschitz = (
@@ -136,26 +194,47 @@ def dynamic_step(
     # (2) Estimate outliers against the forecast (Eq. 21), then advance the
     #     error scale (Eq. 22) in one fused pass over the shared residual —
     #     outliers are judged against the *previous* scale, which is
-    #     SOFIA's robustness tweak.
-    outliers, state.sigma = robust_step(
-        y,
-        prediction,
-        state.sigma,
-        m,
-        k=config.huber_k,
-        phi=config.phi,
-        ck=config.biweight_c,
-    )
+    #     SOFIA's robustness tweak.  Below the density threshold the
+    #     split runs only at the observed coordinates and ``residual``
+    #     becomes the 1-D vector of values there (the sparse path).
+    if _takes_sparse_path(m, config):
+        coords = np.nonzero(m)
+        observed_values = y[coords]
+        predicted_values = prediction[coords]
+        outlier_values, state.sigma = robust_step_at(
+            coords,
+            observed_values,
+            predicted_values,
+            state.sigma,
+            k=config.huber_k,
+            phi=config.phi,
+            ck=config.biweight_c,
+        )
+        outliers = np.zeros_like(y)
+        outliers[coords] = outlier_values
+        residual = observed_values - outlier_values - predicted_values
+    else:
+        coords = None
+        outliers, state.sigma = robust_step(
+            y,
+            prediction,
+            state.sigma,
+            m,
+            k=config.huber_k,
+            phi=config.phi,
+            ck=config.biweight_c,
+        )
+        residual = np.where(m, y - outliers - prediction, 0.0)
 
     # (3) Gradient steps on the factors (Eq. 24) and the temporal vector
     #     (Eq. 25), both evaluated at the previous factors.
-    residual = np.where(m, y - outliers - prediction, 0.0)
     new_factors = factor_gradient_step(
         residual,
         state.non_temporal,
         u_forecast,
         config.mu,
         normalize=config.step_normalization == "lipschitz",
+        coords=coords,
     )
     u_new = temporal_gradient_step(
         residual,
@@ -164,6 +243,7 @@ def dynamic_step(
         state.previous_vector,
         state.season_vector,
         config,
+        coords=coords,
     )
     state.non_temporal = new_factors
 
@@ -199,6 +279,11 @@ def dynamic_step_batch(
     which is exactly the sum of the per-step gradients).  Only ``O(R)``
     recurrences (Holt-Winters, ring buffer) and the element-wise robust
     scale scan stay sequential in ``B``.
+
+    Below ``config.density_threshold`` observed fraction the robust
+    split and the gradient contractions run per observed entry (see the
+    module docstring) — on large sparse batches this skips the dense
+    element-wise robust pass over the stacked batch entirely.
 
     Semantics relative to the sequential :func:`dynamic_step` trajectory:
 
@@ -237,17 +322,51 @@ def dynamic_step_batch(
     predictions = kernels.kruskal_reconstruct_rows(factors, u_forecasts)
 
     # (2) Outlier split and error-scale advance (Eq. 21-22) for the whole
-    #     batch in one vectorized pass, with the scale frozen at the
-    #     batch boundary (see :func:`robust_step_batch`).
-    outliers, state.sigma = robust_step_batch(
-        ys,
-        predictions,
-        state.sigma,
-        ms,
-        k=config.huber_k,
-        phi=config.phi,
-        ck=config.biweight_c,
-    )
+    #     batch, with the scale frozen at the batch boundary (see
+    #     :func:`robust_step_batch`).  Below the density threshold the
+    #     split runs only at the observed coordinates — the dense
+    #     element-wise ψ/ρ pass over the stacked batch, which dominates
+    #     very large sparse batches, is skipped entirely — and the
+    #     gradient contractions gather per entry.
+    if _takes_sparse_path(ms, config):
+        batch_coords = np.nonzero(ms)
+        observed_values = ys[batch_coords]
+        predicted_values = predictions[batch_coords]
+        outlier_values, state.sigma = robust_step_batch_at(
+            batch_coords,
+            observed_values,
+            predicted_values,
+            state.sigma,
+            k=config.huber_k,
+            phi=config.phi,
+            ck=config.biweight_c,
+        )
+        outliers = np.zeros_like(ys)
+        outliers[batch_coords] = outlier_values
+        residual_values = observed_values - outlier_values - predicted_values
+        # Batch index last, matching the time-last dense stacking below.
+        coords = batch_coords[1:] + (batch_coords[0],)
+
+        def contract(mats, mode):
+            dim = n_batch if mode == n_modes else None
+            return kernels.mttkrp_observed(
+                coords, residual_values, mats, mode, dim=dim
+            )
+    else:
+        outliers, state.sigma = robust_step_batch(
+            ys,
+            predictions,
+            state.sigma,
+            ms,
+            k=config.huber_k,
+            phi=config.phi,
+            ck=config.biweight_c,
+        )
+        residuals = np.where(ms, ys - outliers - predictions, 0.0)
+        stacked = np.moveaxis(residuals, 0, -1)
+
+        def contract(mats, mode):
+            return kernels.mttkrp(stacked, mats, mode)
 
     # (3) Mini-batch gradient steps (Eq. 24-25) at the frozen factors.
     #     Stacking the residuals time-last and contracting the batch axis
@@ -259,8 +378,6 @@ def dynamic_step_batch(
     #     ``μ < 1`` regardless of the batch size (a naive sum of the B
     #     individually normalized steps overshoots by up to B and
     #     diverges).
-    residuals = np.where(ms, ys - outliers - predictions, 0.0)
-    stacked = np.moveaxis(residuals, 0, -1)
     normalize = config.step_normalization == "lipschitz"
     col_sq = [np.einsum("ir,ir->r", f, f) for f in factors]
     w_sq = u_forecasts * u_forecasts
@@ -273,14 +390,12 @@ def dynamic_step_batch(
         step = config.mu
         if normalize:
             step = config.mu / max(float(np.sum(w_sq @ prod_others)), 1e-12)
-        gradient = kernels.mttkrp(
-            stacked, list(factors) + [u_forecasts], mode
-        )
+        gradient = contract(list(factors) + [u_forecasts], mode)
         new_factors.append(factors[mode] + 2.0 * step * gradient)
 
     # Contracting every *non-batch* axis leaves the (B, R) data terms of
     # Eq. 25; the batch-axis slot of the matrix list is never read.
-    data_terms = kernels.mttkrp(stacked, list(factors) + [None], n_modes)
+    data_terms = contract(list(factors) + [None], n_modes)
     step_u = config.mu
     if normalize:
         prod_all = np.ones(rank)

@@ -119,6 +119,12 @@ class Sofia:
     ) -> SofiaStep:
         """Consume one new subtensor ``Y_t`` online (Alg. 3).
 
+        Subtensors observed below ``config.density_threshold`` are
+        routed through the sparse execution path (robust split and
+        gradient contractions per observed entry; see
+        :func:`repro.core.dynamic.dynamic_step`) — same results, work
+        proportional to the observed entries.
+
         Parameters
         ----------
         subtensor:
@@ -148,7 +154,9 @@ class Sofia:
         call per operation instead of ``B`` per-step dispatches; see
         :func:`repro.core.dynamic.dynamic_step_batch` for the exact
         semantics (``B = 1`` is bit-identical to :meth:`step`, ``B > 1``
-        freezes the factors at the batch boundary).
+        freezes the factors at the batch boundary).  Batches observed
+        below ``config.density_threshold`` skip the dense robust pass
+        and contract gradients per observed entry (the sparse path).
 
         Parameters
         ----------

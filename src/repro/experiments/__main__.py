@@ -26,6 +26,7 @@ from repro.experiments.reporting import format_series, format_table
 from repro.experiments.scalability import run_scalability
 from repro.experiments.settings import SMALL_SCALE, TINY_SCALE
 from repro.experiments.tables import table1_text, table3_text
+from repro.tensor import kernels
 
 __all__ = ["main"]
 
@@ -150,7 +151,18 @@ def main(argv: Sequence[str] | None = None) -> str:
         help="mini-batch size for the dynamic phase (1 = the paper's "
         "sequential protocol)",
     )
+    parser.add_argument(
+        "--kernel-backend",
+        choices=kernels.available_backends(),
+        default=None,
+        dest="kernel_backend",
+        help="run under this repro.tensor.kernels backend ('auto' "
+        "dispatches sparse vs batched by observed density; default: "
+        "the active backend)",
+    )
     args = parser.parse_args(argv)
+    if args.kernel_backend is not None:
+        kernels.set_backend(args.kernel_backend)
     output = _COMMANDS[args.command](args)
     print(output)
     return output

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -24,6 +25,14 @@ from repro.streams.metrics import (
     normalized_residual_error,
 )
 from repro.streams.stream import TensorStream
+from repro.tensor import kernels
+
+
+def _backend_context(kernel_backend: str | None):
+    """Run a whole evaluation under one kernel backend (or the active one)."""
+    if kernel_backend is None:
+        return nullcontext()
+    return kernels.use_backend(kernel_backend)
 
 __all__ = [
     "ForecastResult",
@@ -108,6 +117,7 @@ def run_imputation(
     *,
     startup_steps: int,
     batch_size: int = 1,
+    kernel_backend: str | None = None,
 ) -> ImputationResult:
     """Run one algorithm over a corrupted stream and score imputation.
 
@@ -128,6 +138,11 @@ def run_imputation(
         ``step_batch`` chunks while still recording *per-step* NRE and
         per-step amortized wall-clock (batch time divided by batch
         length), so the paper's evaluation protocol is unchanged.
+    kernel_backend:
+        Run the whole evaluation (initialization and stream) under this
+        :mod:`repro.tensor.kernels` backend; ``None`` (the default)
+        keeps the active backend.  The previous backend is restored
+        afterwards, even on error.
     """
     _check_streams(observed, truth)
     if not 0 < startup_steps < observed.n_steps:
@@ -138,32 +153,36 @@ def run_imputation(
     if batch_size < 1:
         raise ShapeError(f"batch_size must be >= 1, got {batch_size}")
     subtensors, masks = observed.startup(startup_steps)
-    t0 = time.perf_counter()
-    algorithm.initialize(subtensors, masks)
-    init_seconds = time.perf_counter() - t0
-
     nre = RunningAverage()
     step_time = RunningAverage()
-    if batch_size == 1:
-        for t, y_t, mask_t in observed.iter_from(startup_steps):
-            t1 = time.perf_counter()
-            completed = algorithm.step(y_t, mask_t)
-            step_time.add(time.perf_counter() - t1)
-            nre.add(normalized_residual_error(completed, truth.subtensor(t)))
-    else:
-        for t0_block, ys, ms in observed.iter_batches(
-            startup_steps, batch_size
-        ):
-            t1 = time.perf_counter()
-            completed = algorithm.step_batch(ys, ms)
-            amortized = (time.perf_counter() - t1) / ys.shape[0]
-            for offset in range(ys.shape[0]):
-                step_time.add(amortized)
+    with _backend_context(kernel_backend):
+        t0 = time.perf_counter()
+        algorithm.initialize(subtensors, masks)
+        init_seconds = time.perf_counter() - t0
+
+        if batch_size == 1:
+            for t, y_t, mask_t in observed.iter_from(startup_steps):
+                t1 = time.perf_counter()
+                completed = algorithm.step(y_t, mask_t)
+                step_time.add(time.perf_counter() - t1)
                 nre.add(
-                    normalized_residual_error(
-                        completed[offset], truth.subtensor(t0_block + offset)
-                    )
+                    normalized_residual_error(completed, truth.subtensor(t))
                 )
+        else:
+            for t0_block, ys, ms in observed.iter_batches(
+                startup_steps, batch_size
+            ):
+                t1 = time.perf_counter()
+                completed = algorithm.step_batch(ys, ms)
+                amortized = (time.perf_counter() - t1) / ys.shape[0]
+                for offset in range(ys.shape[0]):
+                    step_time.add(amortized)
+                    nre.add(
+                        normalized_residual_error(
+                            completed[offset],
+                            truth.subtensor(t0_block + offset),
+                        )
+                    )
     return ImputationResult(
         name=algorithm.name,
         nre_series=nre.series(),
@@ -181,13 +200,16 @@ def run_forecasting(
     startup_steps: int,
     horizon: int,
     batch_size: int = 1,
+    kernel_backend: str | None = None,
 ) -> ForecastResult:
     """Consume ``T - horizon`` steps, forecast the last ``horizon``.
 
     The algorithm never sees the final ``horizon`` subtensors; AFE is
     computed against the clean ground truth (§VI-E).  With
     ``batch_size > 1`` the consumed stream is fed in ``step_batch``
-    chunks.
+    chunks.  ``kernel_backend`` selects the
+    :mod:`repro.tensor.kernels` backend for the whole run (``None``
+    keeps the active one).
     """
     _check_streams(observed, truth)
     if batch_size < 1:
@@ -199,15 +221,16 @@ def run_forecasting(
             f"startup {startup_steps} + horizon {horizon}"
         )
     subtensors, masks = observed.startup(startup_steps)
-    algorithm.initialize(subtensors, masks)
-    live = observed.slice_steps(0, t_end)
-    if batch_size == 1:
-        for _, y_t, mask_t in live.iter_from(startup_steps):
-            algorithm.step(y_t, mask_t)
-    else:
-        for _, ys, ms in live.iter_batches(startup_steps, batch_size):
-            algorithm.step_batch(ys, ms)
-    forecast = algorithm.forecast(horizon)
+    with _backend_context(kernel_backend):
+        algorithm.initialize(subtensors, masks)
+        live = observed.slice_steps(0, t_end)
+        if batch_size == 1:
+            for _, y_t, mask_t in live.iter_from(startup_steps):
+                algorithm.step(y_t, mask_t)
+        else:
+            for _, ys, ms in live.iter_batches(startup_steps, batch_size):
+                algorithm.step_batch(ys, ms)
+        forecast = algorithm.forecast(horizon)
     truths = np.stack(
         [truth.subtensor(t_end + h) for h in range(horizon)], axis=0
     )

@@ -12,7 +12,8 @@ replaces each of those with a batched formulation:
   pseudo-inverse fallback for singular batches and an all-zero-row
   passthrough that keeps the caller's fallback rows).
 * :func:`accumulate_normal_equations` accumulates ``B_i``/``c_i`` with
-  sorted segment reductions (``np.add.reduceat``) instead of the
+  dense BLAS contraction chains (batched) or per-column histogram
+  reductions over the observed entries (sparse) instead of the
   buffered, element-at-a-time ``np.add.at``.
 * :func:`temporal_sweep` runs the Theorem-2 row sweep in four batched
   color classes chosen so that no two rows of a class are lag-1 or
@@ -33,12 +34,69 @@ replaces each of those with a batched formulation:
 Backend seam
 ------------
 Every dispatched kernel is looked up on the *active backend*, a
-:class:`KernelBackend` record registered in this module.  Two backends
-ship today: ``"batched"`` (the default) and ``"reference"``, which keeps
-the seed's scalar semantics and is used by the parity tests and the
-scalar-vs-batched benchmarks.  A future sparse or GPU path only needs to
-call :func:`register_backend` with its own kernel set — nothing else in
-the code base has to change.
+:class:`KernelBackend` record registered in this module.  Four backends
+ship today:
+
+* ``"batched"`` — the dense-contraction path: BLAS tensordot chains,
+  batched solves, dense scatter.  Work is ``O(prod(dims) R^2)`` per
+  accumulation/reconstruction regardless of how many entries are
+  actually observed.
+* ``"sparse"`` — per-entry gather/segment work over observed
+  coordinates only (``O(nnz R^2)``), with no dense intermediate of the
+  subtensor shape.  The accumulation is the per-column ``np.bincount``
+  histogram path, MTTKRP gathers factor rows at the tensor's nonzero
+  coordinates, and reconstruction evaluates ``[[factors; w_b]]`` only
+  at caller-supplied coordinates.  This is the right path for the
+  <5%-observed real-world streams of the paper's Sec. VI.
+* ``"auto"`` — the default: dispatches each call to ``"sparse"`` or
+  ``"batched"`` by comparing the observed fraction against
+  ``AUTO_DENSITY_THRESHOLD`` (5%, where the dense BLAS constants beat
+  the scatter-gather constants on the benchmark sweep).
+* ``"reference"`` — the seed's scalar semantics, used by the parity
+  tests and the scalar-vs-batched benchmarks.
+
+The active backend defaults to ``"auto"`` and can be overridden with
+:func:`set_backend`, the :func:`use_backend` context manager, or the
+``REPRO_KERNEL_BACKEND`` environment variable (read once at import, so
+CI can run whole suites under one backend).
+
+Authoring a new backend
+-----------------------
+A new execution path (GPU, distributed, ...) registers one
+:class:`KernelBackend` record — nothing else in the code base has to
+change::
+
+    from repro.tensor import kernels
+
+    kernels.register_backend(kernels.KernelBackend(
+        name="my-backend",
+        solve_rows=...,                   # (lhs, rhs, fallback) -> (n, R)
+        accumulate_normal_equations=...,  # (coords, values, factors, mode)
+                                          #   -> ((I_mode, R, R), (I_mode, R))
+        temporal_sweep=...,               # (B, c, temporal, *, lambda1,
+                                          #   lambda2, period) -> (I_N, R)
+        mttkrp=...,                       # (tensor, factors, mode, weights)
+        rls_update_rows=...,              # in-place RLS rounds
+        kruskal_reconstruct_rows=...,     # (factors, weight_rows, coords)
+    ))
+
+Contract highlights: ``solve_rows`` must keep ``fallback`` rows where
+both sides are zero; ``temporal_sweep`` must realize a valid
+Gauss-Seidel ordering of Eq. 17-18 (any ordering — the conformance
+suite checks the zero-coupling case exactly and the coupled case at the
+shared fixed point); ``kruskal_reconstruct_rows`` must honor the
+optional ``coords`` gather form; ``mttkrp`` must accept ``mode=None``
+(contract everything) and a ``None`` placeholder in the skipped
+``mode`` slot of ``factors``.  Partial backends can borrow the shipped
+implementations for kernels they do not specialize (the sparse backend
+reuses the batched ``solve_rows``/``temporal_sweep``/``rls_update_rows``,
+which already run over per-row systems or observed entries only).  The
+``keeps_dense_steps`` flag (default ``True``) guarantees the dynamic
+phase never bypasses the backend's kernels with its own CPU per-entry
+fast path — leave it set unless that path is your execution strategy.
+Every registered backend is automatically exercised against
+``"reference"`` by ``tests/tensor/backend_conformance.py`` — register
+it before the suite runs and the parity checks come for free.
 
 Multicolor Gauss-Seidel ordering
 --------------------------------
@@ -55,6 +113,7 @@ a different (but equally valid) row ordering.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -66,6 +125,8 @@ from repro.tensor.dense import unfold
 from repro.tensor.products import khatri_rao, kruskal_to_tensor
 
 __all__ = [
+    "AUTO_DENSITY_THRESHOLD",
+    "BACKEND_ENV_VAR",
     "KernelBackend",
     "accumulate_normal_equations",
     "active_backend",
@@ -76,6 +137,7 @@ __all__ = [
     "lag_neighbor_sums",
     "masked_soft_threshold",
     "mttkrp",
+    "mttkrp_observed",
     "observed_factor_products",
     "register_backend",
     "rls_update_rows",
@@ -181,7 +243,7 @@ def scatter_normal_equations(
 
 def observed_factor_products(
     coords: tuple[np.ndarray, ...],
-    factors: Sequence[np.ndarray],
+    factors: Sequence[np.ndarray | None],
     *,
     skip_mode: int | None = None,
     weights: np.ndarray | None = None,
@@ -191,9 +253,10 @@ def observed_factor_products(
     The design row of an observed entry ``(i_1, ..., i_N)`` is
     ``⊛_{l ≠ skip_mode} U^(l)[i_l]`` (optionally times ``weights``) — the
     building block of both the Theorem-1 normal equations and the
-    temporal-weight least squares every streaming baseline shares.
+    temporal-weight least squares every streaming baseline shares.  The
+    ``skip_mode`` entry of ``factors`` is never read and may be ``None``.
     """
-    rank = factors[0].shape[1]
+    rank = next(f.shape[1] for f in factors if f is not None)
     nnz = coords[0].size
     prod = np.ones((nnz, rank))
     if weights is not None:
@@ -366,27 +429,33 @@ def _dense_mttkrp_chain(
     return out
 
 
-#: Observed fraction above which the dense contraction path beats the
-#: per-entry bincount path (dense work is O(prod(dims) R^2) at BLAS
+#: Observed fraction above which the dense contraction paths beat the
+#: per-entry sparse paths (dense work is O(prod(dims) R^2) at BLAS
 #: speed; sparse work is O(nnz R^2) with scatter-gather constants).
-_DENSE_ACCUMULATE_THRESHOLD = 0.05
+#: The ``"auto"`` backend dispatches each call across this threshold.
+AUTO_DENSITY_THRESHOLD = 0.05
 
 
-def _accumulate_dense(
+def _batched_accumulate_normal_equations(
     coords: tuple[np.ndarray, ...],
     values: np.ndarray,
     factors: Sequence[np.ndarray],
     mode: int,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Dense-contraction accumulation for well-observed tensors.
+    """Dense-contraction accumulation of ``B_i``/``c_i`` (Eq. 14-15).
 
     Scatters the observed values and the indicator back to dense arrays,
     then computes ``c`` as one MTTKRP of the masked values and ``B`` as
     one MTTKRP of the indicator against the *pair* matrices
     ``U^(l) ⊙row U^(l)`` of shape ``(I_l, R²)`` — both run as BLAS-backed
-    tensordot chains.
+    tensordot chains.  Work is ``O(prod(dims) R²)`` regardless of how
+    many entries are observed; the sparse backend covers the low-density
+    regime.
     """
     rank = factors[0].shape[1]
+    dim = factors[mode].shape[0]
+    if values.size == 0:
+        return np.zeros((dim, rank, rank)), np.zeros((dim, rank))
     shape = tuple(f.shape[0] for f in factors)
     dense_values = np.zeros(shape)
     dense_values[coords] = values
@@ -401,68 +470,6 @@ def _accumulate_dense(
         shape[mode], rank, rank
     )
     return big_b, big_c
-
-
-def _accumulate_bincount(
-    coords: tuple[np.ndarray, ...],
-    values: np.ndarray,
-    factors: Sequence[np.ndarray],
-    mode: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Per-entry accumulation via symmetric per-column ``np.bincount``.
-
-    Only the upper triangle of each ``B_i`` is reduced (the outer
-    products are symmetric), one histogram per ``(r, s)`` component;
-    chunking bounds the per-column workspace.
-    """
-    rank = factors[0].shape[1]
-    dim = factors[mode].shape[0]
-    big_b = np.zeros((dim, rank, rank))
-    big_c = np.zeros((dim, rank))
-    nnz = values.size
-    chunk_size = 1 << 20
-    for start in range(0, nnz, chunk_size):
-        stop = min(start + chunk_size, nnz)
-        chunk = tuple(c[start:stop] for c in coords)
-        design = observed_factor_products(chunk, factors, skip_mode=mode)
-        rows = chunk[mode]
-        chunk_values = values[start:stop]
-        for r in range(rank):
-            big_c[:, r] += np.bincount(
-                rows, weights=chunk_values * design[:, r], minlength=dim
-            )
-            for s in range(r, rank):
-                col = np.bincount(
-                    rows, weights=design[:, r] * design[:, s], minlength=dim
-                )
-                big_b[:, r, s] += col
-                if s != r:
-                    big_b[:, s, r] += col
-    return big_b, big_c
-
-
-def _batched_accumulate_normal_equations(
-    coords: tuple[np.ndarray, ...],
-    values: np.ndarray,
-    factors: Sequence[np.ndarray],
-    mode: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Accumulate ``B_i``/``c_i`` (Eq. 14-15) without ``np.add.at``.
-
-    Picks the dense contraction path when the tensor is well observed
-    and the segment (bincount) path when it is sparse.
-    """
-    rank = factors[0].shape[1]
-    dim = factors[mode].shape[0]
-    nnz = values.size
-    if nnz == 0:
-        return np.zeros((dim, rank, rank)), np.zeros((dim, rank))
-    total = 1.0
-    for f in factors:
-        total *= f.shape[0]
-    if nnz >= _DENSE_ACCUMULATE_THRESHOLD * total:
-        return _accumulate_dense(coords, values, factors, mode)
-    return _accumulate_bincount(coords, values, factors, mode)
 
 
 def _batched_temporal_sweep(
@@ -572,6 +579,7 @@ def _batched_rls_update_rows(
 def _batched_kruskal_reconstruct_rows(
     factors: Sequence[np.ndarray],
     weight_rows: np.ndarray,
+    coords: tuple[np.ndarray, ...] | None = None,
 ) -> np.ndarray:
     """All ``B`` reconstructions ``[[factors; w_b]]`` in one fused pass.
 
@@ -581,7 +589,9 @@ def _batched_kruskal_reconstruct_rows(
     single BLAS matmul against the last factor (no ``prod(I) x R``
     Khatri-Rao temporary); otherwise the shared Khatri-Rao matrix is
     materialized once and the whole mini-batch is one
-    ``W @ khatri_rao(factors)ᵀ`` matmul.
+    ``W @ khatri_rao(factors)ᵀ`` matmul.  With ``coords``, the dense
+    stack is still built and then gathered — this is the dense backend;
+    the sparse backend evaluates only the requested entries.
     """
     weight_rows = np.asarray(weight_rows, dtype=np.float64)
     if weight_rows.ndim != 2:
@@ -592,15 +602,216 @@ def _batched_kruskal_reconstruct_rows(
     shape = tuple(f.shape[0] for f in mats)
     n_batch = weight_rows.shape[0]
     if len(mats) == 1:
-        return weight_rows @ mats[0].T
-    if n_batch < mats[-1].shape[0]:
+        dense = weight_rows @ mats[0].T
+    elif n_batch < mats[-1].shape[0]:
         out = weight_rows
         for mat in mats[:-1]:
             out = out[..., None, :] * mat
         flat = out.reshape(-1, out.shape[-1])
-        return (flat @ mats[-1].T).reshape((n_batch,) + shape)
-    kr = khatri_rao(mats)
-    return (weight_rows @ kr.T).reshape((n_batch,) + shape)
+        dense = (flat @ mats[-1].T).reshape((n_batch,) + shape)
+    else:
+        kr = khatri_rao(mats)
+        dense = (weight_rows @ kr.T).reshape((n_batch,) + shape)
+    if coords is None:
+        return dense
+    return dense[coords]
+
+
+# ---------------------------------------------------------------------------
+# Sparse kernels (per-entry gather/segment work over observed coordinates)
+# ---------------------------------------------------------------------------
+
+
+def mttkrp_observed(
+    coords: tuple[np.ndarray, ...],
+    values: np.ndarray,
+    factors: Sequence[np.ndarray | None],
+    mode: int | None,
+    dim: int | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """MTTKRP of a sparse tensor given directly by coordinates and values.
+
+    The backend-independent building block of the sparse execution path:
+    for observed entries ``(coords, values)`` it gathers the matching
+    factor rows, multiplies them per entry, and segment-sums into the
+    rows of ``mode`` — ``O(nnz N R)`` with no dense intermediate.  With
+    ``mode=None`` every axis is contracted, leaving the length-``R``
+    vector of Eq. 25.  The entry of ``factors`` at ``mode`` is never
+    read (it may be ``None``); ``dim`` overrides the output row count
+    when it cannot be taken from ``factors[mode]``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if mode is None:
+        prod = observed_factor_products(coords, factors, weights=weights)
+        return values @ prod
+    design = observed_factor_products(
+        coords, factors, skip_mode=mode, weights=weights
+    )
+    if dim is None:
+        dim = factors[mode].shape[0]
+    return segment_sum(coords[mode], values[:, None] * design, dim)
+
+
+def _sparse_accumulate_normal_equations(
+    coords: tuple[np.ndarray, ...],
+    values: np.ndarray,
+    factors: Sequence[np.ndarray],
+    mode: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-entry accumulation via symmetric per-column ``np.bincount``.
+
+    ``O(nnz R²)`` work and ``O(nnz R)`` memory: only the upper triangle
+    of each ``B_i`` is reduced (the outer products are symmetric), one
+    histogram per ``(r, s)`` component; chunking bounds the per-column
+    workspace.  Beats one shared argsort-plus-``reduceat`` payload
+    reduction at streaming ranks (one histogram pass per component is
+    cheaper than sorting and materializing the ``(nnz, R² + R)``
+    payload).
+    """
+    rank = factors[0].shape[1]
+    dim = factors[mode].shape[0]
+    big_b = np.zeros((dim, rank, rank))
+    big_c = np.zeros((dim, rank))
+    nnz = values.size
+    chunk_size = 1 << 20
+    for start in range(0, nnz, chunk_size):
+        stop = min(start + chunk_size, nnz)
+        chunk = tuple(c[start:stop] for c in coords)
+        design = observed_factor_products(chunk, factors, skip_mode=mode)
+        rows = chunk[mode]
+        chunk_values = values[start:stop]
+        for r in range(rank):
+            big_c[:, r] += np.bincount(
+                rows, weights=chunk_values * design[:, r], minlength=dim
+            )
+            for s in range(r, rank):
+                col = np.bincount(
+                    rows, weights=design[:, r] * design[:, s], minlength=dim
+                )
+                big_b[:, r, s] += col
+                if s != r:
+                    big_b[:, s, r] += col
+    return big_b, big_c
+
+
+def _sparse_mttkrp(
+    tensor: np.ndarray,
+    factors: Sequence[np.ndarray | None],
+    mode: int | None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """MTTKRP that touches only the nonzero entries of ``tensor``.
+
+    The dynamic-phase residuals are masked to zero off the observed
+    entries, so gathering at ``np.nonzero(tensor)`` and segment-summing
+    reproduces the dense contraction exactly while doing ``O(nnz N R)``
+    work instead of ``O(prod(dims) R)``.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.ndim == 1 and mode is not None:
+        # Single-mode tensor: the empty Khatri-Rao product is all-ones.
+        rank = next(f.shape[1] for f in factors if f is not None)
+        row = (
+            np.asarray(weights, dtype=np.float64)[None, :]
+            if weights is not None
+            else np.ones((1, rank))
+        )
+        return tensor[:, None] * row
+    coords = np.nonzero(tensor)
+    dim = None if mode is None else tensor.shape[mode]
+    return mttkrp_observed(
+        coords, tensor[coords], factors, mode, dim=dim, weights=weights
+    )
+
+
+def _sparse_kruskal_reconstruct_rows(
+    factors: Sequence[np.ndarray],
+    weight_rows: np.ndarray,
+    coords: tuple[np.ndarray, ...] | None = None,
+) -> np.ndarray:
+    """Evaluate ``[[factors; w_b]]`` only at the requested coordinates.
+
+    With ``coords = (batch_idx, i_1, ..., i_N)`` the result is the 1-D
+    array of entry values — ``O(nnz N R)`` gather-multiply work with no
+    ``(B, I_1, ..., I_N)`` intermediate.  Without ``coords`` a dense
+    stack is requested, which has no sparsity to exploit, so the dense
+    batched strategy is reused.
+    """
+    weight_rows = np.asarray(weight_rows, dtype=np.float64)
+    if weight_rows.ndim != 2:
+        raise ShapeError(
+            f"weight rows must be 2-D (batch, rank), got {weight_rows.shape}"
+        )
+    if coords is None:
+        return _batched_kruskal_reconstruct_rows(factors, weight_rows)
+    prod = weight_rows[coords[0]]
+    for axis, factor in enumerate(factors):
+        prod = prod * np.asarray(factor, dtype=np.float64)[coords[axis + 1]]
+    return prod.sum(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# Auto kernels (density-aware dispatch between sparse and batched)
+# ---------------------------------------------------------------------------
+
+
+def _auto_accumulate_normal_equations(
+    coords: tuple[np.ndarray, ...],
+    values: np.ndarray,
+    factors: Sequence[np.ndarray],
+    mode: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Route accumulation by observed fraction (Eq. 14-15)."""
+    total = 1.0
+    for f in factors:
+        total *= f.shape[0]
+    if values.size < AUTO_DENSITY_THRESHOLD * total:
+        return _sparse_accumulate_normal_equations(
+            coords, values, factors, mode
+        )
+    return _batched_accumulate_normal_equations(coords, values, factors, mode)
+
+
+def _auto_mttkrp(
+    tensor: np.ndarray,
+    factors: Sequence[np.ndarray | None],
+    mode: int | None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Route MTTKRP by the tensor's nonzero fraction.
+
+    The cheap ``count_nonzero`` probe runs first so the dense route
+    never materializes coordinate arrays; the sparse route then
+    extracts the coordinates once and contracts directly (no second
+    scan inside :func:`_sparse_mttkrp`).
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.ndim <= 1 or (
+        np.count_nonzero(tensor) >= AUTO_DENSITY_THRESHOLD * tensor.size
+    ):
+        return _batched_mttkrp(tensor, factors, mode, weights)
+    coords = np.nonzero(tensor)
+    dim = None if mode is None else tensor.shape[mode]
+    return mttkrp_observed(
+        coords, tensor[coords], factors, mode, dim=dim, weights=weights
+    )
+
+
+def _auto_kruskal_reconstruct_rows(
+    factors: Sequence[np.ndarray],
+    weight_rows: np.ndarray,
+    coords: tuple[np.ndarray, ...] | None = None,
+) -> np.ndarray:
+    """Gather-only when few entries are requested; dense stack otherwise."""
+    if coords is None:
+        return _batched_kruskal_reconstruct_rows(factors, weight_rows)
+    total = np.asarray(weight_rows).shape[0] * 1.0
+    for f in factors:
+        total *= f.shape[0]
+    if coords[0].size < AUTO_DENSITY_THRESHOLD * total:
+        return _sparse_kruskal_reconstruct_rows(factors, weight_rows, coords)
+    return _batched_kruskal_reconstruct_rows(factors, weight_rows, coords)
 
 
 # ---------------------------------------------------------------------------
@@ -722,6 +933,7 @@ def _reference_mttkrp(
 def _reference_kruskal_reconstruct_rows(
     factors: Sequence[np.ndarray],
     weight_rows: np.ndarray,
+    coords: tuple[np.ndarray, ...] | None = None,
 ) -> np.ndarray:
     """One Kruskal evaluation per weight row (the per-step semantics)."""
     weight_rows = np.asarray(weight_rows, dtype=np.float64)
@@ -733,7 +945,9 @@ def _reference_kruskal_reconstruct_rows(
     out = np.empty((weight_rows.shape[0],) + shape)
     for b in range(weight_rows.shape[0]):
         out[b] = kruskal_to_tensor(factors, weights=weight_rows[b])
-    return out
+    if coords is None:
+        return out
+    return out[coords]
 
 
 def _reference_rls_update_rows(
@@ -763,10 +977,11 @@ def _reference_rls_update_rows(
 class KernelBackend:
     """One pluggable set of hot-path kernels.
 
-    New execution paths (sparse, GPU, ...) implement these six
+    New execution paths (GPU, distributed, ...) implement these six
     callables and register themselves; every consumer — core ALS,
     dynamic updates, the mini-batch streaming engine, and the streaming
-    baselines — dispatches through the active backend.
+    baselines — dispatches through the active backend.  See the module
+    docstring's authoring guide for the per-kernel contracts.
     """
 
     name: str
@@ -776,10 +991,23 @@ class KernelBackend:
     mttkrp: Callable[..., np.ndarray]
     rls_update_rows: Callable[..., None]
     kruskal_reconstruct_rows: Callable[..., np.ndarray]
+    #: When True (the default), consumers with their own
+    #: observed-coordinate fast paths (the dynamic phase's
+    #: ``density_threshold`` routing) stay on this backend's dispatched
+    #: kernels instead of bypassing them — the safe choice for any
+    #: backend whose kernels should see all the work (dense, scalar,
+    #: GPU).  The shipped ``sparse``/``auto`` backends opt out: the
+    #: per-entry CPU path *is* their execution strategy.
+    keeps_dense_steps: bool = True
 
+
+#: Environment variable that selects the import-time active backend —
+#: the hook the CI backend matrix uses to run whole suites under one
+#: backend without code changes.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
 
 _BACKENDS: dict[str, KernelBackend] = {}
-_ACTIVE = "batched"
+_ACTIVE = "auto"
 
 
 def register_backend(backend: KernelBackend) -> None:
@@ -798,7 +1026,11 @@ def active_backend() -> KernelBackend:
 
 
 def set_backend(name: str) -> None:
-    """Make ``name`` the active backend for all subsequent kernel calls."""
+    """Make ``name`` the active backend for all subsequent kernel calls.
+
+    Unknown names raise :class:`~repro.exceptions.ConfigError` listing
+    :func:`available_backends`, and leave the active backend unchanged.
+    """
     global _ACTIVE
     if name not in _BACKENDS:
         raise ConfigError(
@@ -810,7 +1042,12 @@ def set_backend(name: str) -> None:
 
 @contextmanager
 def use_backend(name: str):
-    """Context manager: run a block under a different kernel backend."""
+    """Context manager: run a block under a different kernel backend.
+
+    The previously active backend is restored on exit even when the
+    body raises (or itself switches backends); entering with an unknown
+    name raises without changing the active backend.
+    """
     previous = _ACTIVE
     set_backend(name)
     try:
@@ -830,6 +1067,33 @@ register_backend(
         kruskal_reconstruct_rows=_batched_kruskal_reconstruct_rows,
     )
 )
+# The sparse backend specializes the kernels whose cost scales with the
+# subtensor volume; the remaining three already run over per-row systems
+# or observed entries only, so the batched implementations are reused.
+register_backend(
+    KernelBackend(
+        name="sparse",
+        solve_rows=_batched_solve_rows,
+        accumulate_normal_equations=_sparse_accumulate_normal_equations,
+        temporal_sweep=_batched_temporal_sweep,
+        mttkrp=_sparse_mttkrp,
+        rls_update_rows=_batched_rls_update_rows,
+        kruskal_reconstruct_rows=_sparse_kruskal_reconstruct_rows,
+        keeps_dense_steps=False,
+    )
+)
+register_backend(
+    KernelBackend(
+        name="auto",
+        solve_rows=_batched_solve_rows,
+        accumulate_normal_equations=_auto_accumulate_normal_equations,
+        temporal_sweep=_batched_temporal_sweep,
+        mttkrp=_auto_mttkrp,
+        rls_update_rows=_batched_rls_update_rows,
+        kruskal_reconstruct_rows=_auto_kruskal_reconstruct_rows,
+        keeps_dense_steps=False,
+    )
+)
 register_backend(
     KernelBackend(
         name="reference",
@@ -841,6 +1105,10 @@ register_backend(
         kruskal_reconstruct_rows=_reference_kruskal_reconstruct_rows,
     )
 )
+
+_env_backend = os.environ.get(BACKEND_ENV_VAR, "").strip()
+if _env_backend:
+    set_backend(_env_backend)
 
 
 def solve_rows(
@@ -931,14 +1199,27 @@ def mttkrp(
 def kruskal_reconstruct_rows(
     factors: Sequence[np.ndarray],
     weight_rows: np.ndarray,
+    coords: tuple[np.ndarray, ...] | None = None,
 ) -> np.ndarray:
     """Evaluate ``[[factors; w_b]]`` for every row ``w_b`` of a weight matrix.
 
-    Returns an array of shape ``(B, I_1, ..., I_N)`` — the stacked
-    reconstructions the mini-batch streaming engine uses for the Eq. 20
-    predictions and the per-step completions of a whole batch at once.
+    Without ``coords``, returns an array of shape ``(B, I_1, ..., I_N)``
+    — the stacked reconstructions the mini-batch streaming engine uses
+    for the Eq. 20 predictions and the per-step completions of a whole
+    batch at once.  With ``coords`` — a tuple of index arrays
+    ``(batch_idx, i_1, ..., i_N)`` into that stack — only the requested
+    entries are returned as a 1-D array; the sparse backend computes
+    them by per-entry gather (``O(nnz N R)``), dense backends
+    reconstruct and gather.
     """
-    return active_backend().kruskal_reconstruct_rows(factors, weight_rows)
+    if coords is not None and len(coords) != len(factors) + 1:
+        raise ShapeError(
+            f"coords must hold {len(factors) + 1} index arrays "
+            f"(batch plus one per mode), got {len(coords)}"
+        )
+    return active_backend().kruskal_reconstruct_rows(
+        factors, weight_rows, coords
+    )
 
 
 def rls_update_rows(

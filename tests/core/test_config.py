@@ -18,6 +18,7 @@ class TestDefaults:
         assert cfg.biweight_c == pytest.approx(2.52)
         assert cfg.lambda3_decay == pytest.approx(0.85)
         assert cfg.init_seasons == 3
+        assert cfg.density_threshold == pytest.approx(0.05)
 
     def test_init_steps(self):
         assert SofiaConfig(rank=2, period=7).init_steps == 21
@@ -50,6 +51,8 @@ class TestValidation:
             {"rank": 3, "period": 5, "max_outer_iters": 0},
             {"rank": 3, "period": 5, "max_als_iters": 0},
             {"rank": 3, "period": 5, "step_normalization": "bogus"},
+            {"rank": 3, "period": 5, "density_threshold": -0.1},
+            {"rank": 3, "period": 5, "density_threshold": 1.5},
         ],
     )
     def test_rejects_bad_values(self, kwargs):

@@ -25,6 +25,23 @@ class TestCli:
         assert "SOFIA_ALS" in output
         assert "vanilla" in output
 
+    def test_kernel_backend_flag(self):
+        from repro.tensor import kernels
+
+        previous = kernels.active_backend().name
+        try:
+            output = main(
+                ["fig2", "--iters", "10", "--kernel-backend", "sparse"]
+            )
+            assert "SOFIA_ALS" in output
+            assert kernels.active_backend().name == "sparse"
+        finally:
+            kernels.set_backend(previous)
+
+    def test_unknown_kernel_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--kernel-backend", "bogus"])
+
     def test_ablation_listed(self):
         # only check the command is wired; the heavy run is covered by
         # the driver tests and benches

@@ -170,6 +170,76 @@ class TestRunImputationBatched:
             )
 
 
+class TestRunnerKernelBackend:
+    def test_run_executes_under_requested_backend(self, streams):
+        from repro.tensor import kernels
+
+        observed, truth, clean = streams
+        seen = []
+
+        class BackendProbe(PerfectOracle):
+            def step(self, subtensor, mask):
+                seen.append(kernels.active_backend().name)
+                return super().step(subtensor, mask)
+
+        previous = kernels.active_backend().name
+        result = run_imputation(
+            BackendProbe(clean),
+            observed,
+            truth,
+            startup_steps=6,
+            kernel_backend="sparse",
+        )
+        assert seen and set(seen) == {"sparse"}
+        assert kernels.active_backend().name == previous
+        assert result.rae == pytest.approx(0.0)
+
+    def test_backend_restored_when_algorithm_raises(self, streams):
+        from repro.tensor import kernels
+
+        observed, truth, clean = streams
+
+        class ExplodingOracle(PerfectOracle):
+            def step(self, subtensor, mask):
+                raise RuntimeError("boom")
+
+        previous = kernels.active_backend().name
+        with pytest.raises(RuntimeError, match="boom"):
+            run_imputation(
+                ExplodingOracle(clean),
+                observed,
+                truth,
+                startup_steps=6,
+                kernel_backend="reference",
+            )
+        assert kernels.active_backend().name == previous
+
+    def test_unknown_backend_rejected(self, streams):
+        from repro.exceptions import ConfigError
+
+        observed, truth, clean = streams
+        with pytest.raises(ConfigError):
+            run_imputation(
+                PerfectOracle(clean),
+                observed,
+                truth,
+                startup_steps=6,
+                kernel_backend="does-not-exist",
+            )
+
+    def test_forecasting_accepts_backend(self, streams):
+        observed, truth, clean = streams
+        result = run_forecasting(
+            PerfectOracle(clean),
+            observed,
+            truth,
+            startup_steps=6,
+            horizon=3,
+            kernel_backend="sparse",
+        )
+        assert result.afe == pytest.approx(0.0, abs=1e-12)
+
+
 class TestRunForecasting:
     def test_oracle_forecast_perfect(self, streams):
         observed, truth, clean = streams

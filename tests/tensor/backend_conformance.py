@@ -1,0 +1,483 @@
+"""Reusable cross-backend conformance harness for the kernel seam.
+
+Every backend registered in :mod:`repro.tensor.kernels` is checked
+against the ``"reference"`` backend (the seed's scalar semantics) on
+all six dispatched kernels — current backends (``batched``, ``sparse``,
+``auto``) and any future one (GPU, distributed) alike.  A new backend
+only has to call :func:`repro.tensor.kernels.register_backend` before
+the suite runs; :func:`backends_under_test` picks it up and the whole
+case matrix below applies to it with no new test code.
+
+Structure
+---------
+* :func:`backends_under_test` — every registered backend except the
+  reference it is compared against.
+* :func:`iter_conformance_cases` — ``(kernel, case_id, check)`` triples;
+  each ``check`` is a callable taking a backend name and asserting
+  parity with ``"reference"`` (same tolerances the original
+  batched-vs-reference parity tests used).
+
+The case matrix sweeps observed density over
+{0%, 0.5%, 5%, 50%, 100%} — crossing the 5% auto-dispatch threshold
+from both sides — and pins the degenerate coordinate patterns a
+histogram/segment path can silently mishandle: empty masks, a single
+observed entry, and every observed entry landing in one factor row.
+Solver edge cases (singular systems, all-zero rows, empty batches) ride
+along from the original parity suite.
+"""
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.tensor import kernels, random_factors
+
+__all__ = [
+    "DENSITIES",
+    "backends_under_test",
+    "iter_conformance_cases",
+]
+
+#: Observed fractions swept by the density cases; 0.05 is the auto
+#: backend's dispatch threshold, approached from both sides.
+DENSITIES = (0.0, 0.005, 0.05, 0.5, 1.0)
+
+_SHAPE = (6, 5, 12)
+_RANK = 3
+
+_CASES: list[tuple[str, str, Callable[[str], None]]] = []
+
+
+def backends_under_test() -> list[str]:
+    """All registered backends except the reference they are pinned to."""
+    return [
+        name for name in kernels.available_backends() if name != "reference"
+    ]
+
+
+def iter_conformance_cases() -> list[tuple[str, str, Callable[[str], None]]]:
+    """``(kernel, case_id, check)`` triples covering all six kernels."""
+    return list(_CASES)
+
+
+def _case(kernel: str, case_id: str):
+    def decorate(check: Callable[[str], None]):
+        _CASES.append((kernel, case_id, check))
+        return check
+
+    return decorate
+
+
+def _call(backend: str, kernel: str, *args, **kwargs):
+    with kernels.use_backend(backend):
+        return getattr(kernels, kernel)(*args, **kwargs)
+
+
+def _both(backend: str, kernel: str, *args, **kwargs):
+    """Evaluate one kernel under ``backend`` and under the reference."""
+    got = _call(backend, kernel, *args, **kwargs)
+    expected = _call("reference", kernel, *args, **kwargs)
+    return got, expected
+
+
+def _mask_for(seed: int, shape, density: float | str) -> np.ndarray:
+    """Observation mask at a density, or one of the edge patterns.
+
+    ``"empty"``/``"single"``/``"one_row"`` build the degenerate masks;
+    a float draws i.i.d. Bernoulli(density) observations.
+    """
+    rng = np.random.default_rng(seed)
+    if density == "empty":
+        return np.zeros(shape, dtype=bool)
+    if density == "single":
+        mask = np.zeros(shape, dtype=bool)
+        mask[tuple(int(rng.integers(0, s)) for s in shape)] = True
+        return mask
+    if density == "one_row":
+        # Every observed entry shares index 1 of the *first* mode: the
+        # whole histogram collapses into one bin and all other bins
+        # must come back exactly zero despite never being touched.
+        mask = np.zeros(shape, dtype=bool)
+        mask[1] = rng.random(shape[1:]) < 0.6
+        return mask
+    if density >= 1.0:
+        return np.ones(shape, dtype=bool)
+    return rng.random(shape) < density
+
+
+def _observed_case(seed: int, density: float | str, shape=_SHAPE):
+    """Coordinates, values, and factors of one masked-tensor case."""
+    rng = np.random.default_rng(seed + 1000)
+    factors = random_factors(shape, _RANK, seed=seed)
+    mask = _mask_for(seed, shape, density)
+    coords = np.nonzero(mask)
+    values = rng.normal(size=coords[0].size)
+    return coords, values, factors, mask
+
+
+# ---------------------------------------------------------------------------
+# solve_rows
+# ---------------------------------------------------------------------------
+
+
+@_case("solve_rows", "well_conditioned")
+def _check_solve_well_conditioned(backend: str) -> None:
+    rng = np.random.default_rng(0)
+    base = rng.normal(size=(40, 4, 4))
+    lhs = base @ base.transpose(0, 2, 1) + 0.5 * np.eye(4)
+    rhs = rng.normal(size=(40, 4))
+    fallback = rng.normal(size=(40, 4))
+    got, expected = _both(backend, "solve_rows", lhs, rhs, fallback)
+    np.testing.assert_allclose(got, expected, atol=1e-10)
+    np.testing.assert_allclose(
+        np.einsum("nij,nj->ni", lhs, got), rhs, atol=1e-6
+    )
+
+
+@_case("solve_rows", "singular_consistent")
+def _check_solve_singular(backend: str) -> None:
+    # Rank-1 systems with consistent right-hand sides: a plain batched
+    # solve would fail; lstsq/pinv fallbacks must agree.
+    rng = np.random.default_rng(1)
+    v = rng.normal(size=(10, 3))
+    lhs = v[:, :, None] * v[:, None, :]
+    rhs = np.einsum("nij,nj->ni", lhs, rng.normal(size=(10, 3)))
+    got, expected = _both(backend, "solve_rows", lhs, rhs)
+    np.testing.assert_allclose(got, expected, atol=1e-7)
+
+
+@_case("solve_rows", "all_zero_rows_keep_fallback")
+def _check_solve_fallback(backend: str) -> None:
+    rng = np.random.default_rng(2)
+    lhs = np.zeros((6, 3, 3))
+    rhs = np.zeros((6, 3))
+    lhs[0] = np.eye(3)
+    rhs[0] = rng.normal(size=3)
+    fallback = rng.normal(size=(6, 3))
+    got, expected = _both(backend, "solve_rows", lhs, rhs, fallback)
+    np.testing.assert_allclose(got, expected, atol=1e-10)
+    np.testing.assert_array_equal(got[1:], fallback[1:])
+
+
+@_case("solve_rows", "zero_lhs_nonzero_rhs_solved")
+def _check_solve_zero_lhs(backend: str) -> None:
+    # Only rows where BOTH sides vanish pass through to the fallback.
+    lhs = np.zeros((2, 2, 2))
+    rhs = np.array([[1.0, -2.0], [0.0, 0.0]])
+    fallback = np.full((2, 2), 7.0)
+    got, expected = _both(backend, "solve_rows", lhs, rhs, fallback)
+    np.testing.assert_allclose(got, expected, atol=1e-4, rtol=1e-4)
+    np.testing.assert_array_equal(got[1], fallback[1])
+
+
+@_case("solve_rows", "empty_batch")
+def _check_solve_empty(backend: str) -> None:
+    got = _call(backend, "solve_rows", np.zeros((0, 3, 3)), np.zeros((0, 3)))
+    assert got.shape == (0, 3)
+
+
+# ---------------------------------------------------------------------------
+# accumulate_normal_equations
+# ---------------------------------------------------------------------------
+
+
+def _register_accumulate_cases() -> None:
+    def make_check(density, mode, seed):
+        def check(backend: str) -> None:
+            coords, values, factors, _ = _observed_case(seed, density)
+            got, expected = _both(
+                backend,
+                "accumulate_normal_equations",
+                coords,
+                values,
+                factors,
+                mode,
+            )
+            np.testing.assert_allclose(
+                got[0], expected[0], atol=1e-9, rtol=1e-9
+            )
+            np.testing.assert_allclose(
+                got[1], expected[1], atol=1e-9, rtol=1e-9
+            )
+
+        return check
+
+    for density in DENSITIES:
+        for mode in range(len(_SHAPE)):
+            _case(
+                "accumulate_normal_equations",
+                f"density_{density}_mode_{mode}",
+            )(make_check(density, mode, seed=7))
+    for edge in ("empty", "single", "one_row"):
+        for mode in range(len(_SHAPE)):
+            _case(
+                "accumulate_normal_equations", f"{edge}_mode_{mode}"
+            )(make_check(edge, mode, seed=11))
+
+
+_register_accumulate_cases()
+
+
+# ---------------------------------------------------------------------------
+# temporal_sweep
+# ---------------------------------------------------------------------------
+
+
+def _sweep_inputs(seed: int, density: float | str = 0.5):
+    shape = (4, 3, 24)
+    coords, values, factors, _ = _observed_case(seed, density, shape=shape)
+    big_b, big_c = _call(
+        "reference", "accumulate_normal_equations", coords, values, factors, 2
+    )
+    return big_b, big_c, factors[2]
+
+
+@_case("temporal_sweep", "decoupled_exact")
+def _check_sweep_decoupled(backend: str) -> None:
+    # With zero smoothness the rows decouple, so every valid Gauss-Seidel
+    # ordering gives identical results — exact parity is required.
+    big_b, big_c, temporal = _sweep_inputs(3)
+    got, expected = _both(
+        backend,
+        "temporal_sweep",
+        big_b,
+        big_c,
+        temporal,
+        lambda1=0.0,
+        lambda2=0.0,
+        period=7,
+    )
+    np.testing.assert_allclose(got, expected, atol=1e-10)
+
+
+@_case("temporal_sweep", "coupled_shared_fixed_point")
+def _check_sweep_fixed_point(backend: str) -> None:
+    # With coupling, backends may sweep in different (valid) orderings;
+    # both are Gauss-Seidel on the same linear system and must converge
+    # to the same fixed point.
+    big_b, big_c, temporal = _sweep_inputs(4)
+    kwargs = dict(lambda1=0.5, lambda2=0.4, period=7)
+    got = temporal.copy()
+    expected = temporal.copy()
+    for _ in range(250):
+        got = _call(backend, "temporal_sweep", big_b, big_c, got, **kwargs)
+        expected = _call(
+            "reference", "temporal_sweep", big_b, big_c, expected, **kwargs
+        )
+    np.testing.assert_allclose(got, expected, atol=1e-8)
+
+
+@_case("temporal_sweep", "uncoupled_rows_pass_through")
+def _check_sweep_passthrough(backend: str) -> None:
+    temporal = np.random.default_rng(5).normal(size=(10, 3))
+    got = _call(
+        backend,
+        "temporal_sweep",
+        np.zeros((10, 3, 3)),
+        np.zeros((10, 3)),
+        temporal,
+        lambda1=0.0,
+        lambda2=0.0,
+        period=3,
+    )
+    np.testing.assert_array_equal(got, temporal)
+
+
+# ---------------------------------------------------------------------------
+# mttkrp
+# ---------------------------------------------------------------------------
+
+
+def _register_mttkrp_cases() -> None:
+    def make_check(density, mode, weighted, seed):
+        def check(backend: str) -> None:
+            coords, values, factors, _ = _observed_case(seed, density)
+            tensor = np.zeros(_SHAPE)
+            tensor[coords] = values
+            weights = (
+                np.random.default_rng(seed).normal(size=_RANK)
+                if weighted
+                else None
+            )
+            got, expected = _both(
+                backend, "mttkrp", tensor, factors, mode, weights
+            )
+            np.testing.assert_allclose(
+                got, expected, atol=1e-10, rtol=1e-9
+            )
+
+        return check
+
+    for density in DENSITIES:
+        for mode in (0, 1, 2, None):
+            _case("mttkrp", f"density_{density}_mode_{mode}")(
+                make_check(density, mode, weighted=False, seed=13)
+            )
+    for edge in ("empty", "single", "one_row"):
+        _case("mttkrp", f"{edge}_mode_0")(
+            make_check(edge, 0, weighted=False, seed=17)
+        )
+    for mode in (0, 1, 2, None):
+        _case("mttkrp", f"weighted_mode_{mode}")(
+            make_check(0.5, mode, weighted=True, seed=19)
+        )
+
+
+_register_mttkrp_cases()
+
+
+@_case("mttkrp", "single_mode_tensor")
+def _check_mttkrp_single_mode(backend: str) -> None:
+    rng = np.random.default_rng(7)
+    tensor = rng.normal(size=5)
+    factors = [rng.normal(size=(5, 3))]
+    got, expected = _both(backend, "mttkrp", tensor, factors, 0)
+    np.testing.assert_allclose(got, expected, atol=1e-12)
+
+
+@_case("mttkrp", "none_slot_in_skipped_mode")
+def _check_mttkrp_none_slot(backend: str) -> None:
+    # The mini-batch engine passes ``None`` in the contracted-away slot
+    # (the batch axis of Eq. 25); it must never be read.
+    coords, values, factors, _ = _observed_case(23, 0.3)
+    tensor = np.zeros(_SHAPE)
+    tensor[coords] = values
+    mats = [factors[0], factors[1], None]
+    got, expected = _both(backend, "mttkrp", tensor, mats, 2)
+    np.testing.assert_allclose(got, expected, atol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# kruskal_reconstruct_rows
+# ---------------------------------------------------------------------------
+
+
+def _register_kruskal_cases() -> None:
+    def make_dense_check(n_batch, shape, seed):
+        def check(backend: str) -> None:
+            rng = np.random.default_rng(seed)
+            factors = random_factors(shape, _RANK, seed=seed)
+            weight_rows = rng.normal(size=(n_batch, _RANK))
+            got, expected = _both(
+                backend, "kruskal_reconstruct_rows", factors, weight_rows
+            )
+            np.testing.assert_allclose(got, expected, atol=1e-10)
+
+        return check
+
+    # Batch sizes straddle the batched backend's strategy switch at
+    # ``n_batch >= I_last`` (5 and 6 here).
+    for n_batch in (1, 3, 40):
+        _case("kruskal_reconstruct_rows", f"dense_batch_{n_batch}")(
+            make_dense_check(n_batch, (5, 6), seed=29)
+        )
+    _case("kruskal_reconstruct_rows", "dense_three_mode")(
+        make_dense_check(3, (4, 3, 5), seed=31)
+    )
+    _case("kruskal_reconstruct_rows", "dense_single_factor")(
+        make_dense_check(2, (6,), seed=37)
+    )
+
+    def make_coords_check(density, seed):
+        def check(backend: str) -> None:
+            rng = np.random.default_rng(seed)
+            shape = (5, 6)
+            n_batch = 7
+            factors = random_factors(shape, _RANK, seed=seed)
+            weight_rows = rng.normal(size=(n_batch, _RANK))
+            mask = _mask_for(seed, (n_batch,) + shape, density)
+            coords = np.nonzero(mask)
+            got, expected = _both(
+                backend,
+                "kruskal_reconstruct_rows",
+                factors,
+                weight_rows,
+                coords,
+            )
+            np.testing.assert_allclose(got, expected, atol=1e-10)
+            assert got.shape == (coords[0].size,)
+
+        return check
+
+    for density in DENSITIES:
+        _case("kruskal_reconstruct_rows", f"coords_density_{density}")(
+            make_coords_check(density, seed=41)
+        )
+    for edge in ("empty", "single", "one_row"):
+        _case("kruskal_reconstruct_rows", f"coords_{edge}")(
+            make_coords_check(edge, seed=43)
+        )
+
+
+_register_kruskal_cases()
+
+
+# ---------------------------------------------------------------------------
+# rls_update_rows
+# ---------------------------------------------------------------------------
+
+
+def _register_rls_cases() -> None:
+    def make_check(case_id, rows_builder, n, seed):
+        def check(backend: str) -> None:
+            rng = np.random.default_rng(seed)
+            dim, rank = 8, 3
+            rows = rows_builder(rng, n, dim)
+            regressors = rng.normal(size=(n, rank))
+            targets = rng.normal(size=n)
+            factor0 = rng.normal(size=(dim, rank))
+            cov0 = np.tile(10.0 * np.eye(rank), (dim, 1, 1))
+            factor_got, cov_got = factor0.copy(), cov0.copy()
+            factor_exp, cov_exp = factor0.copy(), cov0.copy()
+            _call(
+                backend,
+                "rls_update_rows",
+                factor_got,
+                cov_got,
+                rows,
+                regressors,
+                targets,
+                0.98,
+            )
+            _call(
+                "reference",
+                "rls_update_rows",
+                factor_exp,
+                cov_exp,
+                rows,
+                regressors,
+                targets,
+                0.98,
+            )
+            np.testing.assert_allclose(factor_got, factor_exp, atol=1e-10)
+            np.testing.assert_allclose(cov_got, cov_exp, atol=1e-8)
+
+        return check
+
+    _case("rls_update_rows", "random_rows")(
+        make_check(
+            "random_rows",
+            lambda rng, n, dim: rng.integers(0, dim, size=n),
+            n=200,
+            seed=47,
+        )
+    )
+    _case("rls_update_rows", "all_entries_one_row")(
+        make_check(
+            "all_entries_one_row",
+            lambda rng, n, dim: np.full(n, 2, dtype=np.intp),
+            n=40,
+            seed=53,
+        )
+    )
+    _case("rls_update_rows", "empty")(
+        make_check(
+            "empty",
+            lambda rng, n, dim: np.zeros(0, dtype=np.intp),
+            n=0,
+            seed=59,
+        )
+    )
+
+
+_register_rls_cases()

@@ -1,0 +1,110 @@
+"""Drive the cross-backend conformance harness over every backend.
+
+The case matrix lives in :mod:`tests.tensor.backend_conformance`; this
+file only parameterizes it over :func:`kernels.available_backends`, so
+registering a new backend automatically subjects it to the whole suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import kernels
+from tests.tensor.backend_conformance import (
+    backends_under_test,
+    iter_conformance_cases,
+)
+
+_CASES = iter_conformance_cases()
+
+
+@pytest.mark.parametrize("backend", backends_under_test())
+@pytest.mark.parametrize(
+    "kernel,case_id,check",
+    _CASES,
+    ids=[f"{kernel}-{case_id}" for kernel, case_id, _ in _CASES],
+)
+def test_backend_matches_reference(backend, kernel, case_id, check):
+    check(backend)
+
+
+def test_all_shipped_backends_enrolled():
+    assert {"auto", "batched", "sparse"} <= set(backends_under_test())
+    assert "reference" not in backends_under_test()
+
+
+def test_every_kernel_covered():
+    covered = {kernel for kernel, _, _ in _CASES}
+    assert covered == {
+        "solve_rows",
+        "accumulate_normal_equations",
+        "temporal_sweep",
+        "mttkrp",
+        "kruskal_reconstruct_rows",
+        "rls_update_rows",
+    }
+
+
+def test_newly_registered_backend_is_picked_up():
+    """The harness enrolls third-party backends with no new test code."""
+    clone = kernels._BACKENDS["batched"]
+    probe = kernels.KernelBackend(
+        name="conformance-probe",
+        solve_rows=clone.solve_rows,
+        accumulate_normal_equations=clone.accumulate_normal_equations,
+        temporal_sweep=clone.temporal_sweep,
+        mttkrp=clone.mttkrp,
+        rls_update_rows=clone.rls_update_rows,
+        kruskal_reconstruct_rows=clone.kruskal_reconstruct_rows,
+    )
+    kernels.register_backend(probe)
+    try:
+        assert "conformance-probe" in backends_under_test()
+        kernel, case_id, check = iter_conformance_cases()[0]
+        check("conformance-probe")
+    finally:
+        kernels._BACKENDS.pop("conformance-probe")
+
+
+def test_density_sweep_straddles_auto_threshold():
+    from tests.tensor.backend_conformance import DENSITIES
+
+    assert any(d < kernels.AUTO_DENSITY_THRESHOLD for d in DENSITIES if d)
+    assert kernels.AUTO_DENSITY_THRESHOLD in DENSITIES
+    assert any(d > kernels.AUTO_DENSITY_THRESHOLD for d in DENSITIES)
+    assert 0.0 in DENSITIES and 1.0 in DENSITIES
+
+
+def test_harness_cases_detect_a_broken_backend():
+    """A backend whose accumulation drops entries must fail the suite."""
+
+    def broken_accumulate(coords, values, factors, mode):
+        big_b, big_c = kernels._BACKENDS[
+            "batched"
+        ].accumulate_normal_equations(coords, values, factors, mode)
+        return big_b, np.zeros_like(big_c)
+
+    clone = kernels._BACKENDS["batched"]
+    kernels.register_backend(
+        kernels.KernelBackend(
+            name="broken-probe",
+            solve_rows=clone.solve_rows,
+            accumulate_normal_equations=broken_accumulate,
+            temporal_sweep=clone.temporal_sweep,
+            mttkrp=clone.mttkrp,
+            rls_update_rows=clone.rls_update_rows,
+            kruskal_reconstruct_rows=clone.kruskal_reconstruct_rows,
+        )
+    )
+    try:
+        checks = [
+            check
+            for kernel, case_id, check in iter_conformance_cases()
+            if kernel == "accumulate_normal_equations"
+            and "density_0.5" in case_id
+        ]
+        assert checks
+        with pytest.raises(AssertionError):
+            for check in checks:
+                check("broken-probe")
+    finally:
+        kernels._BACKENDS.pop("broken-probe")

@@ -124,6 +124,106 @@ def test_main_exit_codes(gate, tmp_path):
     )
 
 
+def _density_report(**cases):
+    return {
+        "benchmark": "kernels_density_sweep",
+        "results": [
+            {
+                "case": name,
+                "batched_seconds": batched,
+                "sparse_seconds": sparse,
+                "speedup": batched / sparse,
+            }
+            for name, (batched, sparse) in cases.items()
+        ],
+    }
+
+
+def test_timing_keys_are_auto_detected(gate):
+    # The density-sweep schema (batched/sparse seconds) is gated without
+    # the module naming its fields anywhere.
+    baseline = _density_report(density_1pct=(0.2, 0.02))
+    fresh = _density_report(density_1pct=(0.2, 0.04))  # sparse 2x slower
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert any("sparse_seconds" in f for f in failures)
+    assert any("speedup" in f for f in failures)
+
+
+def test_non_numeric_and_fresh_only_fields_are_ignored(gate):
+    baseline = _density_report(density_1pct=(0.2, 0.02))
+    fresh = _density_report(density_1pct=(0.2, 0.02))
+    baseline["results"][0]["note_seconds"] = "n/a"
+    fresh["results"][0]["extra_seconds"] = 99.0
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert failures == []
+
+
+def test_baseline_field_missing_from_fresh_fails(gate):
+    # A renamed/dropped timing field must not silently pass ungated.
+    baseline = _density_report(density_1pct=(0.2, 0.02))
+    fresh = _density_report(density_1pct=(0.2, 0.02))
+    del fresh["results"][0]["sparse_seconds"]
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert len(failures) == 1
+    assert "sparse_seconds" in failures[0] and "missing" in failures[0]
+
+
+def test_noise_floor_exempts_tiny_timings_from_absolute_gate(gate):
+    # A 0.4 ms baseline timing doubling is runner noise, not a
+    # regression — and the speedup ratio derived from it inherits the
+    # exemption (a ratio of a noisy number is noisy).
+    baseline = _density_report(density_1pct=(0.2, 0.0004))
+    fresh = _density_report(density_1pct=(0.2, 0.0009))
+    lines, failures = gate.compare_reports(
+        baseline, fresh, threshold=1.5, min_seconds=0.005
+    )
+    assert failures == []
+    assert any("below noise floor" in line for line in lines)
+    # the same doubling above the floor is gated on both signals
+    baseline = _density_report(density_1pct=(0.2, 0.04))
+    fresh = _density_report(density_1pct=(0.2, 0.09))
+    _, failures = gate.compare_reports(
+        baseline, fresh, threshold=1.5, min_seconds=0.005
+    )
+    assert any("sparse_seconds" in f for f in failures)
+    assert any("speedup" in f for f in failures)
+
+
+def test_main_gates_multiple_report_pairs(gate, tmp_path):
+    kernels_base = tmp_path / "kernels_base.json"
+    kernels_fresh = tmp_path / "kernels_fresh.json"
+    density_base = tmp_path / "density_base.json"
+    density_fresh = tmp_path / "density_fresh.json"
+    kernels_base.write_text(json.dumps(_report(als=(1.0, 0.1))))
+    kernels_fresh.write_text(json.dumps(_report(als=(1.0, 0.1))))
+    density_base.write_text(
+        json.dumps(_density_report(density_1pct=(0.2, 0.02)))
+    )
+    density_fresh.write_text(
+        json.dumps(_density_report(density_1pct=(0.2, 0.02)))
+    )
+    argv = [
+        "--baseline", str(kernels_base), "--fresh", str(kernels_fresh),
+        "--baseline", str(density_base), "--fresh", str(density_fresh),
+    ]
+    assert gate.main(argv) == 0
+    # a regression in the *second* pair alone must fail the gate
+    density_fresh.write_text(
+        json.dumps(_density_report(density_1pct=(0.2, 0.2)))
+    )
+    assert gate.main(argv) == 1
+
+
+def test_main_rejects_mismatched_pair_counts(gate, tmp_path):
+    path = tmp_path / "r.json"
+    path.write_text(json.dumps(_report(als=(1.0, 0.1))))
+    with pytest.raises(SystemExit):
+        gate.main(
+            ["--baseline", str(path), "--baseline", str(path),
+             "--fresh", str(path)]
+        )
+
+
 def test_committed_baseline_is_valid(gate):
     baseline_path = (
         _MODULE_PATH.parent / "baseline" / "BENCH_kernels.json"
@@ -136,3 +236,16 @@ def test_committed_baseline_is_valid(gate):
         "dynamic_steps",
         "olstec_rls_steps",
     }
+
+
+def test_committed_density_baseline_is_valid(gate):
+    baseline_path = (
+        _MODULE_PATH.parent / "baseline" / "BENCH_density.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    _, failures = gate.compare_reports(baseline, baseline, threshold=1.5)
+    assert failures == []
+    cases = {e["case"]: e for e in baseline["results"]}
+    assert set(cases) == {"density_0.01", "density_0.05", "density_0.25"}
+    # the tentpole claim: sparse wins clearly at 1% observed
+    assert cases["density_0.01"]["speedup"] >= 3.0
