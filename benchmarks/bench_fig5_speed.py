@@ -28,9 +28,19 @@ streams are observed down to a few percent)::
 
     python benchmarks/bench_fig5_speed.py --density-json BENCH_density.json
 
-CI runs all three in ``--quick`` mode and gates merges on
+A fourth report sweeps the array-API ``"xp"`` kernel backend over the
+importable array modules (numpy always; torch/cupy when installed, or
+an explicit ``--array-module`` list) against the dense ``batched``
+NumPy baseline on the same hot paths::
+
+    python benchmarks/bench_fig5_speed.py --device-json BENCH_device.json
+    python benchmarks/bench_fig5_speed.py --device-json BENCH_device.json \
+        --array-module numpy --array-module torch
+
+CI runs all four in ``--quick`` mode and gates merges on
 ``benchmarks/check_regression.py`` against the committed baselines in
-``benchmarks/baseline/``.
+``benchmarks/baseline/`` (the device baseline pins the numpy cases;
+extra modules available only on CI runners ride along ungated).
 """
 
 import numpy as np
@@ -313,6 +323,13 @@ def run_density_sweep_report(
     accumulation + reconstruction time; values below 1 at high density
     are expected (that is the regime the auto backend routes to the
     dense path).
+
+    Each timing covers several rounds of its hot path (5 accumulation
+    sweeps, 20 reconstructions) so every ``*_seconds`` field clears
+    ``check_regression.py``'s 5 ms noise floor even at the ``--quick``
+    shape — sub-floor baselines would exempt the machine-independent
+    ``speedup`` gate entirely, leaving the sparse path's headline
+    low-density win ungated.
     """
     from repro.tensor import kernels, random_factors
 
@@ -338,14 +355,18 @@ def run_density_sweep_report(
                         kernels.accumulate_normal_equations(
                             coords, values, factors, mode
                         )
+                        for _ in range(5)
                         for mode in range(len(shape))
                     ],
                     repeats,
                 )
                 reconstruct_seconds = _best_of(
-                    lambda: kernels.kruskal_reconstruct_rows(
-                        spatial, temporal, recon_coords
-                    ),
+                    lambda: [
+                        kernels.kruskal_reconstruct_rows(
+                            spatial, temporal, recon_coords
+                        )
+                        for _ in range(20)
+                    ],
                     repeats,
                 )
             case[f"{backend}_accumulate_seconds"] = accumulate_seconds
@@ -355,6 +376,92 @@ def run_density_sweep_report(
             )
         case["speedup"] = case["batched_seconds"] / max(
             case["sparse_seconds"], 1e-12
+        )
+        results.append(case)
+    return results
+
+
+def run_device_backend_report(
+    shape=(50, 50, 2000),
+    rank=5,
+    *,
+    array_modules=None,
+    observed=0.5,
+    seed=0,
+    repeats=3,
+):
+    """Array-module sweep of the ``"xp"`` backend on the seam hot paths.
+
+    Times normal-equation accumulations (one per mode), full-tensor
+    MTTKRPs (three rounds per mode), and batched Kruskal
+    reconstructions of every temporal step (ten rounds) — under the
+    dense ``batched`` NumPy backend (the baseline case) and under
+    ``"xp"`` on each requested array module.  The round counts are
+    chosen so every ``*_seconds`` field clears ``check_regression.py``'s
+    5 ms noise floor even at the ``--quick`` shape; otherwise the
+    machine-independent ``speedup`` gate would be exempted as noisy and
+    never fire.  ``array_modules=None`` sweeps whatever
+    :func:`repro.tensor.device.available_array_modules` reports, so the
+    same invocation covers numpy-only laptops and torch-equipped CI
+    runners; each ``xp_<module>`` case carries a ``speedup`` field
+    (baseline total over its total) for that gate.
+    """
+    from repro.tensor import device, kernels, random_factors
+
+    rng = np.random.default_rng(seed)
+    factors = list(random_factors(shape, rank, seed=seed))
+    spatial, temporal = factors[:-1], factors[-1]
+    mask = rng.random(shape) < observed
+    coords = np.nonzero(mask)
+    values = rng.normal(size=coords[0].size)
+    tensor = np.zeros(shape)
+    tensor[coords] = values
+
+    def hot_paths():
+        timings = {}
+        timings["accumulate_seconds"] = _best_of(
+            lambda: [
+                kernels.accumulate_normal_equations(
+                    coords, values, factors, mode
+                )
+                for mode in range(len(shape))
+            ],
+            repeats,
+        )
+        timings["mttkrp_seconds"] = _best_of(
+            lambda: [
+                kernels.mttkrp(tensor, factors, mode)
+                for _ in range(3)
+                for mode in range(len(shape))
+            ],
+            repeats,
+        )
+        timings["reconstruct_seconds"] = _best_of(
+            lambda: [
+                kernels.kruskal_reconstruct_rows(spatial, temporal)
+                for _ in range(10)
+            ],
+            repeats,
+        )
+        timings["total_seconds"] = sum(timings.values())
+        return timings
+
+    if array_modules is None:
+        array_modules = device.available_array_modules()
+    results = []
+    with kernels.use_backend("batched"):
+        baseline = {"case": "baseline_batched_numpy", **hot_paths()}
+    results.append(baseline)
+    for module in array_modules:
+        with device.use_array_module(module):
+            with kernels.use_backend("xp"):
+                case = {
+                    "case": f"xp_{module}",
+                    "array_module": module,
+                    **hot_paths(),
+                }
+        case["speedup"] = baseline["total_seconds"] / max(
+            case["total_seconds"], 1e-12
         )
         results.append(case)
     return results
@@ -395,9 +502,31 @@ def main(argv=None):
         help="write the sparse-vs-batched density sweep to this JSON "
         "file (e.g. BENCH_density.json)",
     )
+    parser.add_argument(
+        "--device-json",
+        metavar="PATH",
+        default=None,
+        dest="device_json",
+        help="write the xp-backend array-module sweep to this JSON "
+        "file (e.g. BENCH_device.json)",
+    )
+    parser.add_argument(
+        "--array-module",
+        action="append",
+        default=None,
+        dest="array_modules",
+        metavar="MODULE",
+        help="array module(s) to sweep in the device report (repeat "
+        "the flag; default: every importable module)",
+    )
     args = parser.parse_args(argv)
 
-    for path in (args.json, args.streaming_json, args.density_json):
+    for path in (
+        args.json,
+        args.streaming_json,
+        args.density_json,
+        args.device_json,
+    ):
         if path:
             # Fail fast on an unwritable path instead of after the run.
             with open(path, "a"):
@@ -410,11 +539,13 @@ def main(argv=None):
         shape = [50, 50, 300]
         streaming_shape, streaming_steps = (40, 30), 500
         density_shape = (50, 50, 300)
+        device_shape = (50, 50, 300)
     else:
         results = run_kernel_speed_report()
         shape = [50, 50, 2000]
         streaming_shape, streaming_steps = (60, 40), 1200
         density_shape = (50, 50, 2000)
+        device_shape = (50, 50, 2000)
 
     payload = {
         "benchmark": "kernels_scalar_vs_batched",
@@ -471,6 +602,27 @@ def main(argv=None):
         }
         with open(args.density_json, "w") as handle:
             handle.write(json.dumps(density_payload, indent=2) + "\n")
+
+    # The device sweep runs when its artifact was requested, and in
+    # --quick (CI) mode where the regression gate tracks the numpy
+    # cases (torch rides along on runners that have it installed).
+    device_results = []
+    if args.device_json or args.quick:
+        device_results = run_device_backend_report(
+            shape=device_shape, array_modules=args.array_modules
+        )
+    if args.device_json:
+        device_payload = {
+            "benchmark": "kernels_xp_array_modules",
+            "shape": list(device_shape),
+            "rank": 5,
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "results": device_results,
+        }
+        with open(args.device_json, "w") as handle:
+            handle.write(json.dumps(device_payload, indent=2) + "\n")
     print(text)
     for entry in results:
         print(
@@ -491,6 +643,14 @@ def main(argv=None):
             f"sparse {entry['sparse_seconds'] * 1e3:.1f} ms "
             f"({entry['speedup']:.1f}x)"
         )
+    for entry in device_results:
+        line = (
+            f"{entry['case']}: total "
+            f"{entry['total_seconds'] * 1e3:.1f} ms"
+        )
+        if "speedup" in entry:
+            line += f" ({entry['speedup']:.2f}x vs batched numpy)"
+        print(line)
     return results
 
 

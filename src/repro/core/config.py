@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.exceptions import ConfigError
 from repro.tensor.kernels import AUTO_DENSITY_THRESHOLD
 
@@ -99,6 +101,18 @@ class SofiaConfig:
         not-fully-observed input.  The routing defers to the active
         kernel backend: under the pure-dense ``"batched"`` and scalar
         ``"reference"`` backends the sparse path is never taken.
+    dtype:
+        Floating dtype of the dynamic phase: ``"float64"`` (the default,
+        the paper's setting) or ``"float32"``.  The initialization phase
+        always computes in float64 (one-off batch work where robustness
+        matters most); the fitted model state — factors, temporal
+        buffer, error scales — is then cast to this dtype and every
+        per-step kernel call stays in it end to end (the kernel seam
+        follows its inputs, see
+        :func:`repro.tensor.kernels.result_dtype`).  Float32 halves the
+        memory traffic of the streaming hot path and is the natural
+        dtype for GPU array modules; on the Fig. 7-style stream it
+        tracks the float64 NRE within ``1e-3``.
     """
 
     rank: int
@@ -121,6 +135,7 @@ class SofiaConfig:
     init_factor_scale: float = 0.1
     batch_size: int = 1
     density_threshold: float = AUTO_DENSITY_THRESHOLD
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.rank < 1:
@@ -167,6 +182,15 @@ class SofiaConfig:
                 "density_threshold must be in [0, 1], "
                 f"got {self.density_threshold}"
             )
+        if self.dtype not in ("float32", "float64"):
+            raise ConfigError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
+            )
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The :class:`numpy.dtype` of the dynamic phase."""
+        return np.dtype(self.dtype)
 
     @property
     def init_steps(self) -> int:

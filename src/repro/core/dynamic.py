@@ -39,6 +39,24 @@ backend) are never bypassed, so pinning one (``set_backend``,
 end, as the CI backend matrix relies on.  Under ``"auto"`` (the
 default) and ``"sparse"``, which opt out of the flag, the density
 threshold decides.
+
+Device residency
+----------------
+Backends with host↔device converters (the ``"xp"`` backend on a
+non-NumPy array module) get their transfers routed at the *step
+boundary*: the factor matrices move to the device once per
+:func:`dynamic_step` / :func:`dynamic_step_batch` call via
+:func:`repro.tensor.kernels.to_device` and every kernel call of the
+step reuses the resident copies; only the kernel *results* that feed
+host-side logic (the robust split, the ``O(R)`` temporal recurrences,
+the returned :class:`~repro.core.model.SofiaStep` arrays) come back
+through :func:`repro.tensor.kernels.from_device`.  For backends
+without converters both hooks are the identity, so the CPU paths are
+untouched (and bit-identical to before).
+
+Dtype: both entry points follow ``state.dtype`` (the factors' dtype),
+so a model initialized under ``SofiaConfig(dtype="float32")`` runs its
+whole dynamic phase in float32.
 """
 
 from __future__ import annotations
@@ -86,6 +104,7 @@ def factor_gradient_step(
     *,
     normalize: bool = True,
     coords: tuple[np.ndarray, ...] | None = None,
+    device_factors: Sequence | None = None,
 ) -> list[np.ndarray]:
     """Gradient update of all non-temporal factors (Eq. 24).
 
@@ -102,13 +121,21 @@ def factor_gradient_step(
     With ``coords`` given (the sparse path), ``residual`` is the 1-D
     vector of residual values at those observed coordinates and the
     contractions run per entry instead of over the dense subtensor.
+
+    ``device_factors`` (device-resident copies of ``factors``, built
+    once per step by the caller under a backend with device converters)
+    are used for the kernel contractions; the returned factors are
+    always host arrays built from ``factors``.
     """
     n_modes = len(factors)
+    mats = factors if device_factors is None else device_factors
     updated = []
     for mode in range(n_modes):
         if coords is None:
-            gradient = kernels.mttkrp(
-                residual, factors, mode, weights=temporal_forecast
+            gradient = kernels.from_device(
+                kernels.mttkrp(
+                    residual, mats, mode, weights=temporal_forecast
+                )
             )
         else:
             gradient = kernels.mttkrp_observed(
@@ -138,6 +165,7 @@ def temporal_gradient_step(
     config: SofiaConfig,
     *,
     coords: tuple[np.ndarray, ...] | None = None,
+    device_factors: Sequence | None = None,
 ) -> np.ndarray:
     """Gradient update of the temporal vector ``u_t`` (Eq. 25).
 
@@ -149,7 +177,8 @@ def temporal_gradient_step(
     coordinates (the sparse path).
     """
     if coords is None:
-        data_term = kernels.mttkrp(residual, factors, None)
+        mats = factors if device_factors is None else device_factors
+        data_term = kernels.from_device(kernels.mttkrp(residual, mats, None))
     else:
         data_term = kernels.mttkrp_observed(coords, residual, factors, None)
     step = config.mu
@@ -179,17 +208,31 @@ def dynamic_step(
     Mutates ``state`` in place (factors, HW components, error scales,
     temporal ring buffer, step counter) and returns the per-step outputs.
     """
-    y = np.asarray(subtensor, dtype=np.float64)
+    dtype = state.dtype
+    y = np.asarray(subtensor, dtype=dtype)
     m = check_mask(mask, state.subtensor_shape)
     if y.shape != state.subtensor_shape:
         raise ValueError(
             f"subtensor shape {y.shape} does not match model "
             f"{state.subtensor_shape}"
         )
+    resident = kernels.active_backend().to_device is not None
+    device_factors = (
+        [kernels.to_device(f) for f in state.non_temporal]
+        if resident
+        else None
+    )
 
     # (1) Forecast the temporal vector and the subtensor (Eq. 19-20).
-    u_forecast = state.hw.forecast_one_step()
-    prediction = kruskal_to_tensor(state.non_temporal, weights=u_forecast)
+    u_forecast = state.hw.forecast_one_step().astype(dtype, copy=False)
+    if resident:
+        prediction = kernels.from_device(
+            kernels.kruskal_reconstruct_rows(
+                device_factors, u_forecast[None, :]
+            )[0]
+        )
+    else:
+        prediction = kruskal_to_tensor(state.non_temporal, weights=u_forecast)
 
     # (2) Estimate outliers against the forecast (Eq. 21), then advance the
     #     error scale (Eq. 22) in one fused pass over the shared residual —
@@ -227,7 +270,11 @@ def dynamic_step(
         residual = np.where(m, y - outliers - prediction, 0.0)
 
     # (3) Gradient steps on the factors (Eq. 24) and the temporal vector
-    #     (Eq. 25), both evaluated at the previous factors.
+    #     (Eq. 25), both evaluated at the previous factors.  Under a
+    #     device backend the residual moves to the device once and the
+    #     contractions reuse the resident factor copies.
+    if resident and coords is None:
+        residual = kernels.to_device(residual)
     new_factors = factor_gradient_step(
         residual,
         state.non_temporal,
@@ -235,6 +282,7 @@ def dynamic_step(
         config.mu,
         normalize=config.step_normalization == "lipschitz",
         coords=coords,
+        device_factors=device_factors,
     )
     u_new = temporal_gradient_step(
         residual,
@@ -244,6 +292,7 @@ def dynamic_step(
         state.season_vector,
         config,
         coords=coords,
+        device_factors=device_factors,
     )
     state.non_temporal = new_factors
 
@@ -252,7 +301,14 @@ def dynamic_step(
     state.push_temporal(u_new)
     state.t += 1
 
-    completed = kruskal_to_tensor(state.non_temporal, weights=u_new)
+    if resident:
+        completed = kernels.from_device(
+            kernels.kruskal_reconstruct_rows(
+                [kernels.to_device(f) for f in new_factors], u_new[None, :]
+            )[0]
+        )
+    else:
+        completed = kruskal_to_tensor(state.non_temporal, weights=u_new)
     return SofiaStep(
         completed=completed,
         outliers=outliers,
@@ -299,7 +355,8 @@ def dynamic_step_batch(
     Mutates ``state`` in place and returns one :class:`SofiaStep` per
     subtensor, oldest first.
     """
-    ys = np.asarray(subtensors, dtype=np.float64)
+    dtype = state.dtype
+    ys = np.asarray(subtensors, dtype=dtype)
     if ys.ndim < 2 or ys.shape[1:] != state.subtensor_shape:
         raise ShapeError(
             f"mini-batch shape {ys.shape} does not match (B, "
@@ -317,9 +374,17 @@ def dynamic_step_batch(
     rank = state.rank
 
     # (1) Forecast the temporal vectors for the whole batch (Eq. 28) and
-    #     all B subtensor predictions in one batched Kruskal call.
-    u_forecasts = state.hw.forecast(n_batch)
-    predictions = kernels.kruskal_reconstruct_rows(factors, u_forecasts)
+    #     all B subtensor predictions in one batched Kruskal call.  The
+    #     to_device/from_device hooks are the identity on CPU backends;
+    #     under a device backend the factor matrices move to the device
+    #     here, once, and stay resident for every kernel call of the
+    #     batch.
+    u_forecasts = state.hw.forecast(n_batch).astype(dtype, copy=False)
+    dev_factors = [kernels.to_device(f) for f in factors]
+    dev_forecasts = kernels.to_device(u_forecasts)
+    predictions = kernels.from_device(
+        kernels.kruskal_reconstruct_rows(dev_factors, dev_forecasts)
+    )
 
     # (2) Outlier split and error-scale advance (Eq. 21-22) for the whole
     #     batch, with the scale frozen at the batch boundary (see
@@ -346,6 +411,8 @@ def dynamic_step_batch(
         residual_values = observed_values - outlier_values - predicted_values
         # Batch index last, matching the time-last dense stacking below.
         coords = batch_coords[1:] + (batch_coords[0],)
+        kernel_factors = list(factors)
+        batch_weights = u_forecasts
 
         def contract(mats, mode):
             dim = n_batch if mode == n_modes else None
@@ -363,7 +430,9 @@ def dynamic_step_batch(
             ck=config.biweight_c,
         )
         residuals = np.where(ms, ys - outliers - predictions, 0.0)
-        stacked = np.moveaxis(residuals, 0, -1)
+        stacked = kernels.to_device(np.moveaxis(residuals, 0, -1))
+        kernel_factors = list(dev_factors)
+        batch_weights = dev_forecasts
 
         def contract(mats, mode):
             return kernels.mttkrp(stacked, mats, mode)
@@ -390,12 +459,14 @@ def dynamic_step_batch(
         step = config.mu
         if normalize:
             step = config.mu / max(float(np.sum(w_sq @ prod_others)), 1e-12)
-        gradient = contract(list(factors) + [u_forecasts], mode)
+        gradient = kernels.from_device(
+            contract(kernel_factors + [batch_weights], mode)
+        )
         new_factors.append(factors[mode] + 2.0 * step * gradient)
 
     # Contracting every *non-batch* axis leaves the (B, R) data terms of
     # Eq. 25; the batch-axis slot of the matrix list is never read.
-    data_terms = contract(list(factors) + [None], n_modes)
+    data_terms = kernels.from_device(contract(kernel_factors + [None], n_modes))
     step_u = config.mu
     if normalize:
         prod_all = np.ones(rank)
@@ -407,7 +478,9 @@ def dynamic_step_batch(
 
     # (4) Temporal vectors, ring buffer, and HW advances — O(R) per step.
     period = state.temporal_buffer.shape[0]
-    history = np.vstack([state.temporal_buffer, np.zeros((n_batch, rank))])
+    history = np.vstack(
+        [state.temporal_buffer, np.zeros((n_batch, rank), dtype=dtype)]
+    )
     lam_sum = config.lambda1 + config.lambda2
     for b in range(n_batch):
         u_f = u_forecasts[b]
@@ -423,7 +496,12 @@ def dynamic_step_batch(
     state.temporal_buffer = history[-period:].copy()
     state.t += n_batch
 
-    completed = kernels.kruskal_reconstruct_rows(new_factors, u_news)
+    completed = kernels.from_device(
+        kernels.kruskal_reconstruct_rows(
+            [kernels.to_device(f) for f in new_factors],
+            kernels.to_device(u_news),
+        )
+    )
     return [
         SofiaStep(
             completed=completed[b],

@@ -68,7 +68,9 @@ class SofiaModelState:
         if not self.non_temporal:
             raise ShapeError("need at least one non-temporal factor")
         rank = self.non_temporal[0].shape[1]
-        buf = np.asarray(self.temporal_buffer, dtype=np.float64)
+        # The buffer follows the factors' dtype so a float32 model stays
+        # float32 end to end (non-float factors fall back to float64).
+        buf = np.asarray(self.temporal_buffer, dtype=self.dtype)
         if buf.ndim != 2 or buf.shape[1] != rank:
             raise ShapeError(
                 f"temporal buffer must be (m, {rank}), got {buf.shape}"
@@ -86,6 +88,14 @@ class SofiaModelState:
         return int(self.non_temporal[0].shape[1])
 
     @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the model (taken from the factors)."""
+        dtype = np.asarray(self.non_temporal[0]).dtype
+        if dtype.kind != "f":
+            return np.dtype(np.float64)
+        return dtype
+
+    @property
     def subtensor_shape(self) -> tuple[int, ...]:
         return tuple(f.shape[0] for f in self.non_temporal)
 
@@ -101,7 +111,7 @@ class SofiaModelState:
 
     def push_temporal(self, vector: np.ndarray) -> None:
         """Append ``u_t`` to the ring buffer, dropping ``u_{t-m}``."""
-        v = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        v = np.asarray(vector, dtype=self.temporal_buffer.dtype).reshape(1, -1)
         if v.shape[1] != self.rank:
             raise ShapeError(f"expected a length-{self.rank} vector")
         self.temporal_buffer = np.vstack([self.temporal_buffer[1:], v])

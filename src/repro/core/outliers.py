@@ -15,7 +15,13 @@ import numpy as np
 from repro.exceptions import ShapeError
 from repro.forecast.robust import biweight_rho, huber_psi
 from repro.tensor.kernels import soft_threshold as _kernel_soft_threshold
-from repro.tensor.validation import check_mask, check_same_shape
+from repro.tensor.validation import (
+    as_float as _as_float,
+)
+from repro.tensor.validation import (
+    check_mask,
+    check_same_shape,
+)
 
 __all__ = [
     "estimate_outliers",
@@ -70,9 +76,9 @@ def estimate_outliers(
     residual in excess of ``k`` error scales.  Missing entries carry no
     outlier (zero).
     """
-    y = np.asarray(observed, dtype=np.float64)
-    yhat = np.asarray(predicted, dtype=np.float64)
-    sg = np.asarray(sigma, dtype=np.float64)
+    y = _as_float(observed)
+    yhat = _as_float(predicted)
+    sg = _as_float(sigma)
     check_same_shape(y, yhat, names=("observed", "predicted"))
     check_same_shape(y, sg, names=("observed", "sigma"))
     m = check_mask(mask, y.shape)
@@ -98,9 +104,9 @@ def update_error_scale(
     update, so one extreme outlier cannot contaminate the scale it is
     judged against (paper §V-C1).
     """
-    y = np.asarray(observed, dtype=np.float64)
-    yhat = np.asarray(predicted, dtype=np.float64)
-    sg = np.asarray(sigma, dtype=np.float64)
+    y = _as_float(observed)
+    yhat = _as_float(predicted)
+    sg = _as_float(sigma)
     check_same_shape(y, yhat, names=("observed", "predicted"))
     check_same_shape(y, sg, names=("observed", "sigma"))
     m = check_mask(mask, y.shape)
@@ -125,9 +131,9 @@ def robust_step(
     ordering) and the biweight scale recursion — the exact pair of
     updates Alg. 3 performs per incoming subtensor.
     """
-    y = np.asarray(observed, dtype=np.float64)
-    yhat = np.asarray(predicted, dtype=np.float64)
-    sg = np.asarray(sigma, dtype=np.float64)
+    y = _as_float(observed)
+    yhat = _as_float(predicted)
+    sg = _as_float(sigma)
     check_same_shape(y, yhat, names=("observed", "predicted"))
     check_same_shape(y, sg, names=("observed", "sigma"))
     m = check_mask(mask, y.shape)
@@ -173,9 +179,9 @@ def robust_step_at(
         Outlier estimates aligned with ``coords`` (1-D) and the dense
         advanced scale.
     """
-    y = np.asarray(observed_values, dtype=np.float64)
-    yhat = np.asarray(predicted_values, dtype=np.float64)
-    sg = np.asarray(sigma, dtype=np.float64)
+    y = _as_float(observed_values)
+    yhat = _as_float(predicted_values)
+    sg = _as_float(sigma)
     residual = y - yhat
     sg_values = sg[coords]
     outlier_values = _huber_excess(residual, sg_values, k)
@@ -221,9 +227,9 @@ def robust_step_batch_at(
         Outlier estimates aligned with ``coords`` (1-D) and the dense
         advanced ``(*shape,)`` scale.
     """
-    y = np.asarray(observed_values, dtype=np.float64)
-    yhat = np.asarray(predicted_values, dtype=np.float64)
-    sg = np.asarray(sigma, dtype=np.float64)
+    y = _as_float(observed_values)
+    yhat = _as_float(predicted_values)
+    sg = _as_float(sigma)
     spatial = coords[1:]
     residual = y - yhat
     sg_values = sg[spatial]
@@ -235,9 +241,12 @@ def robust_step_batch_at(
     flat = np.ravel_multi_index(spatial, sg.shape)
     with np.errstate(divide="ignore"):
         log_growth = np.log(growth)
+    # np.bincount accumulates in float64 regardless of the weight dtype;
+    # cast back so a float32 model's sigma does not silently upcast.
     log_product = np.bincount(flat, weights=log_growth, minlength=sg.size)
     growth_product = np.exp(log_product).reshape(sg.shape)
-    return outlier_values, sg * np.sqrt(growth_product)
+    new_sigma = (sg * np.sqrt(growth_product)).astype(sg.dtype, copy=False)
+    return outlier_values, new_sigma
 
 
 def robust_step_batch(
@@ -281,9 +290,9 @@ def robust_step_batch(
         Stacked ``(B, *shape)`` outlier estimates and the advanced
         ``(*shape,)`` scale.
     """
-    y = np.asarray(observed, dtype=np.float64)
-    yhat = np.asarray(predicted, dtype=np.float64)
-    sg = np.asarray(sigma, dtype=np.float64)
+    y = _as_float(observed)
+    yhat = _as_float(predicted)
+    sg = _as_float(sigma)
     check_same_shape(y, yhat, names=("observed", "predicted"))
     if y.ndim != sg.ndim + 1 or y.shape[1:] != sg.shape:
         raise ShapeError(

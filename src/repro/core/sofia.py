@@ -97,13 +97,18 @@ class Sofia:
         ]
         hw = VectorHoltWinters.from_fits(fits)
 
+        # Initialization always runs in float64 (one-off batch work);
+        # the fitted state is cast to the configured dtype here, and the
+        # dynamic phase stays in that dtype end to end.
+        dtype = self.config.np_dtype
         sigma = np.full(
             tuple(f.shape[0] for f in result.factors[:-1]),
             self.config.initial_sigma,
+            dtype=dtype,
         )
         self._state = SofiaModelState(
-            non_temporal=[f.copy() for f in result.factors[:-1]],
-            temporal_buffer=temporal[-self.config.period:].copy(),
+            non_temporal=[f.astype(dtype) for f in result.factors[:-1]],
+            temporal_buffer=temporal[-self.config.period:].astype(dtype),
             hw=hw,
             sigma=sigma,
             t=temporal.shape[0],
@@ -138,7 +143,7 @@ class Sofia:
             Completed subtensor, outlier estimate, and diagnostics.
         """
         state = self._require_state()
-        y = np.asarray(subtensor, dtype=np.float64)
+        y = np.asarray(subtensor, dtype=self.config.np_dtype)
         if mask is None:
             mask = np.ones(y.shape, dtype=bool)
         return dynamic_step(state, y, mask, self.config)
@@ -172,7 +177,7 @@ class Sofia:
             One per consumed subtensor, oldest first.
         """
         state = self._require_state()
-        ys = np.asarray(subtensors, dtype=np.float64)
+        ys = np.asarray(subtensors, dtype=self.config.np_dtype)
         if masks is None:
             masks = np.ones(ys.shape, dtype=bool)
         else:
@@ -208,7 +213,11 @@ class Sofia:
     ) -> list[SofiaStep]:
         """Run one collected mini-batch, materializing default masks."""
         ys = np.stack(
-            [np.asarray(y, dtype=np.float64) for y, _ in pending], axis=0
+            [
+                np.asarray(y, dtype=self.config.np_dtype)
+                for y, _ in pending
+            ],
+            axis=0,
         )
         masks = np.stack(
             [
@@ -229,7 +238,7 @@ class Sofia:
         Observed entries are kept verbatim; missing ones come from the
         reconstruction ``X̂_t``.
         """
-        y = np.asarray(subtensor, dtype=np.float64)
+        y = np.asarray(subtensor, dtype=self.config.np_dtype)
         if mask is None:
             mask = np.ones(y.shape, dtype=bool)
         m = check_mask(mask, y.shape)
@@ -247,7 +256,10 @@ class Sofia:
         the temporal vectors.
         """
         state = self._require_state()
-        u_future = state.hw.forecast(horizon)  # (horizon, R)
+        # (horizon, R), cast so a float32 model forecasts in float32.
+        u_future = state.hw.forecast(horizon).astype(
+            state.dtype, copy=False
+        )
         return np.stack(
             [
                 kruskal_to_tensor(state.non_temporal, weights=u_future[h])

@@ -26,7 +26,7 @@ from repro.experiments.reporting import format_series, format_table
 from repro.experiments.scalability import run_scalability
 from repro.experiments.settings import SMALL_SCALE, TINY_SCALE
 from repro.experiments.tables import table1_text, table3_text
-from repro.tensor import kernels
+from repro.tensor import device, kernels
 
 __all__ = ["main"]
 
@@ -160,7 +160,20 @@ def main(argv: Sequence[str] | None = None) -> str:
         "dispatches sparse vs batched by observed density; default: "
         "the active backend)",
     )
+    parser.add_argument(
+        "--array-module",
+        default=None,
+        dest="array_module",
+        metavar="MODULE",
+        help="run the 'xp' kernel backend on this array module "
+        "('numpy', 'torch', 'cupy'; non-numpy modules need the "
+        "optional array-api-compat dependency — pip install "
+        "'repro-sofia[xp]'; default: the active module, usually "
+        "numpy). Combine with --kernel-backend xp.",
+    )
     args = parser.parse_args(argv)
+    if args.array_module is not None:
+        device.set_array_module(args.array_module)
     if args.kernel_backend is not None:
         kernels.set_backend(args.kernel_backend)
     output = _COMMANDS[args.command](args)

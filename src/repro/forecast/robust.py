@@ -22,6 +22,7 @@ from repro.forecast.holt_winters import (
     hw_forecast,
     hw_update,
 )
+from repro.tensor.validation import as_float
 
 __all__ = [
     "DEFAULT_CK",
@@ -40,7 +41,7 @@ DEFAULT_CK = 2.52
 def huber_psi(x, k: float = DEFAULT_K):
     """Element-wise Huber ψ-function: identity inside ``[-k, k]``, clipped
     to ``sign(x) * k`` outside (§III-D)."""
-    arr = np.asarray(x, dtype=np.float64)
+    arr = as_float(x)
     result = np.clip(arr, -k, k)
     if np.isscalar(x) or arr.ndim == 0:
         return float(result)
@@ -53,7 +54,7 @@ def biweight_rho(x, k: float = DEFAULT_K, ck: float = DEFAULT_CK):
     Equals ``ck * (1 - (1 - (x/k)^2)^3)`` for ``|x| <= k`` and ``ck``
     outside; bounded, so one extreme residual cannot explode the scale.
     """
-    arr = np.asarray(x, dtype=np.float64)
+    arr = as_float(x)
     scaled = np.clip(np.abs(arr) / k, 0.0, 1.0)
     result = ck * (1.0 - (1.0 - scaled**2) ** 3)
     if np.isscalar(x) or arr.ndim == 0:

@@ -25,7 +25,7 @@ from repro.streams.metrics import (
     normalized_residual_error,
 )
 from repro.streams.stream import TensorStream
-from repro.tensor import kernels
+from repro.tensor import device, kernels
 
 
 def _backend_context(kernel_backend: str | None):
@@ -33,6 +33,13 @@ def _backend_context(kernel_backend: str | None):
     if kernel_backend is None:
         return nullcontext()
     return kernels.use_backend(kernel_backend)
+
+
+def _module_context(array_module: str | None):
+    """Run a whole evaluation under one array module (or the active one)."""
+    if array_module is None:
+        return nullcontext()
+    return device.use_array_module(array_module)
 
 __all__ = [
     "ForecastResult",
@@ -118,6 +125,7 @@ def run_imputation(
     startup_steps: int,
     batch_size: int = 1,
     kernel_backend: str | None = None,
+    array_module: str | None = None,
 ) -> ImputationResult:
     """Run one algorithm over a corrupted stream and score imputation.
 
@@ -143,6 +151,12 @@ def run_imputation(
         :mod:`repro.tensor.kernels` backend; ``None`` (the default)
         keeps the active backend.  The previous backend is restored
         afterwards, even on error.
+    array_module:
+        Run the whole evaluation under this
+        :mod:`repro.tensor.device` array module (``"numpy"``,
+        ``"torch"``, ``"cupy"``), which the ``"xp"`` kernel backend
+        executes on; ``None`` keeps the active module.  Restored
+        afterwards, even on error.
     """
     _check_streams(observed, truth)
     if not 0 < startup_steps < observed.n_steps:
@@ -155,7 +169,7 @@ def run_imputation(
     subtensors, masks = observed.startup(startup_steps)
     nre = RunningAverage()
     step_time = RunningAverage()
-    with _backend_context(kernel_backend):
+    with _module_context(array_module), _backend_context(kernel_backend):
         t0 = time.perf_counter()
         algorithm.initialize(subtensors, masks)
         init_seconds = time.perf_counter() - t0
@@ -201,6 +215,7 @@ def run_forecasting(
     horizon: int,
     batch_size: int = 1,
     kernel_backend: str | None = None,
+    array_module: str | None = None,
 ) -> ForecastResult:
     """Consume ``T - horizon`` steps, forecast the last ``horizon``.
 
@@ -208,8 +223,9 @@ def run_forecasting(
     computed against the clean ground truth (§VI-E).  With
     ``batch_size > 1`` the consumed stream is fed in ``step_batch``
     chunks.  ``kernel_backend`` selects the
-    :mod:`repro.tensor.kernels` backend for the whole run (``None``
-    keeps the active one).
+    :mod:`repro.tensor.kernels` backend and ``array_module`` the
+    :mod:`repro.tensor.device` array module for the whole run (``None``
+    keeps the active ones).
     """
     _check_streams(observed, truth)
     if batch_size < 1:
@@ -221,7 +237,7 @@ def run_forecasting(
             f"startup {startup_steps} + horizon {horizon}"
         )
     subtensors, masks = observed.startup(startup_steps)
-    with _backend_context(kernel_backend):
+    with _module_context(array_module), _backend_context(kernel_backend):
         algorithm.initialize(subtensors, masks)
         live = observed.slice_steps(0, t_end)
         if batch_size == 1:

@@ -1,0 +1,211 @@
+"""Array-module selection for the ``"xp"`` kernel backend.
+
+The ``"xp"`` backend in :mod:`repro.tensor.kernels` implements the six
+seam kernels once, against the Python Array API standard, and runs that
+single implementation on whatever array library this module selects —
+NumPy, torch (CPU or CUDA), or CuPy.  This module owns the selection:
+
+* :func:`set_array_module` / :func:`get_array_module` /
+  :func:`use_array_module` pick the active array namespace by name
+  (``"numpy"``, ``"torch"``, ``"cupy"``, or any library with an
+  ``array_api_compat`` wrapper);
+* the ``REPRO_ARRAY_MODULE`` environment variable selects the
+  import-time module, mirroring ``REPRO_KERNEL_BACKEND`` — the hook the
+  CI matrix uses to run whole suites on torch;
+* :func:`to_device` / :func:`from_device` are the host↔device boundary
+  converters the kernels (and the dynamic phase's residency routing)
+  use to move arrays into and out of the active module.
+
+Optional-dependency policy
+--------------------------
+Non-NumPy modules require the optional ``array_api_compat`` package
+(``pip install "repro-sofia[xp]"``), which papers over the remaining
+differences between library namespaces.  When it is missing, ``"numpy"``
+still works: NumPy >= 2.0's main namespace is itself Array API
+compliant, so it is used directly as the fallback shim.  Requesting any
+other module without the dependency — or a module that is not
+installed — raises :class:`~repro.exceptions.ConfigError` immediately
+and loudly, listing what *is* importable; nothing degrades silently.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+from contextlib import contextmanager
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+__all__ = [
+    "ARRAY_MODULE_ENV_VAR",
+    "active_array_module_name",
+    "available_array_modules",
+    "from_device",
+    "get_array_module",
+    "set_array_module",
+    "to_device",
+    "use_array_module",
+]
+
+#: Environment variable that selects the import-time array module —
+#: mirrors ``REPRO_KERNEL_BACKEND`` so CI can pin both per matrix leg.
+ARRAY_MODULE_ENV_VAR = "REPRO_ARRAY_MODULE"
+
+#: Module names probed by :func:`available_array_modules`.  Any other
+#: name with an ``array_api_compat`` wrapper also works with
+#: :func:`set_array_module`; these are just the ones surfaced.
+_KNOWN_MODULES = ("numpy", "torch", "cupy")
+
+_active = "numpy"
+_namespaces: dict[str, Any] = {}
+
+
+def _has_compat() -> bool:
+    return importlib.util.find_spec("array_api_compat") is not None
+
+
+def available_array_modules() -> list[str]:
+    """Names of the array modules importable right now.
+
+    ``"numpy"`` is always present (the shim path); ``"torch"``/
+    ``"cupy"`` appear only when both the library and
+    ``array_api_compat`` are importable.
+    """
+    modules = ["numpy"]
+    if _has_compat():
+        for name in _KNOWN_MODULES[1:]:
+            try:
+                if importlib.util.find_spec(name) is not None:
+                    modules.append(name)
+            except (ImportError, ValueError):
+                continue
+    return modules
+
+
+def _load_namespace(name: str) -> Any:
+    """Import the Array API namespace for ``name``, loudly on failure."""
+    if name == "numpy":
+        try:
+            from array_api_compat import numpy as xp_numpy
+
+            return xp_numpy
+        except ImportError:
+            # NumPy >= 2.0 is Array API compliant on its main namespace;
+            # older NumPy without array_api_compat has no compliant
+            # namespace at all, so fail loudly here instead of deep
+            # inside a kernel (np.astype etc. are 2.0-only).
+            if tuple(int(p) for p in np.__version__.split(".")[:2]) < (2, 0):
+                raise ConfigError(
+                    f"the 'xp' backend needs NumPy >= 2.0 (found "
+                    f"{np.__version__}) or the optional "
+                    "'array-api-compat' dependency (pip install "
+                    "'repro-sofia[xp]')"
+                ) from None
+            return np
+    if not _has_compat():
+        raise ConfigError(
+            f"array module {name!r} needs the optional dependency "
+            "'array-api-compat' (pip install array-api-compat, or "
+            "pip install 'repro-sofia[xp]'); only 'numpy' works "
+            "without it"
+        )
+    try:
+        return importlib.import_module(f"array_api_compat.{name}")
+    except ImportError as exc:
+        raise ConfigError(
+            f"array module {name!r} is not importable ({exc}); install "
+            f"it to use the 'xp' backend on it — importable now: "
+            f"{available_array_modules()}"
+        ) from exc
+
+
+def set_array_module(name: str) -> None:
+    """Make ``name`` the active array module for the ``"xp"`` backend.
+
+    Unknown or uninstalled modules raise
+    :class:`~repro.exceptions.ConfigError` listing
+    :func:`available_array_modules`, and leave the active module
+    unchanged.
+    """
+    global _active
+    if name not in _namespaces:
+        _namespaces[name] = _load_namespace(name)
+    _active = name
+
+
+def get_array_module() -> Any:
+    """The Array API namespace all ``"xp"`` kernels currently use."""
+    if _active not in _namespaces:
+        _namespaces[_active] = _load_namespace(_active)
+    return _namespaces[_active]
+
+
+def active_array_module_name() -> str:
+    """Name of the active array module (``"numpy"`` by default)."""
+    return _active
+
+
+@contextmanager
+def use_array_module(name: str):
+    """Context manager: run a block under a different array module.
+
+    The previously active module is restored on exit even when the body
+    raises (or itself switches modules); entering with an unavailable
+    name raises without changing the active module.
+    """
+    previous = _active
+    set_array_module(name)
+    try:
+        yield get_array_module()
+    finally:
+        set_array_module(previous)
+
+
+def _module_dtype(xp: Any, dtype: Any) -> Any:
+    """The ``xp`` dtype object matching a NumPy dtype (or dtype-like)."""
+    return getattr(xp, str(np.dtype(dtype)))
+
+
+def to_device(array: Any, *, dtype: Any = None) -> Any:
+    """Move ``array`` into the active array module (the host→device edge).
+
+    Accepts NumPy arrays, lists, scalars, or arrays already native to
+    the active module (returned as-is up to a dtype cast).  With
+    ``dtype``, the result is cast to the matching dtype of the module.
+    On CPU modules the conversion is zero-copy where the library
+    supports it, so callers must not mutate the result in place unless
+    they made it (the kernels copy before any in-place update).
+    """
+    xp = get_array_module()
+    if dtype is not None:
+        dtype = _module_dtype(xp, dtype)
+    return xp.asarray(array, dtype=dtype)
+
+
+def from_device(array: Any) -> np.ndarray:
+    """Move an array back to a host :class:`numpy.ndarray`.
+
+    NumPy arrays pass through untouched; torch tensors are detached and
+    brought to CPU; CuPy arrays are copied down with ``.get()``.  The
+    dtype is preserved (a float32 device array comes back float32).
+    """
+    if isinstance(array, np.ndarray):
+        return array
+    out = array
+    for method in ("detach", "cpu"):  # torch, incl. CUDA tensors
+        step = getattr(out, method, None)
+        if callable(step):
+            out = step()
+    getter = getattr(out, "get", None)  # cupy device arrays
+    if callable(getter) and not isinstance(out, np.ndarray):
+        out = getter()
+    return np.asarray(out)
+
+
+_env_module = os.environ.get(ARRAY_MODULE_ENV_VAR, "").strip()
+if _env_module:
+    set_array_module(_env_module)

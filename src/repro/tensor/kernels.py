@@ -34,7 +34,7 @@ replaces each of those with a batched formulation:
 Backend seam
 ------------
 Every dispatched kernel is looked up on the *active backend*, a
-:class:`KernelBackend` record registered in this module.  Four backends
+:class:`KernelBackend` record registered in this module.  Five backends
 ship today:
 
 * ``"batched"`` — the dense-contraction path: BLAS tensordot chains,
@@ -52,6 +52,17 @@ ship today:
   ``"batched"`` by comparing the observed fraction against
   ``AUTO_DENSITY_THRESHOLD`` (5%, where the dense BLAS constants beat
   the scatter-gather constants on the benchmark sweep).
+* ``"xp"`` — the dense contraction strategy written once against the
+  Python Array API standard, so the identical kernel code runs on
+  NumPy, torch (CPU or CUDA), or CuPy arrays.  The array library is
+  selected by :mod:`repro.tensor.device` (``set_array_module``, the
+  ``REPRO_ARRAY_MODULE`` environment variable); host NumPy inputs are
+  converted at the kernel boundary and host outputs come back as NumPy
+  arrays, while device-native inputs stay resident on the device (the
+  dynamic phase uses this to keep factors on-device across a whole
+  mini-batch).  Beyond the standard, this backend relies on
+  integer-array gather *and* scatter-assignment indexing, which NumPy,
+  torch, and CuPy all provide.
 * ``"reference"`` — the seed's scalar semantics, used by the parity
   tests and the scalar-vs-batched benchmarks.
 
@@ -59,6 +70,20 @@ The active backend defaults to ``"auto"`` and can be overridden with
 :func:`set_backend`, the :func:`use_backend` context manager, or the
 ``REPRO_KERNEL_BACKEND`` environment variable (read once at import, so
 CI can run whole suites under one backend).
+
+Dtype policy
+------------
+Kernels no longer hard-cast to ``float64``: every kernel computes in
+:func:`result_dtype` of its floating inputs — float32 in, float32 out;
+mixed or non-float inputs promote to float64 — so a float32 SOFIA run
+(``SofiaConfig(dtype="float32")``) stays float32 through the whole
+seam.  A backend can pin the policy instead via its
+:attr:`KernelBackend.dtype` field (e.g. a GPU backend that always
+computes in float32); ``None`` (every shipped backend) means "follow
+the inputs".  The relative ridge of the row solves is dtype-aware
+(:func:`_ridge_for`): ``1e-10`` in float64 and ``~1e-4`` in float32,
+where ``1e-10`` would vanish against machine epsilon and leave
+singular systems singular.
 
 Authoring a new backend
 -----------------------
@@ -94,9 +119,24 @@ which already run over per-row systems or observed entries only).  The
 ``keeps_dense_steps`` flag (default ``True``) guarantees the dynamic
 phase never bypasses the backend's kernels with its own CPU per-entry
 fast path — leave it set unless that path is your execution strategy.
+Three more optional fields shape the seam-wide policies:
+
+* ``dtype`` — pin every kernel of this backend to one computation
+  dtype (``"float32"``/``"float64"``); ``None`` follows the inputs
+  (see *Dtype policy* above).
+* ``to_device`` / ``from_device`` — host↔device boundary converters.
+  When set (the ``"xp"`` backend maps them to
+  :func:`repro.tensor.device.to_device` / ``from_device``), the dynamic
+  phase moves the factor matrices to the device once per
+  step/mini-batch and back once at the end, so consecutive kernel
+  calls reuse the resident copies instead of re-uploading per call.
+  ``None`` (every CPU backend) keeps all arrays host-side with zero
+  overhead.
+
 Every registered backend is automatically exercised against
 ``"reference"`` by ``tests/tensor/backend_conformance.py`` — register
-it before the suite runs and the parity checks come for free.
+it before the suite runs and the parity checks (now swept over both
+float64 and float32 with per-dtype tolerances) come for free.
 
 Multicolor Gauss-Seidel ordering
 --------------------------------
@@ -117,10 +157,12 @@ import os
 from collections.abc import Callable, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.exceptions import ConfigError, ShapeError
+from repro.tensor import device as _device
 from repro.tensor.dense import unfold
 from repro.tensor.products import khatri_rao, kruskal_to_tensor
 
@@ -131,6 +173,7 @@ __all__ = [
     "accumulate_normal_equations",
     "active_backend",
     "available_backends",
+    "from_device",
     "kruskal_column_sq_norms",
     "kruskal_reconstruct_rows",
     "lag_neighbor_counts",
@@ -140,6 +183,7 @@ __all__ = [
     "mttkrp_observed",
     "observed_factor_products",
     "register_backend",
+    "result_dtype",
     "rls_update_rows",
     "scatter_normal_equations",
     "segment_sum",
@@ -147,6 +191,7 @@ __all__ = [
     "soft_threshold",
     "solve_rows",
     "temporal_sweep",
+    "to_device",
     "use_backend",
 ]
 
@@ -156,6 +201,68 @@ _CHUNK = 1 << 16
 #: Relative ridge added to every row system before solving (Theorem 1-2
 #: systems are positive semi-definite; the ridge makes them definite).
 _RIDGE = 1e-10
+
+
+def _ridge_for(dtype: Any) -> float:
+    """Relative ridge coefficient for the row solves at ``dtype``.
+
+    The float64 ridge (``1e-10``) is far below float32 machine epsilon
+    (``~1.2e-7``): added to an O(1) system in float32 it would vanish
+    and leave a singular system singular.  Lower-precision dtypes get
+    ``1000 eps`` instead (``~1.2e-4`` in float32) — big enough to make
+    rank-deficient systems solvable, small enough to stay inside the
+    float32 conformance tolerances.
+    """
+    dt = np.dtype(dtype)
+    if dt == np.dtype(np.float64):
+        return _RIDGE
+    return float(np.finfo(dt).eps) * 1e3
+
+
+def _dtype_of(array: Any) -> np.dtype:
+    """NumPy dtype of an array-like, device arrays included."""
+    dtype = getattr(array, "dtype", None)
+    if dtype is None:
+        return np.asarray(array).dtype
+    try:
+        return np.dtype(dtype)
+    except TypeError:
+        pass
+    try:
+        # torch dtypes stringify as "torch.float32".
+        return np.dtype(str(dtype).rsplit(".", 1)[-1])
+    except TypeError:
+        # Device-only dtypes with no NumPy equivalent (e.g. torch's
+        # bfloat16): the seam policy promotes them to float64 like any
+        # other non-float32/float64 input.
+        return np.dtype(np.float64)
+
+
+def result_dtype(*arrays: Any) -> np.dtype:
+    """The seam-wide computation dtype for one kernel call.
+
+    When the active backend pins a dtype (:attr:`KernelBackend.dtype`),
+    that wins.  Otherwise the kernels follow their inputs: the NumPy
+    promotion of all floating inputs, clamped to float32/float64
+    (anything else — integer, bool, or float16 inputs, or no floating
+    input at all — computes in float64, preserving the seed semantics
+    for non-float callers).  ``None`` entries are ignored so optional
+    arguments can be passed straight through.
+    """
+    pinned = active_backend().dtype
+    if pinned is not None:
+        return np.dtype(pinned)
+    floats = [
+        dt
+        for dt in (_dtype_of(a) for a in arrays if a is not None)
+        if dt.kind == "f"
+    ]
+    if not floats:
+        return np.dtype(np.float64)
+    common = np.result_type(*floats)
+    if common in (np.dtype(np.float32), np.dtype(np.float64)):
+        return common
+    return np.dtype(np.float64)
 
 
 # ---------------------------------------------------------------------------
@@ -189,13 +296,13 @@ def segment_sum(
         Array of shape ``(num_segments, *data.shape[1:])``.
     """
     segments = np.asarray(segments)
-    data = np.asarray(data, dtype=np.float64)
+    data = np.asarray(data, dtype=result_dtype(data))
     if segments.shape[0] != data.shape[0]:
         raise ShapeError(
             f"segments length {segments.shape[0]} does not match data rows "
             f"{data.shape[0]}"
         )
-    out = np.zeros((num_segments,) + data.shape[1:])
+    out = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
     if segments.size == 0:
         return out
     order = np.argsort(segments, kind="stable")
@@ -227,9 +334,9 @@ def scatter_normal_equations(
     (B, c):
         Arrays of shapes ``(dim, R, R)`` and ``(dim, R)``.
     """
-    design = np.asarray(design, dtype=np.float64)
+    design = np.asarray(design, dtype=result_dtype(design, targets))
     n, rank = design.shape
-    payload = np.empty((n, rank * rank + rank))
+    payload = np.empty((n, rank * rank + rank), dtype=design.dtype)
     payload[:, : rank * rank] = (
         design[:, :, None] * design[:, None, :]
     ).reshape(n, -1)
@@ -257,10 +364,11 @@ def observed_factor_products(
     ``skip_mode`` entry of ``factors`` is never read and may be ``None``.
     """
     rank = next(f.shape[1] for f in factors if f is not None)
+    dtype = result_dtype(weights, *factors)
     nnz = coords[0].size
-    prod = np.ones((nnz, rank))
+    prod = np.ones((nnz, rank), dtype=dtype)
     if weights is not None:
-        prod *= np.asarray(weights, dtype=np.float64)[None, :]
+        prod *= np.asarray(weights, dtype=dtype)[None, :]
     for axis, factor in enumerate(factors):
         if axis == skip_mode:
             continue
@@ -280,18 +388,19 @@ def kruskal_column_sq_norms(
     ``K``.  Used for the Lipschitz step normalization of the dynamic
     updates (Eq. 24-25).
     """
+    dtype = result_dtype(weights, *factors)
     if factors:
-        col_sq = np.ones(factors[0].shape[1])
+        col_sq = np.ones(factors[0].shape[1], dtype=dtype)
         for factor in factors:
             col_sq = col_sq * np.einsum("ir,ir->r", factor, factor)
     elif weights is not None:
-        col_sq = np.ones(np.asarray(weights).shape[0])
+        col_sq = np.ones(np.asarray(weights).shape[0], dtype=dtype)
     else:
         raise ShapeError("need at least one factor or a weight vector")
     if weights is not None:
-        w = np.asarray(weights, dtype=np.float64)
+        w = np.asarray(weights, dtype=dtype)
         col_sq = col_sq * w * w
-    return col_sq
+    return col_sq.astype(dtype, copy=False)
 
 
 def lag_neighbor_counts(length: int, lag: int) -> np.ndarray:
@@ -319,11 +428,11 @@ def lag_neighbor_sums(
     Vectorized form of :func:`repro.core.smoothness.neighbor_sum` (the
     right-hand-side smoothness term of Eq. 17).
     """
-    u = np.asarray(matrix, dtype=np.float64)
+    u = np.asarray(matrix, dtype=result_dtype(matrix))
     length = u.shape[0]
     if rows is None:
         rows = np.arange(length)
-    total = np.zeros((rows.shape[0], u.shape[1]))
+    total = np.zeros((rows.shape[0], u.shape[1]), dtype=u.dtype)
     left = rows - lag
     has_left = left >= 0
     total[has_left] += u[left[has_left]]
@@ -335,7 +444,7 @@ def lag_neighbor_sums(
 
 def soft_threshold(values: np.ndarray, threshold: float) -> np.ndarray:
     """Element-wise soft-thresholding ``sign(x) max(|x| - λ, 0)`` (Eq. 12)."""
-    arr = np.asarray(values, dtype=np.float64)
+    arr = np.asarray(values, dtype=result_dtype(values))
     return np.sign(arr) * np.maximum(np.abs(arr) - threshold, 0.0)
 
 
@@ -374,13 +483,16 @@ def _batched_solve_rows(
     *and* ``rhs`` are entirely zero (no observations and no smoothness
     coupling) keep their ``fallback`` value.
     """
-    lhs = np.asarray(lhs, dtype=np.float64)
-    rhs = np.asarray(rhs, dtype=np.float64)
+    dtype = result_dtype(lhs, rhs, fallback)
+    lhs = np.asarray(lhs, dtype=dtype)
+    rhs = np.asarray(rhs, dtype=dtype)
     n, rank = rhs.shape
     if n == 0:
         return rhs.copy()
     scale = np.einsum("nii->n", lhs) / rank
-    ridged = lhs + (_RIDGE * (1.0 + scale))[:, None, None] * np.eye(rank)
+    ridged = lhs + (_ridge_for(dtype) * (1.0 + scale))[:, None, None] * np.eye(
+        rank, dtype=dtype
+    )
     try:
         solution = np.linalg.solve(ridged, rhs[:, :, None])[:, :, 0]
     except np.linalg.LinAlgError:
@@ -390,7 +502,7 @@ def _batched_solve_rows(
     if fallback is not None:
         inactive = ~(lhs.any(axis=(1, 2)) | rhs.any(axis=1))
         if inactive.any():
-            solution[inactive] = fallback[inactive]
+            solution[inactive] = np.asarray(fallback, dtype=dtype)[inactive]
     return solution
 
 
@@ -410,15 +522,18 @@ def _dense_mttkrp_chain(
     overhead (the first contraction is a BLAS ``tensordot``).
     """
     ndim = tensor.ndim
+    dtype = result_dtype(
+        tensor, weights, *[m for m in mats if m is not None]
+    )
     others = [axis for axis in range(ndim) if axis != mode]
-    out = tensor
+    out = np.asarray(tensor, dtype=dtype)
     appended = False
     # Descending order keeps every remaining mode at its original axis.
     for axis in sorted(others, reverse=True):
-        mat = np.asarray(mats[axis], dtype=np.float64)
+        mat = np.asarray(mats[axis], dtype=dtype)
         if not appended:
             if weights is not None:
-                mat = mat * np.asarray(weights, dtype=np.float64)[None, :]
+                mat = mat * np.asarray(weights, dtype=dtype)[None, :]
             out = np.tensordot(out, mat, axes=([axis], [0]))
             appended = True
         else:
@@ -454,12 +569,16 @@ def _batched_accumulate_normal_equations(
     """
     rank = factors[0].shape[1]
     dim = factors[mode].shape[0]
+    dtype = result_dtype(values, *factors)
     if values.size == 0:
-        return np.zeros((dim, rank, rank)), np.zeros((dim, rank))
+        return (
+            np.zeros((dim, rank, rank), dtype=dtype),
+            np.zeros((dim, rank), dtype=dtype),
+        )
     shape = tuple(f.shape[0] for f in factors)
-    dense_values = np.zeros(shape)
+    dense_values = np.zeros(shape, dtype=dtype)
     dense_values[coords] = values
-    indicator = np.zeros(shape)
+    indicator = np.zeros(shape, dtype=dtype)
     indicator[coords] = 1.0
     big_c = _dense_mttkrp_chain(dense_values, factors, mode)
     pairs = [
@@ -489,12 +608,17 @@ def _batched_temporal_sweep(
     of the previously updated classes — preserving the within-sweep
     neighbor coupling of Eq. 17-18.
     """
-    out = np.asarray(temporal, dtype=np.float64).copy()
+    dtype = result_dtype(big_b, big_c, temporal)
+    big_b = np.asarray(big_b, dtype=dtype)
+    big_c = np.asarray(big_c, dtype=dtype)
+    out = np.asarray(temporal, dtype=dtype).copy()
     length, rank = out.shape
-    diag = lambda1 * lag_neighbor_counts(length, 1) + lambda2 * (
-        lag_neighbor_counts(length, period)
+    diag = np.asarray(
+        lambda1 * lag_neighbor_counts(length, 1)
+        + lambda2 * lag_neighbor_counts(length, period),
+        dtype=dtype,
     )
-    eye = np.eye(rank)
+    eye = np.eye(rank, dtype=dtype)
     idx = np.arange(length)
     colors = (idx & 1) + 2 * ((idx // period) & 1)
     for color in range(4):
@@ -524,14 +648,17 @@ def _batched_mttkrp(
     ``mode=None`` contracts *every* mode, leaving only the rank index —
     the ``(⊙_n U^(n))ᵀ vec(R)`` term of Eq. 25.
     """
-    tensor = np.asarray(tensor, dtype=np.float64)
+    dtype = result_dtype(
+        tensor, weights, *[f for f in factors if f is not None]
+    )
+    tensor = np.asarray(tensor, dtype=dtype)
     if tensor.ndim == 1 and mode is not None:
         # Single-mode tensor: the empty Khatri-Rao product is all-ones.
-        rank = factors[0].shape[1]
+        rank = next(f.shape[1] for f in factors if f is not None)
         row = (
-            np.asarray(weights, dtype=np.float64)[None, :]
+            np.asarray(weights, dtype=dtype)[None, :]
             if weights is not None
-            else np.ones((1, rank))
+            else np.ones((1, rank), dtype=dtype)
         )
         return tensor[:, None] * row
     return _dense_mttkrp_chain(tensor, factors, mode, weights)
@@ -556,10 +683,11 @@ def _batched_rls_update_rows(
     rows = np.asarray(rows)
     if rows.size == 0:
         return
+    dtype = result_dtype(factor, cov, regressors, targets)
     order = np.argsort(rows, kind="stable")
     rows_sorted = rows[order]
-    x_sorted = np.asarray(regressors, dtype=np.float64)[order]
-    t_sorted = np.asarray(targets, dtype=np.float64)[order]
+    x_sorted = np.asarray(regressors, dtype=dtype)[order]
+    t_sorted = np.asarray(targets, dtype=dtype)[order]
     is_start = np.concatenate(([True], rows_sorted[1:] != rows_sorted[:-1]))
     starts = np.flatnonzero(is_start)
     group = np.cumsum(is_start) - 1
@@ -593,12 +721,13 @@ def _batched_kruskal_reconstruct_rows(
     stack is still built and then gathered — this is the dense backend;
     the sparse backend evaluates only the requested entries.
     """
-    weight_rows = np.asarray(weight_rows, dtype=np.float64)
+    dtype = result_dtype(weight_rows, *factors)
+    weight_rows = np.asarray(weight_rows, dtype=dtype)
     if weight_rows.ndim != 2:
         raise ShapeError(
             f"weight rows must be 2-D (batch, rank), got {weight_rows.shape}"
         )
-    mats = [np.asarray(f, dtype=np.float64) for f in factors]
+    mats = [np.asarray(f, dtype=dtype) for f in factors]
     shape = tuple(f.shape[0] for f in mats)
     n_batch = weight_rows.shape[0]
     if len(mats) == 1:
@@ -641,7 +770,12 @@ def mttkrp_observed(
     read (it may be ``None``); ``dim`` overrides the output row count
     when it cannot be taken from ``factors[mode]``.
     """
-    values = np.asarray(values, dtype=np.float64)
+    values = np.asarray(
+        values,
+        dtype=result_dtype(
+            values, weights, *[f for f in factors if f is not None]
+        ),
+    )
     if mode is None:
         prod = observed_factor_products(coords, factors, weights=weights)
         return values @ prod
@@ -671,6 +805,9 @@ def _sparse_accumulate_normal_equations(
     """
     rank = factors[0].shape[1]
     dim = factors[mode].shape[0]
+    dtype = result_dtype(values, *factors)
+    # np.bincount accumulates in float64 regardless of the weight dtype;
+    # the extra precision is free, so only the outputs are cast.
     big_b = np.zeros((dim, rank, rank))
     big_c = np.zeros((dim, rank))
     nnz = values.size
@@ -692,7 +829,7 @@ def _sparse_accumulate_normal_equations(
                 big_b[:, r, s] += col
                 if s != r:
                     big_b[:, s, r] += col
-    return big_b, big_c
+    return big_b.astype(dtype, copy=False), big_c.astype(dtype, copy=False)
 
 
 def _sparse_mttkrp(
@@ -708,14 +845,17 @@ def _sparse_mttkrp(
     reproduces the dense contraction exactly while doing ``O(nnz N R)``
     work instead of ``O(prod(dims) R)``.
     """
-    tensor = np.asarray(tensor, dtype=np.float64)
+    dtype = result_dtype(
+        tensor, weights, *[f for f in factors if f is not None]
+    )
+    tensor = np.asarray(tensor, dtype=dtype)
     if tensor.ndim == 1 and mode is not None:
         # Single-mode tensor: the empty Khatri-Rao product is all-ones.
         rank = next(f.shape[1] for f in factors if f is not None)
         row = (
-            np.asarray(weights, dtype=np.float64)[None, :]
+            np.asarray(weights, dtype=dtype)[None, :]
             if weights is not None
-            else np.ones((1, rank))
+            else np.ones((1, rank), dtype=dtype)
         )
         return tensor[:, None] * row
     coords = np.nonzero(tensor)
@@ -738,7 +878,8 @@ def _sparse_kruskal_reconstruct_rows(
     stack is requested, which has no sparsity to exploit, so the dense
     batched strategy is reused.
     """
-    weight_rows = np.asarray(weight_rows, dtype=np.float64)
+    dtype = result_dtype(weight_rows, *factors)
+    weight_rows = np.asarray(weight_rows, dtype=dtype)
     if weight_rows.ndim != 2:
         raise ShapeError(
             f"weight rows must be 2-D (batch, rank), got {weight_rows.shape}"
@@ -747,7 +888,7 @@ def _sparse_kruskal_reconstruct_rows(
         return _batched_kruskal_reconstruct_rows(factors, weight_rows)
     prod = weight_rows[coords[0]]
     for axis, factor in enumerate(factors):
-        prod = prod * np.asarray(factor, dtype=np.float64)[coords[axis + 1]]
+        prod = prod * np.asarray(factor, dtype=dtype)[coords[axis + 1]]
     return prod.sum(axis=1)
 
 
@@ -786,7 +927,7 @@ def _auto_mttkrp(
     extracts the coordinates once and contracts directly (no second
     scan inside :func:`_sparse_mttkrp`).
     """
-    tensor = np.asarray(tensor, dtype=np.float64)
+    tensor = np.asarray(tensor)
     if tensor.ndim <= 1 or (
         np.count_nonzero(tensor) >= AUTO_DENSITY_THRESHOLD * tensor.size
     ):
@@ -822,7 +963,9 @@ def _auto_kruskal_reconstruct_rows(
 def _reference_solve_one(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     rank = rhs.shape[0]
     scale = float(np.trace(lhs)) / rank
-    ridged = lhs + (_RIDGE * (1.0 + scale)) * np.eye(rank)
+    ridged = lhs + (_ridge_for(lhs.dtype) * (1.0 + scale)) * np.eye(
+        rank, dtype=lhs.dtype
+    )
     try:
         return np.linalg.solve(ridged, rhs)
     except np.linalg.LinAlgError:
@@ -835,10 +978,11 @@ def _reference_solve_rows(
     fallback: np.ndarray | None = None,
 ) -> np.ndarray:
     """One Python-level ridge solve per row (the seed's ``_solve_rows``)."""
-    lhs = np.asarray(lhs, dtype=np.float64)
-    rhs = np.asarray(rhs, dtype=np.float64)
+    dtype = result_dtype(lhs, rhs, fallback)
+    lhs = np.asarray(lhs, dtype=dtype)
+    rhs = np.asarray(rhs, dtype=dtype)
     out = (
-        np.asarray(fallback, dtype=np.float64).copy()
+        np.asarray(fallback, dtype=dtype).copy()
         if fallback is not None
         else np.zeros_like(rhs)
     )
@@ -858,8 +1002,9 @@ def _reference_accumulate_normal_equations(
     """Chunked ``np.add.at`` accumulation (the seed's implementation)."""
     rank = factors[0].shape[1]
     dim = factors[mode].shape[0]
-    big_b = np.zeros((dim, rank, rank))
-    big_c = np.zeros((dim, rank))
+    dtype = result_dtype(values, *factors)
+    big_b = np.zeros((dim, rank, rank), dtype=dtype)
+    big_c = np.zeros((dim, rank), dtype=dtype)
     nnz = values.size
     for start in range(0, nnz, _CHUNK):
         stop = min(start + _CHUNK, nnz)
@@ -880,14 +1025,17 @@ def _reference_temporal_sweep(
     period: int,
 ) -> np.ndarray:
     """Sequential scalar Gauss-Seidel sweep (the seed's row ordering)."""
-    out = np.asarray(temporal, dtype=np.float64).copy()
+    dtype = result_dtype(big_b, big_c, temporal)
+    big_b = np.asarray(big_b, dtype=dtype)
+    big_c = np.asarray(big_c, dtype=dtype)
+    out = np.asarray(temporal, dtype=dtype).copy()
     length, rank = out.shape
-    eye = np.eye(rank)
+    eye = np.eye(rank, dtype=dtype)
     counts1 = lag_neighbor_counts(length, 1)
     counts2 = lag_neighbor_counts(length, period)
     for i in range(length):
         lhs = big_b[i] + (
-            lambda1 * counts1[i] + lambda2 * counts2[i]
+            lambda1 * float(counts1[i]) + lambda2 * float(counts2[i])
         ) * eye
         rhs = (
             big_c[i]
@@ -907,26 +1055,29 @@ def _reference_mttkrp(
     weights: np.ndarray | None = None,
 ) -> np.ndarray:
     """Materialized Khatri-Rao MTTKRP (the seed's formulation)."""
-    tensor = np.asarray(tensor, dtype=np.float64)
+    dtype = result_dtype(
+        tensor, weights, *[f for f in factors if f is not None]
+    )
+    tensor = np.asarray(tensor, dtype=dtype)
     if mode is None:
         kr = khatri_rao(list(factors)) if len(factors) > 1 else np.asarray(
-            factors[0], dtype=np.float64
+            factors[0], dtype=dtype
         )
         if weights is not None:
-            kr = kr * np.asarray(weights, dtype=np.float64)[None, :]
-        return tensor.reshape(-1) @ kr
+            kr = kr * np.asarray(weights, dtype=dtype)[None, :]
+        return tensor.reshape(-1) @ np.asarray(kr, dtype=dtype)
     others = [factors[axis] for axis in range(tensor.ndim) if axis != mode]
     if not others:
-        rank = factors[0].shape[1]
+        rank = next(f.shape[1] for f in factors if f is not None)
         row = (
-            np.asarray(weights, dtype=np.float64)[None, :]
+            np.asarray(weights, dtype=dtype)[None, :]
             if weights is not None
-            else np.ones((1, rank))
+            else np.ones((1, rank), dtype=dtype)
         )
         return tensor[:, None] * row
-    kr = khatri_rao(others)
+    kr = np.asarray(khatri_rao(others), dtype=dtype)
     if weights is not None:
-        kr = kr * np.asarray(weights, dtype=np.float64)[None, :]
+        kr = kr * np.asarray(weights, dtype=dtype)[None, :]
     return unfold(tensor, mode) @ kr
 
 
@@ -936,13 +1087,14 @@ def _reference_kruskal_reconstruct_rows(
     coords: tuple[np.ndarray, ...] | None = None,
 ) -> np.ndarray:
     """One Kruskal evaluation per weight row (the per-step semantics)."""
-    weight_rows = np.asarray(weight_rows, dtype=np.float64)
+    dtype = result_dtype(weight_rows, *factors)
+    weight_rows = np.asarray(weight_rows, dtype=dtype)
     if weight_rows.ndim != 2:
         raise ShapeError(
             f"weight rows must be 2-D (batch, rank), got {weight_rows.shape}"
         )
     shape = tuple(f.shape[0] for f in factors)
-    out = np.empty((weight_rows.shape[0],) + shape)
+    out = np.empty((weight_rows.shape[0],) + shape, dtype=dtype)
     for b in range(weight_rows.shape[0]):
         out[b] = kruskal_to_tensor(factors, weights=weight_rows[b])
     if coords is None:
@@ -966,6 +1118,359 @@ def _reference_rls_update_rows(
         error = target - float(factor[row] @ x)
         factor[row] += gain * error
         cov[row] = (p - np.outer(gain, px)) / beta
+
+
+# ---------------------------------------------------------------------------
+# Array-API ("xp") kernels — one implementation for NumPy/torch/CuPy
+# ---------------------------------------------------------------------------
+#
+# These six kernels are written once against the Python Array API
+# standard plus integer-array gather/scatter indexing (which NumPy,
+# torch, and CuPy all support) and execute on whatever array module
+# repro.tensor.device selects.  Host (NumPy) inputs are moved to the
+# device at the kernel boundary and the outputs come back as NumPy
+# arrays; if any input is already device-native the outputs stay on the
+# device, which is how the dynamic phase keeps factors resident across
+# a whole mini-batch.
+
+
+def _xp_is_host(array: Any) -> bool:
+    """Whether an input lives on the host (outputs follow the inputs)."""
+    if array is None or isinstance(
+        array, (bool, int, float, np.ndarray, np.generic)
+    ):
+        return True
+    if isinstance(array, (list, tuple)):
+        return all(_xp_is_host(item) for item in array)
+    return False
+
+
+def _xp_maybe_host(result: Any, host_out: bool):
+    """Convert a kernel result back to NumPy when the inputs were host."""
+    return _device.from_device(result) if host_out else result
+
+
+def _xp_solve_core(xp: Any, lhs: Any, rhs: Any, fallback: Any, dtype) -> Any:
+    """Device-level ridged batched solve shared by the xp kernels.
+
+    Mirrors :func:`_batched_solve_rows`: relative ridge, a pinv fallback
+    when the batched solve reports a singular system, and pass-through
+    of ``fallback`` rows whose ``lhs`` *and* ``rhs`` are entirely zero
+    (kept functional via ``xp.where`` so immutable-array libraries are
+    not ruled out).
+    """
+    n, rank = int(rhs.shape[0]), int(rhs.shape[1])
+    idx = xp.arange(rank)
+    scale = xp.sum(lhs[:, idx, idx], axis=-1) / rank
+    eye = xp.eye(rank, dtype=lhs.dtype)
+    ridged = lhs + (_ridge_for(dtype) * (1.0 + scale))[:, None, None] * eye
+    try:
+        solution = xp.linalg.solve(ridged, rhs[:, :, None])[:, :, 0]
+    except Exception:
+        # The library-specific "singular batch" exception types differ
+        # (numpy LinAlgError, torch's RuntimeError subclass); all mean
+        # the same thing here: use the minimum-norm pseudo-inverse.
+        solution = xp.matmul(xp.linalg.pinv(ridged), rhs[:, :, None])[:, :, 0]
+    if fallback is not None:
+        flat = xp.reshape(lhs, (n, -1))
+        inactive = ~(xp.any(flat != 0, axis=1) | xp.any(rhs != 0, axis=1))
+        solution = xp.where(inactive[:, None], fallback, solution)
+    return solution
+
+
+def _xp_solve_rows(
+    lhs: Any,
+    rhs: Any,
+    fallback: Any | None = None,
+) -> Any:
+    """Batched ridge solve on the active array module."""
+    xp = _device.get_array_module()
+    dtype = result_dtype(lhs, rhs, fallback)
+    host_out = _xp_is_host(lhs) and _xp_is_host(rhs) and _xp_is_host(fallback)
+    lhs_x = _device.to_device(lhs, dtype=dtype)
+    rhs_x = _device.to_device(rhs, dtype=dtype)
+    if int(rhs_x.shape[0]) == 0:
+        return _xp_maybe_host(xp.asarray(rhs_x, copy=True), host_out)
+    fb = None if fallback is None else _device.to_device(fallback, dtype=dtype)
+    return _xp_maybe_host(
+        _xp_solve_core(xp, lhs_x, rhs_x, fb, dtype), host_out
+    )
+
+
+def _xp_mttkrp_chain(
+    xp: Any,
+    tensor: Any,
+    mats: Sequence[Any],
+    mode: int | None,
+    weights: Any | None = None,
+) -> Any:
+    """Device-level tensordot/broadcast MTTKRP chain (no Khatri-Rao)."""
+    ndim = tensor.ndim
+    others = [axis for axis in range(ndim) if axis != mode]
+    out = tensor
+    appended = False
+    # Descending order keeps every remaining mode at its original axis.
+    for axis in sorted(others, reverse=True):
+        mat = mats[axis]
+        if not appended:
+            if weights is not None:
+                mat = mat * weights[None, :]
+            out = xp.tensordot(out, mat, axes=((axis,), (0,)))
+            appended = True
+        else:
+            shape = [1] * out.ndim
+            shape[axis] = int(mat.shape[0])
+            shape[-1] = int(mat.shape[1])
+            out = xp.sum(out * xp.reshape(mat, tuple(shape)), axis=axis)
+    return out
+
+
+def _xp_accumulate_normal_equations(
+    coords: tuple[np.ndarray, ...],
+    values: Any,
+    factors: Sequence[Any],
+    mode: int,
+) -> tuple[Any, Any]:
+    """Dense-contraction accumulation (Eq. 14-15) on the array module.
+
+    The same strategy as :func:`_batched_accumulate_normal_equations`:
+    scatter the values and the observation indicator to dense device
+    arrays, then run both MTTKRP chains on the device.
+    """
+    xp = _device.get_array_module()
+    dtype = result_dtype(values, *factors)
+    host_out = _xp_is_host(values) and all(_xp_is_host(f) for f in factors)
+    mats = [_device.to_device(f, dtype=dtype) for f in factors]
+    rank = int(mats[0].shape[1])
+    dim = int(mats[mode].shape[0])
+    vals = _device.to_device(values, dtype=dtype)
+    if int(vals.shape[0]) == 0:
+        return (
+            _xp_maybe_host(
+                xp.zeros((dim, rank, rank), dtype=mats[0].dtype), host_out
+            ),
+            _xp_maybe_host(
+                xp.zeros((dim, rank), dtype=mats[0].dtype), host_out
+            ),
+        )
+    shape = tuple(int(m.shape[0]) for m in mats)
+    idx = tuple(_device.to_device(c) for c in coords)
+    dense_values = xp.zeros(shape, dtype=mats[0].dtype)
+    dense_values[idx] = vals
+    indicator = xp.zeros(shape, dtype=mats[0].dtype)
+    indicator[idx] = 1.0
+    big_c = _xp_mttkrp_chain(xp, dense_values, mats, mode)
+    pairs = [
+        xp.reshape(
+            m[:, :, None] * m[:, None, :], (int(m.shape[0]), rank * rank)
+        )
+        for m in mats
+    ]
+    big_b = xp.reshape(
+        _xp_mttkrp_chain(xp, indicator, pairs, mode), (dim, rank, rank)
+    )
+    return _xp_maybe_host(big_b, host_out), _xp_maybe_host(big_c, host_out)
+
+
+def _xp_temporal_sweep(
+    big_b: Any,
+    big_c: Any,
+    temporal: Any,
+    *,
+    lambda1: float,
+    lambda2: float,
+    period: int,
+) -> Any:
+    """Four-color batched Gauss-Seidel sweep on the array module.
+
+    The same coloring (and therefore the same valid Gauss-Seidel
+    ordering) as :func:`_batched_temporal_sweep`.
+    """
+    xp = _device.get_array_module()
+    dtype = result_dtype(big_b, big_c, temporal)
+    host_out = (
+        _xp_is_host(big_b) and _xp_is_host(big_c) and _xp_is_host(temporal)
+    )
+    b_x = _device.to_device(big_b, dtype=dtype)
+    c_x = _device.to_device(big_c, dtype=dtype)
+    # to_device may be zero-copy; the sweep mutates, so copy explicitly.
+    out = xp.asarray(_device.to_device(temporal, dtype=dtype), copy=True)
+    length, rank = int(out.shape[0]), int(out.shape[1])
+    idx = xp.arange(length)
+
+    def counts(lag: int) -> Any:
+        has_left = xp.astype(idx >= lag, b_x.dtype)
+        has_right = xp.astype(idx < length - lag, b_x.dtype)
+        return has_left + has_right
+
+    diag = lambda1 * counts(1) + lambda2 * counts(period)
+    eye = xp.eye(rank, dtype=b_x.dtype)
+    zero_row = xp.zeros((1, rank), dtype=b_x.dtype)
+
+    def neighbor_sums(lag: int, rows: Any) -> Any:
+        left = rows - lag
+        has_left = left >= 0
+        li = xp.where(has_left, left, xp.zeros_like(left))
+        total = xp.where(has_left[:, None], out[li, :], zero_row)
+        right = rows + lag
+        has_right = right < length
+        ri = xp.where(has_right, right, xp.zeros_like(right))
+        return total + xp.where(has_right[:, None], out[ri, :], zero_row)
+
+    colors = (idx % 2) + 2 * ((idx // period) % 2)
+    for color in range(4):
+        rows = xp.nonzero(colors == color)[0]
+        if int(rows.shape[0]) == 0:
+            continue
+        lhs = b_x[rows, ...] + diag[rows][:, None, None] * eye
+        rhs = (
+            c_x[rows, ...]
+            + lambda1 * neighbor_sums(1, rows)
+            + lambda2 * neighbor_sums(period, rows)
+        )
+        out[rows, ...] = _xp_solve_core(xp, lhs, rhs, out[rows, ...], dtype)
+    return _xp_maybe_host(out, host_out)
+
+
+def _xp_mttkrp(
+    tensor: Any,
+    factors: Sequence[Any],
+    mode: int | None,
+    weights: Any | None = None,
+) -> Any:
+    """Dense MTTKRP on the array module (``mode=None`` contracts all)."""
+    xp = _device.get_array_module()
+    dtype = result_dtype(
+        tensor, weights, *[f for f in factors if f is not None]
+    )
+    host_out = (
+        _xp_is_host(tensor)
+        and _xp_is_host(weights)
+        and all(_xp_is_host(f) for f in factors)
+    )
+    t_x = _device.to_device(tensor, dtype=dtype)
+    w_x = None if weights is None else _device.to_device(weights, dtype=dtype)
+    if t_x.ndim == 1 and mode is not None:
+        # Single-mode tensor: the empty Khatri-Rao product is all-ones.
+        rank = int(next(f.shape[1] for f in factors if f is not None))
+        row = (
+            w_x[None, :]
+            if w_x is not None
+            else xp.ones((1, rank), dtype=t_x.dtype)
+        )
+        return _xp_maybe_host(t_x[:, None] * row, host_out)
+    mats = [
+        None if f is None else _device.to_device(f, dtype=dtype)
+        for f in factors
+    ]
+    return _xp_maybe_host(
+        _xp_mttkrp_chain(xp, t_x, mats, mode, w_x), host_out
+    )
+
+
+def _xp_kruskal_reconstruct_rows(
+    factors: Sequence[Any],
+    weight_rows: Any,
+    coords: tuple[np.ndarray, ...] | None = None,
+) -> Any:
+    """Batched Kruskal reconstruction on the array module.
+
+    The same shape-dependent strategy switch as the batched backend
+    (broadcast chain for small batches, shared Khatri-Rao matmul
+    otherwise); ``coords`` gathers from the dense stack.
+    """
+    xp = _device.get_array_module()
+    dtype = result_dtype(weight_rows, *factors)
+    host_out = (
+        _xp_is_host(weight_rows)
+        and all(_xp_is_host(f) for f in factors)
+        and (coords is None or _xp_is_host(coords))
+    )
+    w_x = _device.to_device(weight_rows, dtype=dtype)
+    if w_x.ndim != 2:
+        raise ShapeError(
+            f"weight rows must be 2-D (batch, rank), got "
+            f"{tuple(w_x.shape)}"
+        )
+    mats = [_device.to_device(f, dtype=dtype) for f in factors]
+    shape = tuple(int(m.shape[0]) for m in mats)
+    rank = int(w_x.shape[1])
+    n_batch = int(w_x.shape[0])
+    if len(mats) == 1:
+        dense = xp.matmul(w_x, xp.matrix_transpose(mats[0]))
+    elif n_batch < shape[-1]:
+        out = w_x
+        for mat in mats[:-1]:
+            out = out[..., None, :] * mat
+        flat = xp.reshape(out, (-1, rank))
+        dense = xp.reshape(
+            xp.matmul(flat, xp.matrix_transpose(mats[-1])),
+            (n_batch,) + shape,
+        )
+    else:
+        kr = mats[0]
+        for mat in mats[1:]:
+            kr = xp.reshape(kr[:, None, :] * mat[None, :, :], (-1, rank))
+        dense = xp.reshape(
+            xp.matmul(w_x, xp.matrix_transpose(kr)), (n_batch,) + shape
+        )
+    if coords is None:
+        return _xp_maybe_host(dense, host_out)
+    idx = tuple(_device.to_device(c) for c in coords)
+    return _xp_maybe_host(dense[idx], host_out)
+
+
+def _xp_rls_update_rows(
+    factor: Any,
+    cov: Any,
+    rows: Any,
+    regressors: Any,
+    targets: Any,
+    beta: float,
+) -> None:
+    """Round-batched RLS recursions on the array module.
+
+    The round bookkeeping (tiny integer arrays) stays on the host; each
+    round's rank-1 updates run on the device.  ``factor`` and ``cov``
+    are updated in place at the end, whether they are NumPy arrays or
+    device-native tensors.
+    """
+    xp = _device.get_array_module()
+    rows_h = np.asarray(_device.from_device(rows))
+    if rows_h.size == 0:
+        return
+    dtype = result_dtype(factor, cov, regressors, targets)
+    f_x = xp.asarray(_device.to_device(factor, dtype=dtype), copy=True)
+    p_x = xp.asarray(_device.to_device(cov, dtype=dtype), copy=True)
+    order = np.argsort(rows_h, kind="stable")
+    rows_sorted = rows_h[order]
+    x_all = _device.to_device(
+        np.asarray(_device.from_device(regressors))[order], dtype=dtype
+    )
+    t_all = _device.to_device(
+        np.asarray(_device.from_device(targets))[order], dtype=dtype
+    )
+    is_start = np.concatenate(([True], rows_sorted[1:] != rows_sorted[:-1]))
+    starts = np.flatnonzero(is_start)
+    group = np.cumsum(is_start) - 1
+    position = np.arange(rows_sorted.size) - starts[group]
+    for round_index in range(int(position.max()) + 1):
+        sel = np.flatnonzero(position == round_index)
+        r = _device.to_device(rows_sorted[sel])
+        sel_x = _device.to_device(sel)
+        x = x_all[sel_x, :]
+        p = p_x[r, ...]
+        px = xp.matmul(p, x[:, :, None])[:, :, 0]
+        gain = px / (beta + xp.sum(x * px, axis=-1))[:, None]
+        error = t_all[sel_x] - xp.sum(f_x[r, ...] * x, axis=-1)
+        f_x[r, ...] = f_x[r, ...] + gain * error[:, None]
+        p_x[r, ...] = (p - gain[:, :, None] * px[:, None, :]) / beta
+    if isinstance(factor, np.ndarray):
+        factor[...] = _device.from_device(f_x)
+        cov[...] = _device.from_device(p_x)
+    else:
+        factor[...] = f_x
+        cov[...] = p_x
 
 
 # ---------------------------------------------------------------------------
@@ -999,6 +1504,18 @@ class KernelBackend:
     #: GPU).  The shipped ``sparse``/``auto`` backends opt out: the
     #: per-entry CPU path *is* their execution strategy.
     keeps_dense_steps: bool = True
+    #: Pin every kernel of this backend to one computation dtype
+    #: (``"float32"``/``"float64"``).  ``None`` (every shipped backend)
+    #: follows the inputs — see :func:`result_dtype`.
+    dtype: str | None = None
+    #: Host↔device boundary converters.  ``None`` (every CPU backend)
+    #: means all arrays are host-side and the dynamic phase adds zero
+    #: overhead; the ``"xp"`` backend maps these to
+    #: :func:`repro.tensor.device.to_device` / ``from_device`` so the
+    #: dynamic phase can keep factors device-resident across a whole
+    #: step or mini-batch.
+    to_device: Callable[..., Any] | None = None
+    from_device: Callable[..., Any] | None = None
 
 
 #: Environment variable that selects the import-time active backend —
@@ -1094,6 +1611,23 @@ register_backend(
         keeps_dense_steps=False,
     )
 )
+# The xp backend runs the dense strategy on the array module selected
+# by repro.tensor.device; keeps_dense_steps stays True so its kernels
+# see all the dynamic-phase work (the CPU per-entry fast path would
+# bypass the device).
+register_backend(
+    KernelBackend(
+        name="xp",
+        solve_rows=_xp_solve_rows,
+        accumulate_normal_equations=_xp_accumulate_normal_equations,
+        temporal_sweep=_xp_temporal_sweep,
+        mttkrp=_xp_mttkrp,
+        rls_update_rows=_xp_rls_update_rows,
+        kruskal_reconstruct_rows=_xp_kruskal_reconstruct_rows,
+        to_device=_device.to_device,
+        from_device=_device.from_device,
+    )
+)
 register_backend(
     KernelBackend(
         name="reference",
@@ -1109,6 +1643,24 @@ register_backend(
 _env_backend = os.environ.get(BACKEND_ENV_VAR, "").strip()
 if _env_backend:
     set_backend(_env_backend)
+
+
+def to_device(array: Any) -> Any:
+    """Move a host array onto the active backend's device.
+
+    Identity for backends without device converters (all CPU backends);
+    under ``"xp"`` this is :func:`repro.tensor.device.to_device`.  The
+    dynamic phase calls this once per step/mini-batch so the factor
+    matrices stay resident across consecutive kernel calls.
+    """
+    convert = active_backend().to_device
+    return array if convert is None else convert(array)
+
+
+def from_device(array: Any) -> Any:
+    """Bring a kernel result back to the host (identity for CPU backends)."""
+    convert = active_backend().from_device
+    return array if convert is None else convert(array)
 
 
 def solve_rows(

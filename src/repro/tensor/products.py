@@ -14,7 +14,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.exceptions import ShapeError
-from repro.tensor.validation import check_factor_matrices
+from repro.tensor.validation import as_float, check_factor_matrices
 
 __all__ = [
     "hadamard_all",
@@ -102,7 +102,9 @@ def kruskal_to_tensor(
     shape = tuple(m.shape[0] for m in mats)
     lead = mats[0]
     if weights is not None:
-        w = np.asarray(weights, dtype=np.float64).reshape(-1)
+        # Follow the factors' dtype so float32 models reconstruct in
+        # float32; non-float weights promote to float64 as before.
+        w = as_float(weights).reshape(-1)
         if w.shape[0] != lead.shape[1]:
             raise ShapeError(
                 f"weights length {w.shape[0]} does not match rank "
@@ -126,7 +128,7 @@ def normalize_columns(
     the scale of non-temporal factors into the temporal factor
     (Algorithm 2, lines 7-9).
     """
-    mat = np.asarray(matrix, dtype=np.float64)
+    mat = as_float(matrix)
     if mat.ndim != 2:
         raise ShapeError(f"expected a matrix, got ndim={mat.ndim}")
     norms = np.linalg.norm(mat, axis=0)

@@ -13,6 +13,7 @@ import numpy as np
 from repro.exceptions import ShapeError
 
 __all__ = [
+    "as_float",
     "as_tensor",
     "check_factor_matrices",
     "check_mask",
@@ -20,6 +21,22 @@ __all__ = [
     "check_rank",
     "check_same_shape",
 ]
+
+
+def as_float(array) -> np.ndarray:
+    """Preserve float32/float64 dtypes; promote anything else to float64.
+
+    The single home of the seam-wide dtype rule (the multi-argument
+    promotion form lives in :func:`repro.tensor.kernels.result_dtype`):
+    a float32 model stays float32, integers/bools/float16 promote to
+    float64.  Shared by the tensor validators, the robust ψ/ρ
+    primitives, and the Eq. 21-22 outlier split so the policy cannot
+    drift between them.
+    """
+    arr = np.asarray(array)
+    if arr.dtype in (np.dtype(np.float32), np.dtype(np.float64)):
+        return arr
+    return arr.astype(np.float64)
 
 
 def as_tensor(data, *, min_ndim: int = 1, name: str = "tensor") -> np.ndarray:
@@ -37,9 +54,11 @@ def as_tensor(data, *, min_ndim: int = 1, name: str = "tensor") -> np.ndarray:
     Returns
     -------
     numpy.ndarray
-        A C-contiguous float64 view/copy of ``data``.
+        A float view/copy of ``data``: float32/float64 pass through
+        (matching the kernel seam's dtype policy); anything else
+        promotes to float64.
     """
-    arr = np.asarray(data, dtype=np.float64)
+    arr = as_float(data)
     if arr.ndim < min_ndim:
         raise ShapeError(
             f"{name} must have at least {min_ndim} mode(s), got {arr.ndim}"
@@ -105,7 +124,9 @@ def check_factor_matrices(
     """
     if len(factors) == 0:
         raise ShapeError("factor list must be non-empty")
-    mats = [np.asarray(f, dtype=np.float64) for f in factors]
+    # Preserve float32/float64 (a float32 model keeps float32 factors);
+    # anything else promotes to float64 as before.
+    mats = [as_float(f) for f in factors]
     for i, mat in enumerate(mats):
         if mat.ndim != 2:
             raise ShapeError(f"factor {i} must be 2-D, got ndim={mat.ndim}")

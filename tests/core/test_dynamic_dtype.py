@@ -1,0 +1,122 @@
+"""Float32 end-to-end SOFIA: the dtype policy through the whole stack.
+
+``SofiaConfig(dtype="float32")`` must keep the dynamic phase in float32
+(state, kernel calls, per-step outputs) *and* stay numerically faithful:
+on the Fig. 7-style fully observed stream the float32 per-step NRE must
+match the float64 run within 1e-3 — the acceptance bound of the dtype
+refactor.  A kernel that silently upcasts (the pre-refactor behavior)
+fails the dtype assertions; a kernel that loses precision (e.g. a
+float16 sneaking in, or a wrongly scaled ridge) fails the NRE bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Sofia, SofiaConfig
+from repro.datasets import scalability_stream
+from repro.exceptions import ConfigError
+from repro.streams.metrics import normalized_residual_error
+
+PERIOD = 7
+STARTUP = 3 * PERIOD
+N_STEPS = 90
+
+
+def _fig7_stream(seed=0):
+    return scalability_stream(12, 10, N_STEPS, period=PERIOD, rank=3, seed=seed)
+
+
+def _run(dtype, batch_size=1, seed=0):
+    stream = _fig7_stream(seed)
+    config = SofiaConfig(
+        rank=3,
+        period=PERIOD,
+        lambda1=0.1,
+        lambda2=0.1,
+        max_outer_iters=50,
+        dtype=dtype,
+        batch_size=batch_size,
+    )
+    model = Sofia(config)
+    model.initialize([stream.data[..., t] for t in range(STARTUP)])
+    steps = model.run(
+        (stream.data[..., t], None) for t in range(STARTUP, N_STEPS)
+    )
+    nre = np.array(
+        [
+            normalized_residual_error(
+                step.completed, stream.data[..., STARTUP + i]
+            )
+            for i, step in enumerate(steps)
+        ]
+    )
+    return model, steps, nre
+
+
+class TestFloat32EndToEnd:
+    def test_config_rejects_unknown_dtype(self):
+        with pytest.raises(ConfigError, match="dtype"):
+            SofiaConfig(rank=2, period=4, dtype="float16")
+
+    def test_state_and_outputs_stay_float32(self):
+        model, steps, _ = _run("float32")
+        state = model.state
+        assert state.dtype == np.float32
+        assert all(f.dtype == np.float32 for f in state.non_temporal)
+        assert state.temporal_buffer.dtype == np.float32
+        assert state.sigma.dtype == np.float32
+        last = steps[-1]
+        assert last.completed.dtype == np.float32
+        assert last.prediction.dtype == np.float32
+        assert last.outliers.dtype == np.float32
+        assert model.forecast(3).dtype == np.float32
+
+    def test_float64_default_unchanged(self):
+        model, steps, _ = _run("float64")
+        assert model.state.dtype == np.float64
+        assert steps[-1].completed.dtype == np.float64
+
+    @pytest.mark.parametrize("batch_size", [1, 4])
+    def test_float32_nre_matches_float64_within_1e3(self, batch_size):
+        _, _, nre64 = _run("float64", batch_size=batch_size)
+        _, _, nre32 = _run("float32", batch_size=batch_size)
+        assert nre64.shape == nre32.shape
+        assert np.abs(nre32 - nre64).max() < 1e-3
+        # And the run is actually good, not just consistently bad.
+        assert nre32.mean() < 0.25
+
+    def test_sparse_batch_path_stays_float32(self):
+        # A sparsely observed mini-batch engages robust_step_batch_at
+        # (log-bincount scale products), whose float64 accumulation
+        # must not leak into the model state.
+        rng = np.random.default_rng(5)
+        stream = _fig7_stream()
+        mask = rng.random(stream.data.shape) < 0.03
+        config = SofiaConfig(
+            rank=3,
+            period=PERIOD,
+            max_outer_iters=30,
+            dtype="float32",
+            batch_size=4,
+            density_threshold=1.0,
+        )
+        model = Sofia(config)
+        model.initialize([stream.data[..., t] for t in range(STARTUP)])
+        model.run(
+            (
+                np.where(mask[..., t], stream.data[..., t], 0.0),
+                mask[..., t],
+            )
+            for t in range(STARTUP, STARTUP + 12)
+        )
+        state = model.state
+        assert state.sigma.dtype == np.float32
+        assert all(f.dtype == np.float32 for f in state.non_temporal)
+
+    def test_float32_forecast_tracks_float64(self):
+        model64, _, _ = _run("float64")
+        model32, _, _ = _run("float32")
+        f64 = model64.forecast(PERIOD)
+        f32 = model32.forecast(PERIOD)
+        scale = np.abs(f64).max() + 1e-12
+        assert np.abs(f32 - f64).max() / scale < 1e-3

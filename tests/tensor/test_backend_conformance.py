@@ -1,8 +1,9 @@
 """Drive the cross-backend conformance harness over every backend.
 
 The case matrix lives in :mod:`tests.tensor.backend_conformance`; this
-file only parameterizes it over :func:`kernels.available_backends`, so
-registering a new backend automatically subjects it to the whole suite.
+file only parameterizes it over :func:`kernels.available_backends` and
+the dtype axis, so registering a new backend automatically subjects it
+to the whole suite in both float64 and float32.
 """
 
 import numpy as np
@@ -10,6 +11,7 @@ import pytest
 
 from repro.tensor import kernels
 from tests.tensor.backend_conformance import (
+    DTYPES,
     backends_under_test,
     iter_conformance_cases,
 )
@@ -18,18 +20,26 @@ _CASES = iter_conformance_cases()
 
 
 @pytest.mark.parametrize("backend", backends_under_test())
+@pytest.mark.parametrize("dtype", DTYPES, ids=[np.dtype(d).name for d in DTYPES])
 @pytest.mark.parametrize(
     "kernel,case_id,check",
     _CASES,
     ids=[f"{kernel}-{case_id}" for kernel, case_id, _ in _CASES],
 )
-def test_backend_matches_reference(backend, kernel, case_id, check):
-    check(backend)
+def test_backend_matches_reference(backend, dtype, kernel, case_id, check):
+    check(backend, dtype)
 
 
 def test_all_shipped_backends_enrolled():
-    assert {"auto", "batched", "sparse"} <= set(backends_under_test())
+    assert {"auto", "batched", "sparse", "xp"} <= set(backends_under_test())
     assert "reference" not in backends_under_test()
+
+
+def test_dtype_axis_covers_both_precisions():
+    assert {np.dtype(d) for d in DTYPES} == {
+        np.dtype(np.float64),
+        np.dtype(np.float32),
+    }
 
 
 def test_every_kernel_covered():
@@ -60,7 +70,8 @@ def test_newly_registered_backend_is_picked_up():
     try:
         assert "conformance-probe" in backends_under_test()
         kernel, case_id, check = iter_conformance_cases()[0]
-        check("conformance-probe")
+        for dtype in DTYPES:
+            check("conformance-probe", dtype)
     finally:
         kernels._BACKENDS.pop("conformance-probe")
 
@@ -105,6 +116,80 @@ def test_harness_cases_detect_a_broken_backend():
         assert checks
         with pytest.raises(AssertionError):
             for check in checks:
-                check("broken-probe")
+                check("broken-probe", np.float64)
     finally:
         kernels._BACKENDS.pop("broken-probe")
+
+
+def test_dtype_axis_detects_a_float64_upcasting_backend():
+    """A backend that silently upcasts float32 inputs must fail.
+
+    This is the latent-bug class the dtype axis exists for: a kernel
+    sprinkled with ``np.asarray(..., dtype=np.float64)`` passes every
+    float64-only parity test and only the float32 sweep exposes it.
+    """
+
+    def upcasting_mttkrp(tensor, factors, mode, weights=None):
+        return kernels._BACKENDS["batched"].mttkrp(
+            np.asarray(tensor, dtype=np.float64),
+            [None if f is None else np.asarray(f, dtype=np.float64)
+             for f in factors],
+            mode,
+            weights,
+        )
+
+    clone = kernels._BACKENDS["batched"]
+    kernels.register_backend(
+        kernels.KernelBackend(
+            name="upcast-probe",
+            solve_rows=clone.solve_rows,
+            accumulate_normal_equations=clone.accumulate_normal_equations,
+            temporal_sweep=clone.temporal_sweep,
+            mttkrp=upcasting_mttkrp,
+            rls_update_rows=clone.rls_update_rows,
+            kruskal_reconstruct_rows=clone.kruskal_reconstruct_rows,
+        )
+    )
+    try:
+        checks = [
+            check
+            for kernel, case_id, check in iter_conformance_cases()
+            if kernel == "mttkrp" and "density_0.5" in case_id
+        ]
+        assert checks
+        for check in checks:  # float64 runs stay green...
+            check("upcast-probe", np.float64)
+        with pytest.raises(AssertionError, match="preserve"):
+            for check in checks:  # ...only the float32 axis trips
+                check("upcast-probe", np.float32)
+    finally:
+        kernels._BACKENDS.pop("upcast-probe")
+
+
+def test_backend_pinned_dtype_wins_over_inputs():
+    """`KernelBackend.dtype` pins the whole seam to one dtype."""
+    clone = kernels._BACKENDS["batched"]
+    kernels.register_backend(
+        kernels.KernelBackend(
+            name="pinned-f32-probe",
+            solve_rows=clone.solve_rows,
+            accumulate_normal_equations=clone.accumulate_normal_equations,
+            temporal_sweep=clone.temporal_sweep,
+            mttkrp=clone.mttkrp,
+            rls_update_rows=clone.rls_update_rows,
+            kruskal_reconstruct_rows=clone.kruskal_reconstruct_rows,
+            dtype="float32",
+        )
+    )
+    try:
+        rng = np.random.default_rng(3)
+        tensor = rng.normal(size=(4, 5, 6))
+        factors = [rng.normal(size=(s, 2)) for s in (4, 5, 6)]
+        with kernels.use_backend("pinned-f32-probe"):
+            out = kernels.mttkrp(tensor, factors, 0)
+        assert out.dtype == np.float32
+        with kernels.use_backend("batched"):
+            expected = kernels.mttkrp(tensor, factors, 0)
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-4)
+    finally:
+        kernels._BACKENDS.pop("pinned-f32-probe")

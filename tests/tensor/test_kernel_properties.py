@@ -1,0 +1,228 @@
+"""Property-based (hypothesis) tests for the six seam kernels.
+
+Random shapes, ranks, densities, and dtypes — the axes the fixed
+conformance matrix samples at a handful of points, hypothesis sweeps
+continuously.  Two kinds of properties per kernel:
+
+* *parity*: every backend under test matches the ``"reference"``
+  backend (through the shared :func:`assert_close` tolerances of the
+  conformance harness, so the same per-dtype bounds apply);
+* *algebraic invariants* that hold regardless of backend: MTTKRP is
+  linear in the tensor, soft-thresholding is a shrinkage (never grows
+  magnitude, never flips sign, moves by at most the threshold), the
+  accumulated normal-equation blocks ``B_i`` are symmetric positive
+  semi-definite, and row solves actually solve their systems.
+
+The file is wired into the conformance harness: backends come from
+:func:`backends_under_test` and tolerances from
+:data:`tests.tensor.backend_conformance.TOLERANCES`, so a newly
+registered backend is property-tested with no new code.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import kernels
+from tests.tensor.backend_conformance import (
+    TOLERANCES,
+    assert_close,
+    backends_under_test,
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+dtypes = st.sampled_from([np.float64, np.float32])
+shapes = st.lists(st.integers(1, 5), min_size=2, max_size=3).map(tuple)
+ranks = st.integers(1, 4)
+densities = st.floats(0.0, 1.0)
+seeds = st.integers(0, 2**31 - 1)
+
+
+def _case(shape, rank, density, dtype, seed):
+    """One random masked-tensor case, fully determined by the draw."""
+    rng = np.random.default_rng(seed)
+    factors = [rng.normal(size=(s, rank)).astype(dtype) for s in shape]
+    mask = rng.random(shape) < density
+    coords = np.nonzero(mask)
+    values = rng.normal(size=coords[0].size).astype(dtype)
+    return factors, mask, coords, values
+
+
+def _psd_tol(dtype, magnitude):
+    atol, rtol = TOLERANCES[np.dtype(dtype)]
+    return atol + rtol * magnitude
+
+
+@pytest.mark.parametrize("backend", backends_under_test())
+class TestAccumulateProperties:
+    @SETTINGS
+    @given(
+        shape=shapes,
+        rank=ranks,
+        density=densities,
+        dtype=dtypes,
+        seed=seeds,
+    )
+    def test_parity_symmetry_and_psd(
+        self, backend, shape, rank, density, dtype, seed
+    ):
+        factors, _, coords, values = _case(shape, rank, density, dtype, seed)
+        mode = seed % len(shape)
+        with kernels.use_backend(backend):
+            big_b, big_c = kernels.accumulate_normal_equations(
+                coords, values, factors, mode
+            )
+        with kernels.use_backend("reference"):
+            exp_b, exp_c = kernels.accumulate_normal_equations(
+                coords, values, factors, mode
+            )
+        assert_close(big_b, exp_b, dtype)
+        assert_close(big_c, exp_c, dtype)
+        # Each B_i is a sum of outer products x xᵀ: symmetric PSD.
+        np.testing.assert_allclose(
+            big_b, np.swapaxes(big_b, 1, 2),
+            atol=_psd_tol(dtype, np.abs(big_b).max(initial=0.0)),
+        )
+        sym = 0.5 * (big_b + np.swapaxes(big_b, 1, 2))
+        eigenvalues = np.linalg.eigvalsh(sym.astype(np.float64))
+        assert eigenvalues.min(initial=0.0) >= -_psd_tol(
+            dtype, np.abs(big_b).max(initial=0.0)
+        )
+
+
+@pytest.mark.parametrize("backend", backends_under_test())
+class TestMttkrpProperties:
+    @SETTINGS
+    @given(
+        shape=shapes,
+        rank=ranks,
+        density=densities,
+        dtype=dtypes,
+        seed=seeds,
+    )
+    def test_parity_and_linearity(
+        self, backend, shape, rank, density, dtype, seed
+    ):
+        factors, mask, coords, values = _case(shape, rank, density, dtype, seed)
+        tensor = np.zeros(shape, dtype=dtype)
+        tensor[coords] = values
+        other = np.where(
+            mask, np.random.default_rng(seed + 1).normal(size=shape), 0.0
+        ).astype(dtype)
+        mode = None if seed % (len(shape) + 1) == len(shape) else (
+            seed % (len(shape) + 1)
+        )
+        with kernels.use_backend(backend):
+            got = kernels.mttkrp(tensor, factors, mode)
+            got_other = kernels.mttkrp(other, factors, mode)
+            got_combo = kernels.mttkrp(
+                2.0 * tensor - 0.5 * other, factors, mode
+            )
+        with kernels.use_backend("reference"):
+            expected = kernels.mttkrp(tensor, factors, mode)
+        assert_close(got, expected, dtype)
+        # Linearity in the tensor argument (density can shift across the
+        # auto threshold between the three calls; the result must not).
+        scale = 1.0 + np.abs(got).max(initial=0.0) + np.abs(
+            got_other
+        ).max(initial=0.0)
+        assert_close(
+            got_combo,
+            2.0 * np.asarray(got) - 0.5 * np.asarray(got_other),
+            dtype,
+            scale=10.0 * scale,
+            check_dtype=False,
+        )
+
+
+@pytest.mark.parametrize("backend", backends_under_test())
+class TestSolveRowsProperties:
+    @SETTINGS
+    @given(
+        n=st.integers(0, 12),
+        rank=ranks,
+        dtype=dtypes,
+        seed=seeds,
+    )
+    def test_solves_well_conditioned_systems(
+        self, backend, n, rank, dtype, seed
+    ):
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=(n, rank, rank))
+        lhs = (
+            base @ base.transpose(0, 2, 1) + np.eye(rank)
+        ).astype(dtype)
+        rhs = rng.normal(size=(n, rank)).astype(dtype)
+        fallback = rng.normal(size=(n, rank)).astype(dtype)
+        with kernels.use_backend(backend):
+            got = kernels.solve_rows(lhs, rhs, fallback)
+        with kernels.use_backend("reference"):
+            expected = kernels.solve_rows(lhs, rhs, fallback)
+        assert_close(got, expected, dtype, scale=10.0)
+        residual = (
+            np.einsum("nij,nj->ni", lhs.astype(np.float64), got) - rhs
+        )
+        atol = TOLERANCES[np.dtype(dtype)][0]
+        assert np.abs(residual).max(initial=0.0) <= 1e3 * atol * (
+            1.0 + np.abs(rhs).max(initial=0.0)
+        )
+
+
+@pytest.mark.parametrize("backend", backends_under_test())
+class TestKruskalReconstructProperties:
+    @SETTINGS
+    @given(
+        shape=shapes,
+        rank=ranks,
+        n_batch=st.integers(1, 8),
+        density=densities,
+        dtype=dtypes,
+        seed=seeds,
+    )
+    def test_coords_gather_matches_dense_stack(
+        self, backend, shape, rank, n_batch, density, dtype, seed
+    ):
+        rng = np.random.default_rng(seed)
+        factors = [rng.normal(size=(s, rank)).astype(dtype) for s in shape]
+        weight_rows = rng.normal(size=(n_batch, rank)).astype(dtype)
+        mask = rng.random((n_batch,) + shape) < density
+        coords = np.nonzero(mask)
+        with kernels.use_backend(backend):
+            dense = kernels.kruskal_reconstruct_rows(factors, weight_rows)
+            gathered = kernels.kruskal_reconstruct_rows(
+                factors, weight_rows, coords
+            )
+        with kernels.use_backend("reference"):
+            expected = kernels.kruskal_reconstruct_rows(factors, weight_rows)
+        assert_close(dense, expected, dtype)
+        assert_close(
+            gathered, np.asarray(dense)[coords], dtype, check_dtype=False
+        )
+
+
+class TestSoftThresholdProperties:
+    @SETTINGS
+    @given(
+        dtype=dtypes,
+        threshold=st.floats(0.0, 10.0),
+        seed=seeds,
+    )
+    def test_shrinkage(self, dtype, threshold, seed):
+        values = (
+            10.0 * np.random.default_rng(seed).normal(size=64)
+        ).astype(dtype)
+        out = kernels.soft_threshold(values, threshold)
+        assert out.dtype == np.dtype(dtype)
+        eps = 1e3 * np.finfo(np.dtype(dtype)).eps
+        # Never grows magnitude, never flips sign...
+        assert np.all(np.abs(out) <= np.abs(values) + eps)
+        assert np.all(out * values >= -eps)
+        # ...moves by at most the threshold, and kills small entries.
+        assert np.all(np.abs(values) - np.abs(out) <= threshold + eps * 10)
+        assert np.all(out[np.abs(values) <= threshold] == 0.0)
