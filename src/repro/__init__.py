@@ -15,20 +15,28 @@ Public entry points::
 
 from repro._version import __version__
 from repro.exceptions import (
+    CheckpointError,
     ConfigError,
     ConvergenceError,
     DatasetError,
     NotFittedError,
     ReproError,
+    SessionError,
+    SessionExistsError,
+    SessionNotFoundError,
     ShapeError,
 )
 
 __all__ = [
+    "CheckpointError",
     "ConfigError",
     "ConvergenceError",
     "DatasetError",
     "NotFittedError",
     "ReproError",
+    "SessionError",
+    "SessionExistsError",
+    "SessionNotFoundError",
     "ShapeError",
     "Sofia",
     "SofiaConfig",

@@ -3,13 +3,30 @@
 An initialized :class:`repro.core.Sofia` can be checkpointed mid-stream
 and restored later — the archive holds the non-temporal factors, the
 temporal ring buffer, the vector Holt-Winters state, the error-scale
-tensor, the step counter, and the configuration.
+tensor, the step counter, and the configuration.  The serving layer's
+eviction tier (:mod:`repro.serving.store`) spills cold sessions through
+this exact format, so a round-trip must be bit-exact: ``np.savez``
+stores the arrays losslessly and the config travels as JSON (Python
+float repr round-trips exactly).
+
+Format versioning
+-----------------
+``_FORMAT_VERSION`` is 2 since the config surface grew ``dtype``,
+``density_threshold``, and ``batch_size``: every
+:class:`~repro.core.config.SofiaConfig` field is round-tripped
+explicitly and verified on load — a checkpoint whose config is missing
+a field (or carries an unknown one) raises
+:class:`~repro.exceptions.CheckpointError` instead of silently
+defaulting, and so does any format-version mismatch.  Version-1
+archives predate that config surface and are refused loudly for the
+same reason.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -17,12 +34,19 @@ import numpy as np
 from repro.core.config import SofiaConfig
 from repro.core.model import SofiaModelState
 from repro.core.sofia import Sofia
-from repro.exceptions import NotFittedError, ShapeError
+from repro.exceptions import CheckpointError, NotFittedError
 from repro.forecast.vector_hw import VectorHoltWinters
 
 __all__ = ["load_sofia", "save_sofia"]
 
-_FORMAT_VERSION = 1
+#: Version 2: the config JSON must carry the full post-PR-4 field set
+#: (``dtype``, ``density_threshold``, ``batch_size``, ...) and is
+#: checked field-by-field on load.
+_FORMAT_VERSION = 2
+
+
+def _config_field_names() -> set[str]:
+    return {field.name for field in dataclasses.fields(SofiaConfig)}
 
 
 def save_sofia(sofia: Sofia, path: str | Path) -> None:
@@ -45,23 +69,70 @@ def save_sofia(sofia: Sofia, path: str | Path) -> None:
     }
     for i, factor in enumerate(state.non_temporal):
         arrays[f"factor_{i}"] = factor
-    config_json = json.dumps(dataclasses.asdict(sofia.config))
+    config_fields = dataclasses.asdict(sofia.config)
+    # The full field set is written explicitly (not just "whatever the
+    # dataclass happens to hold") so load_sofia can verify it; a field
+    # added to SofiaConfig without a version bump fails the next
+    # round-trip test rather than silently defaulting on load.
+    assert set(config_fields) == _config_field_names()
+    config_json = json.dumps(config_fields)
     arrays["config_json"] = np.frombuffer(
         config_json.encode("utf-8"), dtype=np.uint8
     )
     np.savez_compressed(Path(path), **arrays)
 
 
+def _load_config(archive) -> SofiaConfig:
+    config_json = bytes(archive["config_json"].tobytes()).decode("utf-8")
+    payload = json.loads(config_json)
+    expected = _config_field_names()
+    saved = set(payload)
+    if saved != expected:
+        missing = sorted(expected - saved)
+        unexpected = sorted(saved - expected)
+        raise CheckpointError(
+            "checkpoint config does not match this build's SofiaConfig "
+            f"(missing fields: {missing}, unexpected fields: "
+            f"{unexpected}); refusing to fill the gaps with defaults — "
+            "re-save the checkpoint with this version"
+        )
+    return SofiaConfig(**payload)
+
+
 def load_sofia(path: str | Path) -> Sofia:
-    """Restore a SOFIA model checkpointed by :func:`save_sofia`."""
-    with np.load(Path(path)) as archive:
+    """Restore a SOFIA model checkpointed by :func:`save_sofia`.
+
+    Raises
+    ------
+    CheckpointError
+        If ``path`` is not a SOFIA checkpoint, its format version does
+        not match this build's ``_FORMAT_VERSION``, or its config does
+        not carry exactly this build's :class:`SofiaConfig` fields.
+        Nothing is ever silently defaulted.
+    """
+    try:
+        archive_ctx = np.load(Path(path))
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"cannot read {path!s} as a SOFIA checkpoint: {exc}"
+        ) from exc
+    with archive_ctx as archive:
+        if "format_version" not in archive:
+            raise CheckpointError(
+                f"{path!s} has no 'format_version' field — not a SOFIA "
+                "checkpoint"
+            )
         version = int(archive["format_version"])
         if version != _FORMAT_VERSION:
-            raise ShapeError(
-                f"unsupported checkpoint format version {version}"
+            raise CheckpointError(
+                f"checkpoint format version {version} does not match "
+                f"this build's version {_FORMAT_VERSION}; version-1 "
+                "archives predate the dtype/density_threshold/"
+                "batch_size config surface and would load with "
+                "silently defaulted fields — re-save the model with "
+                "this version instead"
             )
-        config_json = bytes(archive["config_json"].tobytes()).decode("utf-8")
-        config = SofiaConfig(**json.loads(config_json))
+        config = _load_config(archive)
         n_factors = int(archive["n_factors"])
         non_temporal = [archive[f"factor_{i}"] for i in range(n_factors)]
         hw = VectorHoltWinters(
@@ -79,6 +150,4 @@ def load_sofia(path: str | Path) -> Sofia:
             sigma=archive["sigma"],
             t=int(archive["t"]),
         )
-    sofia = Sofia(config)
-    sofia._state = state
-    return sofia
+    return Sofia.from_state(config, state)

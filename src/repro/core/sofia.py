@@ -51,6 +51,23 @@ class Sofia:
         self._state: SofiaModelState | None = None
         self._init_result: InitializationResult | None = None
 
+    @classmethod
+    def from_state(
+        cls, config: SofiaConfig, state: SofiaModelState
+    ) -> "Sofia":
+        """Rebuild a ready-to-step model around an existing state.
+
+        This is the warm-start constructor used by
+        :func:`repro.core.serialization.load_sofia` (and the serving
+        layer's checkpoint rehydration): the returned model skips the
+        initialization phase entirely and continues the dynamic phase
+        from ``state``.  The :attr:`initialization` details of the
+        original fit are not carried along.
+        """
+        sofia = cls(config)
+        sofia._state = state
+        return sofia
+
     # ------------------------------------------------------------------
     # Phase 1-2: initialization + Holt-Winters fitting
     # ------------------------------------------------------------------

@@ -29,3 +29,20 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class DatasetError(ReproError, ValueError):
     """A dataset name or dataset parameter is invalid."""
+
+
+class CheckpointError(ReproError, ValueError):
+    """A model checkpoint is unreadable, incomplete, or from an
+    incompatible format version."""
+
+
+class SessionError(ReproError, RuntimeError):
+    """A serving-session operation cannot be performed (see message)."""
+
+
+class SessionNotFoundError(SessionError, KeyError):
+    """No serving session is registered under the given id."""
+
+
+class SessionExistsError(SessionError):
+    """A serving session with the given id already exists."""

@@ -1,0 +1,42 @@
+"""Multi-tenant serving runtime for SOFIA streams.
+
+Hosts fleets of concurrent SOFIA sessions behind one runtime: a
+:class:`~repro.serving.manager.SessionManager` with per-session locks,
+a micro-batching :class:`~repro.serving.scheduler.MicroBatchScheduler`
+that flushes buffered slices through the fused ``Sofia.step_batch``
+path, an LRU :class:`~repro.serving.store.CheckpointStore` that spills
+cold sessions to disk and rehydrates them transparently, and a
+stdlib-only JSON/HTTP gateway (``repro-serve``) with in-process and
+HTTP clients.
+
+Quickstart (in-process)::
+
+    from repro.serving import SessionManager
+
+    with SessionManager(max_resident=64, max_batch=16) as manager:
+        manager.create_session("sensor-7", {"rank": 5, "period": 24})
+        for y_t, mask_t in stream:
+            manager.ingest("sensor-7", y_t, mask_t)   # async, micro-batched
+        completed = manager.impute("sensor-7", y_next, mask_next)
+        future = manager.forecast("sensor-7", horizon=24)
+
+Over HTTP: start ``repro-serve``, then drive the same surface with
+:class:`~repro.serving.client.HTTPServingClient` (or plain curl).
+"""
+
+from repro.serving.client import HTTPServingClient, InProcessServingClient
+from repro.serving.manager import SessionManager, make_config
+from repro.serving.metrics import ServingMetrics
+from repro.serving.scheduler import MicroBatchScheduler, PendingSlice
+from repro.serving.store import CheckpointStore
+
+__all__ = [
+    "CheckpointStore",
+    "HTTPServingClient",
+    "InProcessServingClient",
+    "MicroBatchScheduler",
+    "PendingSlice",
+    "ServingMetrics",
+    "SessionManager",
+    "make_config",
+]

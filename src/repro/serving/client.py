@@ -1,0 +1,220 @@
+"""Clients for the serving runtime: in-process and HTTP.
+
+Both speak the same method surface with the same JSON-ish types, so a
+test scenario (or the example) can run against a bare
+:class:`~repro.serving.manager.SessionManager` or a live gateway
+without changing code:
+
+* :class:`InProcessServingClient` wraps a manager directly — zero
+  serialization, the right tool for tests and embedded use;
+* :class:`HTTPServingClient` talks to a ``repro-serve`` gateway with
+  :mod:`urllib` (stdlib only), raising the same
+  :mod:`repro.exceptions` types the server mapped onto status codes.
+
+Arrays come back as :class:`numpy.ndarray` from both.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import numpy as np
+
+from repro.exceptions import (
+    CheckpointError,
+    ConfigError,
+    SessionError,
+    SessionExistsError,
+    SessionNotFoundError,
+    ShapeError,
+)
+from repro.serving.manager import SessionManager
+
+__all__ = ["HTTPServingClient", "InProcessServingClient"]
+
+
+def _mask_payload(mask) -> list | None:
+    if mask is None:
+        return None
+    return np.asarray(mask).astype(bool).tolist()
+
+
+class InProcessServingClient:
+    """The manager's surface with gateway-compatible types."""
+
+    def __init__(self, manager: SessionManager) -> None:
+        self._manager = manager
+
+    def create_session(
+        self,
+        session_id: str,
+        config: dict | None = None,
+        *,
+        checkpoint: str | None = None,
+        kernel_backend: str | None = None,
+    ) -> dict:
+        return self._manager.create_session(
+            session_id,
+            config=config,
+            checkpoint=checkpoint,
+            kernel_backend=kernel_backend,
+        )
+
+    def ingest(self, session_id: str, values, mask=None) -> int:
+        return self._manager.ingest(session_id, values, mask)
+
+    def results(self, session_id: str, since: int = 0) -> list:
+        return [
+            (seq, np.asarray(completed))
+            for seq, completed in self._manager.results(
+                session_id, since_seq=since
+            )
+        ]
+
+    def impute(self, session_id: str, values, mask=None) -> np.ndarray:
+        return self._manager.impute(session_id, values, mask)
+
+    def forecast(self, session_id: str, horizon: int) -> np.ndarray:
+        return self._manager.forecast(session_id, horizon)
+
+    def session_info(self, session_id: str) -> dict:
+        return self._manager.session_info(session_id)
+
+    def list_sessions(self) -> list[str]:
+        return self._manager.list_sessions()
+
+    def metrics(self) -> dict:
+        return self._manager.metrics.snapshot()
+
+    def close_session(
+        self, session_id: str, *, checkpoint_path: str | None = None
+    ) -> str | None:
+        return self._manager.close_session(
+            session_id, checkpoint_path=checkpoint_path
+        )
+
+
+#: Server error types -> client-side exception classes.
+_ERROR_TYPES = {
+    "SessionNotFoundError": SessionNotFoundError,
+    "SessionExistsError": SessionExistsError,
+    "SessionError": SessionError,
+    "ConfigError": ConfigError,
+    "ShapeError": ShapeError,
+    "CheckpointError": CheckpointError,
+}
+
+
+class HTTPServingClient:
+    """Talk to a running ``repro-serve`` gateway (stdlib urllib)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self._base = base_url.rstrip("/")
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self._base + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self._timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(detail)
+            except json.JSONDecodeError:
+                parsed = {"error": detail, "type": "ReproError"}
+            error_cls = _ERROR_TYPES.get(parsed.get("type"), SessionError)
+            raise error_cls(
+                parsed.get("error", f"HTTP {exc.code}")
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Surface (mirrors InProcessServingClient)
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        session_id: str,
+        config: dict | None = None,
+        *,
+        checkpoint: str | None = None,
+        kernel_backend: str | None = None,
+    ) -> dict:
+        payload: dict = {"session_id": session_id}
+        if config is not None:
+            payload["config"] = config
+        if checkpoint is not None:
+            payload["checkpoint"] = checkpoint
+        if kernel_backend is not None:
+            payload["kernel_backend"] = kernel_backend
+        return self._request("POST", "/sessions", payload)
+
+    def ingest(self, session_id: str, values, mask=None) -> int:
+        payload = {"values": np.asarray(values).tolist()}
+        if mask is not None:
+            payload["mask"] = _mask_payload(mask)
+        response = self._request(
+            "POST", f"/sessions/{session_id}/slices", payload
+        )
+        return int(response["seq"])
+
+    def results(self, session_id: str, since: int = 0) -> list:
+        response = self._request(
+            "GET", f"/sessions/{session_id}/results?since={since}"
+        )
+        return [
+            (int(entry["seq"]), np.asarray(entry["completed"]))
+            for entry in response["results"]
+        ]
+
+    def impute(self, session_id: str, values, mask=None) -> np.ndarray:
+        payload = {"values": np.asarray(values).tolist()}
+        if mask is not None:
+            payload["mask"] = _mask_payload(mask)
+        response = self._request(
+            "POST", f"/sessions/{session_id}/impute", payload
+        )
+        return np.asarray(response["completed"])
+
+    def forecast(self, session_id: str, horizon: int) -> np.ndarray:
+        response = self._request(
+            "GET", f"/sessions/{session_id}/forecast?horizon={horizon}"
+        )
+        return np.asarray(response["forecast"])
+
+    def session_info(self, session_id: str) -> dict:
+        return self._request("GET", f"/sessions/{session_id}")
+
+    def list_sessions(self) -> list[str]:
+        return self._request("GET", "/sessions")["sessions"]
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def close_session(
+        self, session_id: str, *, checkpoint_path: str | None = None
+    ) -> str | None:
+        path = f"/sessions/{session_id}"
+        if checkpoint_path is not None:
+            quoted = urllib.parse.quote(str(checkpoint_path), safe="")
+            path += f"?checkpoint={quoted}"
+        return self._request("DELETE", path).get("checkpoint")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")

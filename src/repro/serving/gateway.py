@@ -1,0 +1,337 @@
+"""Stdlib JSON/HTTP gateway in front of a :class:`SessionManager`.
+
+A :class:`~http.server.ThreadingHTTPServer` (one thread per connection,
+no third-party dependencies) exposing the serving runtime:
+
+=======  ==============================  =====================================
+Method   Path                            Body / query
+=======  ==============================  =====================================
+GET      ``/healthz``                    --
+GET      ``/metrics``                    --
+GET      ``/sessions``                   --
+POST     ``/sessions``                   ``{"session_id", "config"}`` or
+                                         ``{"session_id", "checkpoint"}``;
+                                         optional ``"kernel_backend"``
+GET      ``/sessions/<id>``              --
+DELETE   ``/sessions/<id>``              optional ``?checkpoint=<path>``
+POST     ``/sessions/<id>/slices``       ``{"values", "mask"?}`` -> ``seq``
+GET      ``/sessions/<id>/results``      ``?since=<seq>``
+POST     ``/sessions/<id>/impute``       ``{"values", "mask"?}`` -> completed
+GET      ``/sessions/<id>/forecast``     ``?horizon=<h>``
+=======  ==============================  =====================================
+
+Arrays travel as (nested) JSON lists.  Errors map onto status codes:
+unknown session 404, duplicate session 409, session-state conflicts
+(warming up, failed) 409, bad configs/shapes/JSON 400, everything else
+500 — always with a JSON body ``{"error": ..., "type": ...}``.
+
+``main`` is the ``repro-serve`` console entry point::
+
+    repro-serve --port 8349 --max-resident 64 --max-batch 16 \
+        --max-latency-ms 50 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from repro.exceptions import (
+    CheckpointError,
+    ConfigError,
+    ReproError,
+    SessionError,
+    SessionExistsError,
+    SessionNotFoundError,
+    ShapeError,
+)
+from repro.serving.manager import SessionManager
+
+__all__ = ["ServingHTTPServer", "main", "serve"]
+
+_SESSION_PATH = re.compile(
+    r"^/sessions/(?P<sid>[^/]+)(?P<tail>/(?:slices|results|impute|forecast))?$"
+)
+
+
+def _status_for(exc: Exception) -> int:
+    if isinstance(exc, SessionNotFoundError):
+        return 404
+    if isinstance(exc, SessionExistsError):
+        return 409
+    if isinstance(exc, SessionError):
+        return 409
+    if isinstance(
+        exc,
+        (ConfigError, ShapeError, CheckpointError, ValueError, KeyError),
+    ):
+        return 400
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; the manager lives on the server object."""
+
+    server: "ServingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, exc: Exception) -> None:
+        self._send_json(
+            {"error": str(exc), "type": type(exc).__name__},
+            status=_status_for(exc),
+        )
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        manager = self.server.manager
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        try:
+            handled = self._route(manager, method, parsed.path, query)
+        except ReproError as exc:
+            self._send_error_json(exc)
+            return
+        except (ValueError, KeyError) as exc:
+            self._send_error_json(exc)
+            return
+        except Exception as exc:  # noqa: BLE001 - HTTP boundary
+            self._send_error_json(exc)
+            return
+        if not handled:
+            self._send_json(
+                {"error": f"no route {method} {parsed.path}"}, status=404
+            )
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _route(self, manager, method, path, query) -> bool:
+        if method == "GET" and path == "/healthz":
+            self._send_json(
+                {"status": "ok", "sessions": len(manager.list_sessions())}
+            )
+            return True
+        if method == "GET" and path == "/metrics":
+            self._send_json(manager.metrics.snapshot())
+            return True
+        if path == "/sessions":
+            if method == "GET":
+                self._send_json({"sessions": manager.list_sessions()})
+                return True
+            if method == "POST":
+                payload = self._read_json()
+                if "session_id" not in payload:
+                    raise ValueError("body needs a 'session_id'")
+                info = manager.create_session(
+                    str(payload["session_id"]),
+                    config=payload.get("config"),
+                    checkpoint=payload.get("checkpoint"),
+                    kernel_backend=payload.get("kernel_backend"),
+                )
+                self._send_json(info, status=201)
+                return True
+            return False
+        match = _SESSION_PATH.match(path)
+        if not match:
+            return False
+        sid = match.group("sid")
+        tail = match.group("tail") or ""
+        if tail == "":
+            if method == "GET":
+                self._send_json(manager.session_info(sid))
+                return True
+            if method == "DELETE":
+                checkpoint = query.get("checkpoint", [None])[0]
+                saved = manager.close_session(
+                    sid, checkpoint_path=checkpoint
+                )
+                self._send_json({"closed": sid, "checkpoint": saved})
+                return True
+            return False
+        if tail == "/slices" and method == "POST":
+            payload = self._read_json()
+            seq = manager.ingest(
+                sid, payload["values"], payload.get("mask")
+            )
+            self._send_json({"session_id": sid, "seq": seq}, status=202)
+            return True
+        if tail == "/results" and method == "GET":
+            since = int(query.get("since", ["0"])[0])
+            results = manager.results(sid, since_seq=since)
+            self._send_json(
+                {
+                    "session_id": sid,
+                    "results": [
+                        {"seq": seq, "completed": completed.tolist()}
+                        for seq, completed in results
+                    ],
+                }
+            )
+            return True
+        if tail == "/impute" and method == "POST":
+            payload = self._read_json()
+            completed = manager.impute(
+                sid, payload["values"], payload.get("mask")
+            )
+            self._send_json(
+                {"session_id": sid, "completed": completed.tolist()}
+            )
+            return True
+        if tail == "/forecast" and method == "GET":
+            horizon = int(query.get("horizon", ["1"])[0])
+            forecast = manager.forecast(sid, horizon)
+            self._send_json(
+                {
+                    "session_id": sid,
+                    "horizon": horizon,
+                    "forecast": np.asarray(forecast).tolist(),
+                }
+            )
+            return True
+        return False
+
+    # BaseHTTPRequestHandler hooks
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """HTTP front of one :class:`SessionManager` (threaded, stdlib)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        manager: SessionManager,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.manager = manager
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve(
+    manager: SessionManager,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> ServingHTTPServer:
+    """Bind a gateway (``port=0`` picks a free port); caller runs it."""
+    return ServingHTTPServer((host, port), manager, verbose=verbose)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro-serve``: run the multi-session SOFIA serving gateway."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve concurrent SOFIA sessions over JSON/HTTP "
+        "with micro-batched ingestion and checkpoint-backed eviction.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8349)
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="where evicted sessions spill (default: a temp directory)",
+    )
+    parser.add_argument(
+        "--max-resident",
+        type=int,
+        default=None,
+        help="max sessions resident in memory; colder ones spill to "
+        "disk (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="micro-batch flush size (default 16)",
+    )
+    parser.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=50.0,
+        help="flush deadline for partial batches (default 50 ms)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="flush worker threads (default 2)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    manager = SessionManager(
+        checkpoint_dir=args.checkpoint_dir,
+        max_resident=args.max_resident,
+        max_batch=args.max_batch,
+        max_latency_s=args.max_latency_ms / 1000.0,
+        workers=args.workers,
+    )
+    server = serve(
+        manager, args.host, args.port, verbose=args.verbose
+    )
+    print(
+        f"repro-serve listening on http://{args.host}:{server.port} "
+        f"(max_batch={args.max_batch}, "
+        f"max_resident={args.max_resident or 'unbounded'})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

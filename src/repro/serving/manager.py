@@ -1,0 +1,555 @@
+"""Session manager: many named SOFIA streams behind one runtime.
+
+A :class:`SessionManager` hosts a fleet of independent SOFIA models
+("sessions"), each identified by a string id and fed by its own tensor
+stream.  It composes the three serving pieces:
+
+* the :class:`~repro.serving.scheduler.MicroBatchScheduler` buffers
+  ingested slices per session and flushes them through the fused
+  ``Sofia.step_batch`` path on a worker pool;
+* the :class:`~repro.serving.store.CheckpointStore` bounds resident
+  memory — cold sessions spill to disk and rehydrate transparently on
+  their next flush;
+* :class:`~repro.serving.metrics.ServingMetrics` counts everything.
+
+Session lifecycle
+-----------------
+``create_session`` registers a stream either from a
+:class:`~repro.core.config.SofiaConfig` (the session then *warms up*:
+it buffers ingested slices until ``config.init_steps`` have arrived and
+runs the batch initialization phase on exactly those, streaming the
+rest) or from an existing checkpoint (the session is ready
+immediately).  ``ingest`` is asynchronous — it returns a sequence
+number at once; the completed (imputed) slice appears under that number
+in ``results`` after the scheduler flushes it.  ``impute`` and
+``forecast`` are synchronous: they drain the session's buffer first, so
+they always observe every previously ingested slice.
+
+Thread-safety
+-------------
+The registry has its own lock; each session carries a per-session lock
+held for the duration of any model mutation (one flush, impute, or
+forecast at a time per session — different sessions proceed in
+parallel).  Lock order is registry -> session -> store; the scheduler's
+condition variable is never held across a flush.  Worker threads may
+run sessions pinned to different kernel backends concurrently — safe
+because the backend registries are context-local per thread (see
+``repro.tensor.kernels.use_backend``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from collections import deque
+from contextlib import nullcontext
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import SofiaConfig
+from repro.core.serialization import load_sofia
+from repro.core.sofia import Sofia
+from repro.exceptions import (
+    ConfigError,
+    SessionError,
+    SessionExistsError,
+    SessionNotFoundError,
+    ShapeError,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.scheduler import MicroBatchScheduler, PendingSlice
+from repro.serving.store import CheckpointStore
+from repro.tensor import kernels
+from repro.tensor.validation import check_mask
+
+__all__ = ["SessionManager", "make_config"]
+
+
+def make_config(config: SofiaConfig | dict) -> SofiaConfig:
+    """Validate a config given as a dataclass or a JSON-style dict.
+
+    Dict payloads (the gateway's ``POST /sessions`` body) get the same
+    loud :class:`~repro.exceptions.ConfigError` treatment as dataclass
+    construction, including unknown keys.
+    """
+    if isinstance(config, SofiaConfig):
+        return config
+    if not isinstance(config, dict):
+        raise ConfigError(
+            f"config must be a SofiaConfig or a dict, got {type(config)!r}"
+        )
+    try:
+        return SofiaConfig(**config)
+    except TypeError as exc:
+        raise ConfigError(f"invalid session config: {exc}") from None
+
+
+class _Session:
+    """Internal per-session record (model state lives in the store)."""
+
+    def __init__(
+        self,
+        session_id: str,
+        config: SofiaConfig,
+        *,
+        kernel_backend: str | None,
+        keep_results: int,
+    ) -> None:
+        self.session_id = session_id
+        self.config = config
+        self.kernel_backend = kernel_backend
+        self.lock = threading.RLock()
+        self.initialized = False
+        self.closing = False
+        self.failure: str | None = None
+        self.warmup: list[tuple[np.ndarray, np.ndarray]] = []
+        self.next_seq = 0
+        self.consumed = 0
+        self.subtensor_shape: tuple[int, ...] | None = None
+        #: (seq, completed) pairs of the most recent flushed slices.
+        self.results: deque[tuple[int, np.ndarray]] = deque(
+            maxlen=keep_results
+        )
+
+
+class SessionManager:
+    """Create/ingest/impute/forecast/close over many SOFIA sessions."""
+
+    def __init__(
+        self,
+        *,
+        checkpoint_dir: str | Path | None = None,
+        max_resident: int | None = None,
+        max_batch: int = 16,
+        max_latency_s: float = 0.05,
+        workers: int = 2,
+        keep_results: int = 64,
+    ) -> None:
+        if keep_results < 1:
+            raise ValueError(
+                f"keep_results must be >= 1, got {keep_results}"
+            )
+        self._registry_lock = threading.Lock()
+        self._sessions: dict[str, _Session] = {}
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        if checkpoint_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(
+                prefix="repro-serving-"
+            )
+            checkpoint_dir = self._tempdir.name
+        self.metrics = ServingMetrics()
+        self._store = CheckpointStore(
+            checkpoint_dir, max_resident=max_resident, metrics=self.metrics
+        )
+        self._keep_results = keep_results
+        self._scheduler = MicroBatchScheduler(
+            self._flush,
+            max_batch=max_batch,
+            max_latency_s=max_latency_s,
+            workers=workers,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        session_id: str,
+        config: SofiaConfig | dict | None = None,
+        *,
+        checkpoint: str | Path | None = None,
+        kernel_backend: str | None = None,
+    ) -> dict:
+        """Register a new session; returns its info dict.
+
+        Exactly one of ``config`` and ``checkpoint`` must be given:
+        with a config the session warms up on its first
+        ``config.init_steps`` ingested slices; with a checkpoint it is
+        rehydrated ready-to-step (the config travels inside the
+        checkpoint).  ``kernel_backend`` pins all of this session's
+        computation to one kernel backend (validated here, applied
+        context-locally on the worker threads).
+        """
+        if (config is None) == (checkpoint is None):
+            raise ConfigError(
+                "give exactly one of 'config' (fresh session) or "
+                "'checkpoint' (warm-started session)"
+            )
+        if not session_id or "/" in session_id:
+            raise ConfigError(
+                f"session id must be a non-empty string without '/', "
+                f"got {session_id!r}"
+            )
+        if kernel_backend is not None and (
+            kernel_backend not in kernels.available_backends()
+        ):
+            raise ConfigError(
+                f"unknown kernel backend {kernel_backend!r}; "
+                f"available: {kernels.available_backends()}"
+            )
+        sofia: Sofia | None = None
+        if checkpoint is not None:
+            sofia = load_sofia(checkpoint)
+            resolved = sofia.config
+        else:
+            resolved = make_config(config)
+        session = _Session(
+            session_id,
+            resolved,
+            kernel_backend=kernel_backend,
+            keep_results=self._keep_results,
+        )
+        with self._registry_lock:
+            if self._closed:
+                raise SessionError("the session manager is closed")
+            if session_id in self._sessions:
+                raise SessionExistsError(
+                    f"session {session_id!r} already exists"
+                )
+            self._sessions[session_id] = session
+        if sofia is not None:
+            session.initialized = True
+            session.subtensor_shape = sofia.state.subtensor_shape
+            session.consumed = int(sofia.state.t)
+            self._store.put(session_id, sofia)
+        self.metrics.increment("sessions_created")
+        return self.session_info(session_id)
+
+    def close_session(
+        self, session_id: str, *, checkpoint_path: str | Path | None = None
+    ) -> str | None:
+        """Drain, optionally checkpoint, and remove a session.
+
+        Returns the checkpoint path when one was written.  Pending
+        slices are applied before the final checkpoint, so nothing
+        ingested is lost.
+        """
+        session = self._get_session(session_id)
+        with session.lock:
+            session.closing = True
+        self._scheduler.drain(session_id)
+        saved: str | None = None
+        with session.lock:
+            if checkpoint_path is not None:
+                self._require_initialized(session, "checkpointing")
+                saved = str(
+                    self._store.save_to(session_id, checkpoint_path)
+                )
+            self._store.remove(session_id)
+        with self._registry_lock:
+            self._sessions.pop(session_id, None)
+        self.metrics.increment("sessions_closed")
+        return saved
+
+    def close(self) -> None:
+        """Drain every session and shut the worker pool down."""
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._scheduler.close(drain=True)
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        session_id: str,
+        subtensor,
+        mask=None,
+    ) -> int:
+        """Buffer one incoming slice; returns its sequence number.
+
+        Asynchronous: the slice is applied by the micro-batching
+        scheduler (flush on full batch or latency deadline) and its
+        completed reconstruction appears in :meth:`results` under the
+        returned sequence number.  Shape problems raise
+        :class:`~repro.exceptions.ShapeError` here, synchronously.
+        """
+        session = self._get_session(session_id)
+        y = np.asarray(subtensor, dtype=session.config.np_dtype)
+        if mask is None:
+            m = np.ones(y.shape, dtype=bool)
+        else:
+            m = check_mask(mask, y.shape)
+        with session.lock:
+            if session.closing:
+                raise SessionNotFoundError(
+                    f"session {session_id!r} is closing"
+                )
+            if session.failure is not None:
+                raise SessionError(
+                    f"session {session_id!r} failed: {session.failure}"
+                )
+            if session.subtensor_shape is None:
+                session.subtensor_shape = y.shape
+            elif y.shape != session.subtensor_shape:
+                raise ShapeError(
+                    f"session {session_id!r} expects slices of shape "
+                    f"{session.subtensor_shape}, got {y.shape}"
+                )
+            seq = session.next_seq
+            session.next_seq += 1
+            # Submitted under the session lock so concurrent ingests
+            # enqueue in sequence order (the scheduler applies a
+            # session's buffer strictly in submission order).  Lock
+            # order session -> scheduler condition is deadlock-free:
+            # workers never take a session lock while holding the
+            # condition.
+            self._scheduler.submit(
+                session_id,
+                PendingSlice(
+                    seq=seq,
+                    subtensor=y,
+                    mask=m,
+                    arrived_at=time.monotonic(),
+                ),
+            )
+        self.metrics.increment("slices_ingested")
+        return seq
+
+    def results(self, session_id: str, since_seq: int = 0) -> list:
+        """Completed slices with ``seq >= since_seq``, oldest first.
+
+        Only the most recent ``keep_results`` per session are retained;
+        each entry is ``(seq, completed)``.
+        """
+        session = self._get_session(session_id)
+        with session.lock:
+            self._raise_on_failure(session)
+            return [
+                (seq, completed)
+                for seq, completed in session.results
+                if seq >= since_seq
+            ]
+
+    # ------------------------------------------------------------------
+    # Synchronous operations
+    # ------------------------------------------------------------------
+    def impute(self, session_id: str, subtensor, mask=None) -> np.ndarray:
+        """Ingest one slice and return it with missing entries filled.
+
+        Synchronous: drains the session's buffer, so the returned slice
+        reflects every previously ingested one.  Observed entries are
+        kept verbatim; missing ones come from the reconstruction (the
+        slice joins the model trajectory exactly like an ingested one).
+
+        Warming sessions are rejected *before* the slice is buffered,
+        so a failed impute has no side effect and can be retried safely
+        once warmup completes (feed warmup data through :meth:`ingest`).
+        """
+        session = self._get_session(session_id)
+        y = np.asarray(subtensor, dtype=session.config.np_dtype)
+        m = (
+            np.ones(y.shape, dtype=bool)
+            if mask is None
+            else check_mask(mask, y.shape)
+        )
+        # Apply what is already buffered first: a warming session may
+        # be a few pending slices away from initializing, and the check
+        # below must see the post-drain state.
+        self._scheduler.drain(session_id)
+        with session.lock:
+            self._raise_on_failure(session)
+            self._require_initialized(session, "impute")
+        seq = self.ingest(session_id, y, m)
+        self._scheduler.drain(session_id)
+        with session.lock:
+            self._raise_on_failure(session)
+            completed = next(
+                (c for s, c in session.results if s == seq), None
+            )
+        if completed is None:  # pragma: no cover - keep_results too small
+            raise SessionError(
+                f"result for slice {seq} of session {session_id!r} was "
+                "evicted from the result window; raise keep_results"
+            )
+        self.metrics.increment("imputations")
+        return np.where(m, y, completed)
+
+    def forecast(self, session_id: str, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` slices of this session.
+
+        Synchronous: drains the session's buffer first so the forecast
+        starts from the latest ingested state.
+        """
+        if horizon < 1:
+            raise ShapeError(f"horizon must be >= 1, got {horizon}")
+        session = self._get_session(session_id)
+        self._scheduler.drain(session_id)
+        with session.lock:
+            self._raise_on_failure(session)
+            self._require_initialized(session, "forecast")
+            sofia = self._store.checkout(session_id)
+            try:
+                with self._backend_context(session):
+                    forecast = sofia.forecast(horizon)
+            finally:
+                self._store.checkin(session_id)
+        self.metrics.increment("forecasts")
+        return forecast
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def session_info(self, session_id: str) -> dict:
+        """Status snapshot of one session (JSON-serializable)."""
+        session = self._get_session(session_id)
+        with session.lock:
+            if not session.initialized:
+                status = "warming"
+            elif self._store.is_resident(session_id):
+                status = "ready"
+            else:
+                status = "evicted"
+            return {
+                "session_id": session_id,
+                "status": status,
+                "failure": session.failure,
+                "consumed": session.consumed,
+                "pending": self._scheduler.pending_count(session_id),
+                "warmup_ingested": len(session.warmup),
+                "warmup_needed": (
+                    0
+                    if session.initialized
+                    else session.config.init_steps - len(session.warmup)
+                ),
+                "subtensor_shape": (
+                    list(session.subtensor_shape)
+                    if session.subtensor_shape
+                    else None
+                ),
+                "kernel_backend": session.kernel_backend,
+                "config": {
+                    "rank": session.config.rank,
+                    "period": session.config.period,
+                    "batch_size": session.config.batch_size,
+                    "dtype": session.config.dtype,
+                },
+            }
+
+    def list_sessions(self) -> list[str]:
+        with self._registry_lock:
+            return sorted(self._sessions)
+
+    @property
+    def store(self) -> CheckpointStore:
+        return self._store
+
+    def drain(self, session_id: str | None = None) -> None:
+        """Apply all buffered slices (of one session, or all)."""
+        if session_id is None:
+            self._scheduler.drain_all()
+        else:
+            self._get_session(session_id)
+            self._scheduler.drain(session_id)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _get_session(self, session_id: str) -> _Session:
+        with self._registry_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionNotFoundError(f"no session {session_id!r}")
+        return session
+
+    @staticmethod
+    def _raise_on_failure(session: _Session) -> None:
+        if session.failure is not None:
+            raise SessionError(
+                f"session {session.session_id!r} failed: {session.failure}"
+            )
+
+    @staticmethod
+    def _require_initialized(session: _Session, operation: str) -> None:
+        if not session.initialized:
+            raise SessionError(
+                f"session {session.session_id!r} is still warming up "
+                f"({len(session.warmup)} of "
+                f"{session.config.init_steps} startup slices ingested); "
+                f"{operation} needs an initialized model"
+            )
+
+    @staticmethod
+    def _backend_context(session: _Session):
+        if session.kernel_backend is None:
+            return nullcontext()
+        return kernels.use_backend(session.kernel_backend)
+
+    def _flush(self, session_id: str, items: list[PendingSlice]) -> None:
+        """Scheduler callback: apply one micro-batch to one session.
+
+        Never raises — a failing batch marks the session failed and the
+        error surfaces on the next API call against it.
+        """
+        try:
+            session = self._get_session(session_id)
+        except SessionNotFoundError:
+            return  # closed concurrently; nothing to apply to
+        started = time.perf_counter()
+        with session.lock:
+            if session.failure is not None:
+                return
+            try:
+                with self._backend_context(session):
+                    self._apply_locked(session, items)
+            except Exception as exc:  # noqa: BLE001 - worker boundary
+                session.failure = f"{type(exc).__name__}: {exc}"
+                self.metrics.increment("flush_failures")
+                return
+        self.metrics.observe_flush(
+            len(items), time.perf_counter() - started
+        )
+
+    def _apply_locked(
+        self, session: _Session, items: list[PendingSlice]
+    ) -> None:
+        """Apply a batch under the session lock: warmup and/or steps."""
+        config = session.config
+        remaining = items
+        if not session.initialized:
+            need = config.init_steps - len(session.warmup)
+            head, remaining = items[:need], items[need:]
+            session.warmup.extend(
+                (item.subtensor, item.mask) for item in head
+            )
+            if len(session.warmup) < config.init_steps:
+                return
+            sofia = Sofia(config)
+            completed = sofia.initialize(
+                [y for y, _ in session.warmup],
+                [m for _, m in session.warmup],
+            )
+            # Startup slices get results too: their seqs are exactly
+            # 0..init_steps-1 in ingestion order.
+            for seq, slice_completed in enumerate(completed):
+                session.results.append((seq, slice_completed))
+            session.consumed += len(session.warmup)
+            session.warmup = []
+            session.initialized = True
+            self._store.put(session.session_id, sofia)
+        if not remaining:
+            return
+        sofia = self._store.checkout(session.session_id)
+        try:
+            steps = sofia.step_batch(
+                np.stack([item.subtensor for item in remaining]),
+                np.stack([item.mask for item in remaining]),
+            )
+        finally:
+            self._store.checkin(session.session_id)
+        for item, step in zip(remaining, steps):
+            session.results.append((item.seq, step.completed))
+        session.consumed += len(remaining)

@@ -1,0 +1,71 @@
+"""Thread-safe counters for the serving runtime.
+
+One :class:`ServingMetrics` instance is shared by the session manager,
+the micro-batching scheduler, and the checkpoint store; the gateway
+exposes :meth:`ServingMetrics.snapshot` at ``GET /metrics``.  All
+updates take the instance lock, so worker threads can bump counters
+concurrently and a snapshot is always internally consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["ServingMetrics"]
+
+#: Counter names a ServingMetrics instance tracks.  ``increment`` with
+#: any other name raises — a typo'd metric would otherwise count into
+#: the void forever.
+_COUNTERS = (
+    "sessions_created",
+    "sessions_closed",
+    "slices_ingested",
+    "slices_flushed",
+    "batches_flushed",
+    "flush_failures",
+    "evictions",
+    "rehydrations",
+    "imputations",
+    "forecasts",
+)
+
+
+class ServingMetrics:
+    """Monotonic counters plus flush-latency accumulation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in _COUNTERS}
+        self._flush_seconds = 0.0
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (must be a known name)."""
+        if name not in self._counts:
+            raise KeyError(
+                f"unknown serving metric {name!r}; known: {_COUNTERS}"
+            )
+        with self._lock:
+            self._counts[name] += amount
+
+    def observe_flush(self, n_slices: int, seconds: float) -> None:
+        """Record one scheduler flush of ``n_slices`` slices."""
+        with self._lock:
+            self._counts["batches_flushed"] += 1
+            self._counts["slices_flushed"] += n_slices
+            self._flush_seconds += seconds
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time copy of every counter.
+
+        Includes two derived values: ``mean_batch_size`` (flushed
+        slices per flush) and ``flush_seconds_total``.
+        """
+        with self._lock:
+            counts = dict(self._counts)
+            flush_seconds = self._flush_seconds
+        batches = counts["batches_flushed"]
+        counts["flush_seconds_total"] = flush_seconds
+        counts["mean_batch_size"] = (
+            counts["slices_flushed"] / batches if batches else 0.0
+        )
+        return counts

@@ -1,0 +1,254 @@
+"""Micro-batching scheduler: buffer per-session slices, flush in bulk.
+
+Incoming slices are cheap to *accept* (append to a per-session buffer
+under a condition variable) and expensive to *apply* (a SOFIA dynamic
+step).  The scheduler decouples the two: a pool of worker threads
+flushes a session's buffered slices through one fused
+``Sofia.step_batch`` call when either
+
+* the buffer reaches ``max_batch`` slices (throughput trigger — this
+  is where the PR-2 mini-batch amortization pays: one kernel dispatch
+  per operation for the whole batch), or
+* the oldest buffered slice has waited ``max_latency_s`` seconds
+  (latency trigger — a trickling session is not starved just because
+  it never fills a batch).
+
+Ordering and determinism
+------------------------
+Slices of one session are always applied in arrival order: at most one
+flush per session is in flight (``_inflight``), a flush takes the
+buffer's oldest ``max_batch`` slices, and newer arrivals stay buffered
+until the in-flight flush completes.  Different sessions flush
+concurrently on the worker pool.  With the latency trigger disabled
+(``max_latency_s`` large) the batch boundaries are a pure function of
+the submission sequence — every ``max_batch`` slices, remainder on
+drain — which is what makes serving runs reproducible enough to pin
+bit-identical eviction tests on.
+
+The ``flush`` callable is supplied by the session manager and must not
+raise (the manager records per-session failures itself); a defensive
+try/finally still guarantees the scheduler's bookkeeping survives a
+misbehaving callback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MicroBatchScheduler", "PendingSlice"]
+
+
+@dataclass(frozen=True)
+class PendingSlice:
+    """One buffered slice: sequence number, data, mask, arrival time."""
+
+    seq: int
+    subtensor: Any
+    mask: Any
+    arrived_at: float = field(compare=False)
+
+
+class MicroBatchScheduler:
+    """Per-session micro-batch buffers + a flushing worker pool."""
+
+    def __init__(
+        self,
+        flush: Callable[[str, list[PendingSlice]], None],
+        *,
+        max_batch: int = 16,
+        max_latency_s: float = 0.05,
+        workers: int = 2,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_latency_s <= 0:
+            raise ValueError(
+                f"max_latency_s must be positive, got {max_latency_s}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._flush = flush
+        self.max_batch = max_batch
+        self.max_latency_s = max_latency_s
+        self._cv = threading.Condition()
+        self._buffers: dict[str, deque[PendingSlice]] = {}
+        #: Sessions with a flush in flight -> number of slices in it.
+        self._inflight: dict[str, int] = {}
+        #: Drain markers are *counted*, not set-membership: two threads
+        #: draining the same session (or "*") concurrently must not
+        #: clear each other's flush-immediately trigger when the first
+        #: one finishes.
+        self._draining: Counter[str] = Counter()
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-flush-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, item: PendingSlice) -> None:
+        """Buffer one slice; wakes a worker if the session became due."""
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._buffers.setdefault(session_id, deque()).append(item)
+            self._cv.notify_all()
+
+    def pending_count(self, session_id: str) -> int:
+        """Slices buffered or in-flight for this session."""
+        with self._cv:
+            buffered = len(self._buffers.get(session_id, ()))
+            return buffered + self._inflight.get(session_id, 0)
+
+    def drain(self, session_id: str, timeout: float | None = None) -> None:
+        """Block until every buffered slice of this session is applied.
+
+        Marks the session due immediately (partial batches flush
+        without waiting out the latency deadline).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            self._draining[session_id] += 1
+            self._cv.notify_all()
+            try:
+                while (
+                    self._buffers.get(session_id)
+                    or session_id in self._inflight
+                ):
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TimeoutError(
+                                f"drain of session {session_id!r} timed out"
+                            )
+                    self._cv.wait(remaining)
+            finally:
+                self._draining[session_id] -= 1
+                if self._draining[session_id] <= 0:
+                    del self._draining[session_id]
+
+    def drain_all(self, timeout: float | None = None) -> None:
+        """Block until every session's buffer is applied."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            self._draining["*"] += 1
+            self._cv.notify_all()
+            try:
+                while self._inflight or any(self._buffers.values()):
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TimeoutError("drain_all timed out")
+                    self._cv.wait(remaining)
+            finally:
+                self._draining["*"] -= 1
+                if self._draining["*"] <= 0:
+                    del self._draining["*"]
+
+    def forget(self, session_id: str) -> int:
+        """Drop a session's buffered slices (for close); returns count."""
+        with self._cv:
+            dropped = len(self._buffers.pop(session_id, ()))
+            self._cv.notify_all()
+            return dropped
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the workers, optionally applying all buffered work first."""
+        if drain:
+            self.drain_all()
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _due_locked(self, session_id: str, now: float) -> bool:
+        buffer = self._buffers.get(session_id)
+        if not buffer or session_id in self._inflight:
+            return False
+        return (
+            len(buffer) >= self.max_batch
+            or self._closed
+            or session_id in self._draining
+            or "*" in self._draining
+            or now - buffer[0].arrived_at >= self.max_latency_s
+        )
+
+    def _pop_due_locked(
+        self, now: float
+    ) -> tuple[str, list[PendingSlice]] | None:
+        for session_id in self._buffers:
+            if self._due_locked(session_id, now):
+                buffer = self._buffers[session_id]
+                batch = [
+                    buffer.popleft()
+                    for _ in range(min(self.max_batch, len(buffer)))
+                ]
+                if not buffer:
+                    del self._buffers[session_id]
+                self._inflight[session_id] = len(batch)
+                return session_id, batch
+        return None
+
+    def _next_deadline_locked(self, now: float) -> float | None:
+        """Seconds until the earliest latency deadline, if any."""
+        wait = None
+        for session_id, buffer in self._buffers.items():
+            if not buffer or session_id in self._inflight:
+                continue
+            due_in = buffer[0].arrived_at + self.max_latency_s - now
+            if wait is None or due_in < wait:
+                wait = due_in
+        if wait is None:
+            return None
+        return max(wait, 0.0)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                job = None
+                while job is None:
+                    now = time.monotonic()
+                    job = self._pop_due_locked(now)
+                    if job is not None:
+                        break
+                    if self._closed:
+                        return
+                    self._cv.wait(self._next_deadline_locked(now))
+            session_id, batch = job
+            try:
+                self._flush(session_id, batch)
+            except Exception:  # noqa: BLE001 - workers must survive
+                # The manager's flush callback records per-session
+                # failures itself; a raise reaching this loop is a bug
+                # there, and must not take the shared worker down with
+                # it (other sessions still need flushing).
+                pass
+            finally:
+                with self._cv:
+                    self._inflight.pop(session_id, None)
+                    self._cv.notify_all()

@@ -33,7 +33,9 @@ from __future__ import annotations
 import importlib
 import importlib.util
 import os
+import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any
 
 import numpy as np
@@ -60,7 +62,16 @@ ARRAY_MODULE_ENV_VAR = "REPRO_ARRAY_MODULE"
 #: :func:`set_array_module`; these are just the ones surfaced.
 _KNOWN_MODULES = ("numpy", "torch", "cupy")
 
-_active = "numpy"
+# Thread-safety mirrors repro.tensor.kernels: the process-wide default
+# module (what set_array_module writes) and the namespace cache are
+# guarded by _REGISTRY_LOCK, while use_array_module scopes live in a
+# ContextVar stack — per-thread, so concurrent serving workers can each
+# run under their own array module without racing one another.
+_REGISTRY_LOCK = threading.Lock()
+_default_module = "numpy"
+_MODULE_OVERRIDES: ContextVar[tuple[str, ...]] = ContextVar(
+    "repro_array_module_overrides", default=()
+)
 _namespaces: dict[str, Any] = {}
 
 
@@ -123,30 +134,56 @@ def _load_namespace(name: str) -> Any:
         ) from exc
 
 
+def _ensure_namespace(name: str) -> Any:
+    """Load (and cache) the namespace for ``name``, loudly on failure."""
+    namespace = _namespaces.get(name)
+    if namespace is None:
+        # The import runs outside the lock (it can be slow and may
+        # recurse); concurrent loaders both compute the same module
+        # object, and the cache write is last-one-wins idempotent.
+        namespace = _load_namespace(name)
+        with _REGISTRY_LOCK:
+            _namespaces.setdefault(name, namespace)
+            namespace = _namespaces[name]
+    return namespace
+
+
 def set_array_module(name: str) -> None:
     """Make ``name`` the active array module for the ``"xp"`` backend.
+
+    Outside any :func:`use_array_module` scope this sets the
+    process-wide default seen by every thread; inside a scope it
+    rebinds that scope only (context-local, discarded on exit) — the
+    same semantics as :func:`repro.tensor.kernels.set_backend`.
 
     Unknown or uninstalled modules raise
     :class:`~repro.exceptions.ConfigError` listing
     :func:`available_array_modules`, and leave the active module
     unchanged.
     """
-    global _active
-    if name not in _namespaces:
-        _namespaces[name] = _load_namespace(name)
-    _active = name
+    global _default_module
+    _ensure_namespace(name)
+    overrides = _MODULE_OVERRIDES.get()
+    if overrides:
+        _MODULE_OVERRIDES.set(overrides[:-1] + (name,))
+        return
+    with _REGISTRY_LOCK:
+        _default_module = name
 
 
 def get_array_module() -> Any:
     """The Array API namespace all ``"xp"`` kernels currently use."""
-    if _active not in _namespaces:
-        _namespaces[_active] = _load_namespace(_active)
-    return _namespaces[_active]
+    return _ensure_namespace(active_array_module_name())
 
 
 def active_array_module_name() -> str:
-    """Name of the active array module (``"numpy"`` by default)."""
-    return _active
+    """Name of the active array module (``"numpy"`` by default).
+
+    The innermost :func:`use_array_module` scope of the current thread
+    wins; outside any scope this is the process-wide default.
+    """
+    overrides = _MODULE_OVERRIDES.get()
+    return overrides[-1] if overrides else _default_module
 
 
 @contextmanager
@@ -155,14 +192,17 @@ def use_array_module(name: str):
 
     The previously active module is restored on exit even when the body
     raises (or itself switches modules); entering with an unavailable
-    name raises without changing the active module.
+    name raises without changing the active module.  The scope is
+    *context-local* (a :class:`ContextVar`): concurrent threads can
+    each hold their own ``use_array_module`` without affecting one
+    another or the process default.
     """
-    previous = _active
-    set_array_module(name)
+    namespace = _ensure_namespace(name)
+    token = _MODULE_OVERRIDES.set(_MODULE_OVERRIDES.get() + (name,))
     try:
-        yield get_array_module()
+        yield namespace
     finally:
-        set_array_module(previous)
+        _MODULE_OVERRIDES.reset(token)
 
 
 def _module_dtype(xp: Any, dtype: Any) -> Any:

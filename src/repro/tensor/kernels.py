@@ -154,8 +154,10 @@ a different (but equally valid) row ordering.
 from __future__ import annotations
 
 import os
+import threading
 from collections.abc import Callable, Sequence
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any
 
@@ -1524,12 +1526,26 @@ class KernelBackend:
 BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
 
 _BACKENDS: dict[str, KernelBackend] = {}
-_ACTIVE = "auto"
+
+# Thread-safety of the backend selection: the process-wide default
+# (what :func:`set_backend` writes) is guarded by ``_REGISTRY_LOCK``,
+# while :func:`use_backend` scopes live in a :class:`ContextVar` stack.
+# A context variable is per-thread (and per-asyncio-task), so two
+# worker threads — e.g. the serving scheduler flushing different
+# sessions — can each run under their own ``use_backend`` without
+# racing one another, and a thread spawned outside any scope still
+# sees the process default.
+_REGISTRY_LOCK = threading.Lock()
+_DEFAULT_BACKEND = "auto"
+_BACKEND_OVERRIDES: ContextVar[tuple[str, ...]] = ContextVar(
+    "repro_kernel_backend_overrides", default=()
+)
 
 
 def register_backend(backend: KernelBackend) -> None:
     """Register (or replace) a kernel backend under ``backend.name``."""
-    _BACKENDS[backend.name] = backend
+    with _REGISTRY_LOCK:
+        _BACKENDS[backend.name] = backend
 
 
 def available_backends() -> list[str]:
@@ -1537,24 +1553,48 @@ def available_backends() -> list[str]:
     return sorted(_BACKENDS)
 
 
-def active_backend() -> KernelBackend:
-    """The backend all dispatched kernels currently use."""
-    return _BACKENDS[_ACTIVE]
-
-
-def set_backend(name: str) -> None:
-    """Make ``name`` the active backend for all subsequent kernel calls.
-
-    Unknown names raise :class:`~repro.exceptions.ConfigError` listing
-    :func:`available_backends`, and leave the active backend unchanged.
-    """
-    global _ACTIVE
+def _check_registered(name: str) -> None:
     if name not in _BACKENDS:
         raise ConfigError(
             f"unknown kernel backend {name!r}; "
             f"available: {available_backends()}"
         )
-    _ACTIVE = name
+
+
+def active_backend() -> KernelBackend:
+    """The backend all dispatched kernels currently use.
+
+    The innermost :func:`use_backend` scope of the *current thread*
+    wins; outside any scope this is the process-wide default set by
+    :func:`set_backend` (or the ``REPRO_KERNEL_BACKEND`` environment
+    variable at import time).
+    """
+    overrides = _BACKEND_OVERRIDES.get()
+    name = overrides[-1] if overrides else _DEFAULT_BACKEND
+    return _BACKENDS[name]
+
+
+def set_backend(name: str) -> None:
+    """Make ``name`` the active backend for all subsequent kernel calls.
+
+    Outside any :func:`use_backend` scope this sets the process-wide
+    default seen by every thread (including threads spawned later).
+    Inside a scope it rebinds that scope only — the change is local to
+    the current thread and is discarded when the scope exits, so a
+    worker thread switching backends can never leak its choice into
+    another thread's computation.
+
+    Unknown names raise :class:`~repro.exceptions.ConfigError` listing
+    :func:`available_backends`, and leave the active backend unchanged.
+    """
+    global _DEFAULT_BACKEND
+    _check_registered(name)
+    overrides = _BACKEND_OVERRIDES.get()
+    if overrides:
+        _BACKEND_OVERRIDES.set(overrides[:-1] + (name,))
+        return
+    with _REGISTRY_LOCK:
+        _DEFAULT_BACKEND = name
 
 
 @contextmanager
@@ -1563,14 +1603,18 @@ def use_backend(name: str):
 
     The previously active backend is restored on exit even when the
     body raises (or itself switches backends); entering with an unknown
-    name raises without changing the active backend.
+    name raises without changing the active backend.  The scope is
+    *context-local* (a :class:`ContextVar`): concurrent threads can
+    each hold their own ``use_backend`` without affecting one another
+    or the process default — this is what lets the serving scheduler
+    run sessions pinned to different backends on a shared worker pool.
     """
-    previous = _ACTIVE
-    set_backend(name)
+    _check_registered(name)
+    token = _BACKEND_OVERRIDES.set(_BACKEND_OVERRIDES.get() + (name,))
     try:
         yield _BACKENDS[name]
     finally:
-        set_backend(previous)
+        _BACKEND_OVERRIDES.reset(token)
 
 
 register_backend(

@@ -1,13 +1,28 @@
 """Unit tests for SOFIA model checkpointing."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core import Sofia, SofiaConfig
+from repro.core import serialization
 from repro.core.serialization import load_sofia, save_sofia
-from repro.exceptions import NotFittedError
+from repro.exceptions import CheckpointError, NotFittedError
 
 from tests.core.conftest import corrupt_tensor, make_seasonal_stream
+
+
+def _rewrite_archive(src, dst, **replacements):
+    """Copy an npz archive, overriding the given fields."""
+    with np.load(src) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    arrays.update(replacements)
+    np.savez_compressed(dst, **arrays)
+
+
+def _config_bytes(payload: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
 
 
 @pytest.fixture(scope="module")
@@ -73,8 +88,95 @@ class TestRoundtrip:
         np.testing.assert_allclose(restored.forecast(6), sofia.forecast(6))
 
 
+class TestConfigSurface:
+    def test_post_pr4_fields_round_trip(self, fitted_sofia, tmp_path):
+        # The three fields the version-2 bump exists for: they must
+        # survive the round-trip explicitly, not by defaulting.
+        sofia, _, _, _ = fitted_sofia
+        config = sofia.config.with_updates(
+            dtype="float32", density_threshold=0.25, batch_size=4
+        )
+        tweaked = Sofia.from_state(config, sofia.state)
+        path = tmp_path / "model.npz"
+        save_sofia(tweaked, path)
+        restored = load_sofia(path)
+        assert restored.config.dtype == "float32"
+        assert restored.config.density_threshold == 0.25
+        assert restored.config.batch_size == 4
+        assert restored.config == config
+
+    def test_archive_config_carries_every_field(self, fitted_sofia, tmp_path):
+        import dataclasses
+
+        sofia, _, _, _ = fitted_sofia
+        path = tmp_path / "model.npz"
+        save_sofia(sofia, path)
+        with np.load(path) as archive:
+            payload = json.loads(
+                bytes(archive["config_json"].tobytes()).decode("utf-8")
+            )
+        expected = {f.name for f in dataclasses.fields(SofiaConfig)}
+        assert set(payload) == expected
+
+
 class TestErrors:
     def test_unfitted_rejected(self, tmp_path):
         sofia = Sofia(SofiaConfig(rank=2, period=4))
         with pytest.raises(NotFittedError):
             save_sofia(sofia, tmp_path / "x.npz")
+
+    def test_version_mismatch_fails_loudly(self, fitted_sofia, tmp_path):
+        sofia, _, _, _ = fitted_sofia
+        path = tmp_path / "model.npz"
+        save_sofia(sofia, path)
+        stale = tmp_path / "stale.npz"
+        _rewrite_archive(path, stale, format_version=np.asarray(1))
+        with pytest.raises(CheckpointError, match="format version 1"):
+            load_sofia(stale)
+
+    def test_missing_config_field_fails_loudly(self, fitted_sofia, tmp_path):
+        sofia, _, _, _ = fitted_sofia
+        path = tmp_path / "model.npz"
+        save_sofia(sofia, path)
+        with np.load(path) as archive:
+            payload = json.loads(
+                bytes(archive["config_json"].tobytes()).decode("utf-8")
+            )
+        payload.pop("dtype")
+        truncated = tmp_path / "truncated.npz"
+        _rewrite_archive(path, truncated, config_json=_config_bytes(payload))
+        with pytest.raises(CheckpointError, match="missing fields: \\['dtype'\\]"):
+            load_sofia(truncated)
+
+    def test_unexpected_config_field_fails_loudly(
+        self, fitted_sofia, tmp_path
+    ):
+        sofia, _, _, _ = fitted_sofia
+        path = tmp_path / "model.npz"
+        save_sofia(sofia, path)
+        with np.load(path) as archive:
+            payload = json.loads(
+                bytes(archive["config_json"].tobytes()).decode("utf-8")
+            )
+        payload["from_the_future"] = 1
+        widened = tmp_path / "widened.npz"
+        _rewrite_archive(path, widened, config_json=_config_bytes(payload))
+        with pytest.raises(
+            CheckpointError, match="unexpected fields: \\['from_the_future'\\]"
+        ):
+            load_sofia(widened)
+
+    def test_non_checkpoint_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "not-a-checkpoint.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_sofia(path)
+
+    def test_archive_without_version_field_fails_loudly(self, tmp_path):
+        path = tmp_path / "versionless.npz"
+        np.savez_compressed(path, some_array=np.zeros(3))
+        with pytest.raises(CheckpointError, match="format_version"):
+            load_sofia(path)
+
+    def test_format_version_is_2(self):
+        assert serialization._FORMAT_VERSION == 2

@@ -1,0 +1,168 @@
+"""Checkpoint round-trips across the full (backend, dtype) matrix.
+
+``save_sofia`` -> ``load_sofia`` -> ``step`` must continue the exact
+trajectory of the un-checkpointed model under *every* registered kernel
+backend and both seam dtypes — the property the serving layer's
+eviction tier stakes its bit-identical guarantee on.  Backends and
+dtypes come from the conformance harness
+(:mod:`tests.tensor.backend_conformance`), so a future backend is
+enrolled automatically; a hypothesis layer additionally sweeps random
+mask densities and checkpoint positions.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Sofia, SofiaConfig
+from repro.core.serialization import load_sofia, save_sofia
+from repro.tensor import kernels
+
+from tests.core.conftest import make_seasonal_stream
+from tests.tensor.backend_conformance import DTYPES, backends_under_test
+
+PERIOD = 4
+N_STEPS = 24
+
+
+def _fit(dtype: np.dtype) -> tuple[Sofia, list, list]:
+    """A small fitted model plus a post-startup slice/mask stream."""
+    tensor, _, _ = make_seasonal_stream(
+        dims=(6, 5), rank=2, period=PERIOD, n_steps=N_STEPS, seed=11
+    )
+    rng = np.random.default_rng(12)
+    mask = rng.random(tensor.shape) > 0.3
+    config = SofiaConfig(
+        rank=2,
+        period=PERIOD,
+        init_seasons=2,
+        lambda1=0.1,
+        lambda2=0.1,
+        max_outer_iters=50,
+        tol=1e-5,
+        dtype=np.dtype(dtype).name,
+    )
+    sofia = Sofia(config)
+    ti = config.init_steps
+    sofia.initialize(
+        [tensor[..., t] for t in range(ti)],
+        [mask[..., t] for t in range(ti)],
+    )
+    slices = [tensor[..., t] for t in range(ti, N_STEPS)]
+    masks = [mask[..., t] for t in range(ti, N_STEPS)]
+    return sofia, slices, masks
+
+
+@pytest.fixture(scope="module")
+def fitted_by_dtype():
+    # The init phase always runs float64; only the fitted state differs
+    # by dtype, so one fit per dtype serves every backend case.
+    return {np.dtype(d): _fit(d) for d in DTYPES}
+
+
+def _assert_state_equal(a: Sofia, b: Sofia) -> None:
+    for factor_a, factor_b in zip(
+        a.state.non_temporal, b.state.non_temporal
+    ):
+        np.testing.assert_array_equal(factor_a, factor_b)
+        assert factor_a.dtype == factor_b.dtype
+    np.testing.assert_array_equal(
+        a.state.temporal_buffer, b.state.temporal_buffer
+    )
+    np.testing.assert_array_equal(a.state.sigma, b.state.sigma)
+    assert a.state.t == b.state.t
+
+
+@pytest.mark.parametrize("backend", backends_under_test())
+@pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+class TestRoundtripMatrix:
+    def test_trajectory_continues_bit_identically(
+        self, fitted_by_dtype, backend, dtype, tmp_path
+    ):
+        fitted, slices, masks = fitted_by_dtype[np.dtype(dtype)]
+        original = copy.deepcopy(fitted)
+        with kernels.use_backend(backend):
+            # Advance a few steps under this backend, checkpoint, and
+            # compare the continuations step by step.
+            for t in range(3):
+                original.step(slices[t], masks[t])
+            path = tmp_path / f"{backend}-{np.dtype(dtype).name}.npz"
+            save_sofia(original, path)
+            restored = load_sofia(path)
+            _assert_state_equal(original, restored)
+            for t in range(3, 9):
+                step_a = original.step(slices[t], masks[t])
+                step_b = restored.step(slices[t], masks[t])
+                np.testing.assert_array_equal(
+                    step_a.completed, step_b.completed
+                )
+                np.testing.assert_array_equal(
+                    step_a.outliers, step_b.outliers
+                )
+            _assert_state_equal(original, restored)
+
+    def test_dtype_survives_round_trip(
+        self, fitted_by_dtype, backend, dtype, tmp_path
+    ):
+        fitted, _, _ = fitted_by_dtype[np.dtype(dtype)]
+        path = tmp_path / "model.npz"
+        with kernels.use_backend(backend):
+            save_sofia(fitted, path)
+            restored = load_sofia(path)
+        assert restored.config.dtype == np.dtype(dtype).name
+        assert restored.state.dtype == np.dtype(dtype)
+        for factor in restored.state.non_temporal:
+            assert factor.dtype == np.dtype(dtype)
+
+    def test_forecast_identical_after_round_trip(
+        self, fitted_by_dtype, backend, dtype, tmp_path
+    ):
+        fitted, _, _ = fitted_by_dtype[np.dtype(dtype)]
+        path = tmp_path / "model.npz"
+        with kernels.use_backend(backend):
+            save_sofia(fitted, path)
+            restored = load_sofia(path)
+            np.testing.assert_array_equal(
+                fitted.forecast(PERIOD), restored.forecast(PERIOD)
+            )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+@given(
+    backend=st.sampled_from(backends_under_test()),
+    dtype=st.sampled_from(list(DTYPES)),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    checkpoint_after=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_roundtrip_trajectory_property(
+    fitted_by_dtype, tmp_path, backend, dtype, density, checkpoint_after, seed
+):
+    """Random masks, densities, and checkpoint positions: the restored
+    model's next step always equals the original's next step exactly."""
+    fitted, slices, _ = fitted_by_dtype[np.dtype(dtype)]
+    model = copy.deepcopy(fitted)
+    rng = np.random.default_rng(seed)
+    with kernels.use_backend(backend):
+        for t in range(checkpoint_after):
+            mask = rng.random(slices[t].shape) < max(density, 0.01)
+            model.step(slices[t], mask)
+        path = tmp_path / f"prop-{seed}.npz"
+        save_sofia(model, path)
+        restored = load_sofia(path)
+        probe = slices[checkpoint_after]
+        probe_mask = rng.random(probe.shape) < max(density, 0.01)
+        step_a = model.step(probe, probe_mask)
+        step_b = restored.step(probe, probe_mask)
+    np.testing.assert_array_equal(step_a.completed, step_b.completed)
+    np.testing.assert_array_equal(step_a.outliers, step_b.outliers)

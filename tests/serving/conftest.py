@@ -1,0 +1,57 @@
+"""Shared fixtures for the serving suite: tiny streams + a checkpoint.
+
+Everything is sized for speed: 5x4 slices, rank 2, period 4, two
+seasons of warmup (8 slices).  The session-scoped ``checkpoint`` fits
+one model once and saves it; tests that need ready-to-step sessions
+warm-start from it instead of re-running the ALS initialization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Sofia, SofiaConfig
+from repro.core.serialization import save_sofia
+from repro.datasets import seasonal_stream
+
+DIMS = (5, 4)
+RANK = 2
+PERIOD = 4
+
+CONFIG_KWARGS = dict(
+    rank=RANK,
+    period=PERIOD,
+    init_seasons=2,
+    lambda1=0.1,
+    lambda2=0.1,
+    max_outer_iters=50,
+    tol=1e-5,
+)
+
+
+def make_config(**overrides) -> SofiaConfig:
+    kwargs = dict(CONFIG_KWARGS)
+    kwargs.update(overrides)
+    return SofiaConfig(**kwargs)
+
+
+def make_session_stream(seed: int, n_steps: int = 32, missing: float = 0.2):
+    """(slices, masks) for one synthetic session stream."""
+    stream = seasonal_stream(
+        dims=DIMS, rank=RANK, period=PERIOD, n_steps=n_steps, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1000)
+    slices = [stream.data[..., t] for t in range(n_steps)]
+    masks = [rng.random(DIMS) > missing for _ in range(n_steps)]
+    return slices, masks
+
+
+@pytest.fixture(scope="session")
+def checkpoint(tmp_path_factory):
+    """Path of a fitted model checkpoint (init phase already done)."""
+    config = make_config()
+    slices, masks = make_session_stream(seed=77, n_steps=config.init_steps)
+    sofia = Sofia(config)
+    sofia.initialize(slices, masks)
+    path = tmp_path_factory.mktemp("ckpt") / "fitted.npz"
+    save_sofia(sofia, path)
+    return path

@@ -1,0 +1,133 @@
+"""HTTP tests: a live ThreadingHTTPServer driven by HTTPServingClient."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConfigError,
+    SessionError,
+    SessionExistsError,
+    SessionNotFoundError,
+)
+from repro.serving import HTTPServingClient, SessionManager
+from repro.serving.gateway import main as serve_main
+from repro.serving.gateway import serve
+
+from tests.serving.conftest import CONFIG_KWARGS, make_session_stream
+
+
+@pytest.fixture
+def live_gateway(checkpoint):
+    """(client, manager) against a gateway on an ephemeral port."""
+    manager = SessionManager(max_batch=4, max_latency_s=0.01, workers=2)
+    server = serve(manager, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = HTTPServingClient(f"http://127.0.0.1:{server.port}")
+    try:
+        yield client, manager
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        manager.close()
+
+
+class TestRoutes:
+    def test_healthz_and_metrics(self, live_gateway):
+        client, _ = live_gateway
+        assert client.healthz()["status"] == "ok"
+        metrics = client.metrics()
+        assert metrics["sessions_created"] == 0
+
+    def test_full_session_lifecycle_over_http(self, live_gateway, tmp_path):
+        client, manager = live_gateway
+        slices, masks = make_session_stream(seed=21, n_steps=16)
+
+        info = client.create_session("taxi", dict(CONFIG_KWARGS))
+        assert info["status"] == "warming"
+        assert client.list_sessions() == ["taxi"]
+
+        for t in range(16):
+            seq = client.ingest("taxi", slices[t], masks[t])
+            assert seq == t
+        manager.drain("taxi")
+
+        info = client.session_info("taxi")
+        assert info["status"] == "ready"
+        assert info["consumed"] == 16
+
+        results = client.results("taxi", since=12)
+        assert [seq for seq, _ in results] == [12, 13, 14, 15]
+        assert results[0][1].shape == tuple(info["subtensor_shape"])
+
+        completed = client.impute("taxi", slices[0], masks[0])
+        np.testing.assert_allclose(
+            completed[masks[0]], slices[0][masks[0]]
+        )
+
+        forecast = client.forecast("taxi", 3)
+        assert forecast.shape == (3, *info["subtensor_shape"])
+
+        saved = client.close_session(
+            "taxi", checkpoint_path=str(tmp_path / "taxi.npz")
+        )
+        assert saved is not None
+        assert client.list_sessions() == []
+
+    def test_checkpoint_session_over_http(self, live_gateway, checkpoint):
+        client, manager = live_gateway
+        info = client.create_session("warm", checkpoint=str(checkpoint))
+        assert info["status"] == "ready"
+        slices, masks = make_session_stream(seed=22, n_steps=4)
+        for t in range(4):
+            client.ingest("warm", slices[t], masks[t])
+        manager.drain("warm")
+        assert len(client.results("warm")) == 4
+
+
+class TestHTTPErrors:
+    def test_unknown_session_is_404(self, live_gateway):
+        client, _ = live_gateway
+        with pytest.raises(SessionNotFoundError):
+            client.session_info("ghost")
+
+    def test_duplicate_session_is_409(self, live_gateway):
+        client, _ = live_gateway
+        client.create_session("dup", dict(CONFIG_KWARGS))
+        with pytest.raises(SessionExistsError):
+            client.create_session("dup", dict(CONFIG_KWARGS))
+
+    def test_bad_config_is_400(self, live_gateway):
+        client, _ = live_gateway
+        with pytest.raises(ConfigError, match="rank"):
+            client.create_session("bad", {"rank": 0, "period": 4})
+
+    def test_sync_op_on_warming_session_is_409(self, live_gateway):
+        client, _ = live_gateway
+        client.create_session("cold", dict(CONFIG_KWARGS))
+        with pytest.raises(SessionError, match="warming"):
+            client.forecast("cold", 2)
+
+    def test_unknown_route_is_404(self, live_gateway):
+        client, _ = live_gateway
+        with pytest.raises(SessionError, match="no route"):
+            client._request("GET", "/definitely/not/a/route")
+
+
+class TestCLI:
+    def test_main_help_mentions_knobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            serve_main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in (
+            "--max-resident",
+            "--max-batch",
+            "--max-latency-ms",
+            "--workers",
+            "--checkpoint-dir",
+        ):
+            assert flag in out

@@ -1,0 +1,148 @@
+"""Unit tests for the LRU checkpoint-backed eviction tier."""
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import load_sofia
+from repro.exceptions import SessionNotFoundError
+from repro.serving.metrics import ServingMetrics
+from repro.serving.store import CheckpointStore
+
+
+@pytest.fixture
+def fitted(checkpoint):
+    """A factory of independent fitted models (same checkpoint)."""
+
+    def make():
+        return load_sofia(checkpoint)
+
+    return make
+
+
+class TestResidency:
+    def test_unbounded_store_never_spills(self, fitted, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for i in range(5):
+            store.put(f"s{i}", fitted())
+        assert store.resident_count() == 5
+        assert store.spilled_count() == 0
+
+    def test_cap_spills_lru_session(self, fitted, tmp_path):
+        store = CheckpointStore(tmp_path, max_resident=2)
+        store.put("a", fitted())
+        store.put("b", fitted())
+        store.put("c", fitted())
+        assert store.resident_count() == 2
+        assert store.spilled_count() == 1
+        assert not store.is_resident("a")  # oldest went first
+        assert store.checkpoint_path("a").exists()
+        assert "a" in store
+
+    def test_checkout_rehydrates_and_reenforces_cap(self, fitted, tmp_path):
+        metrics = ServingMetrics()
+        store = CheckpointStore(tmp_path, max_resident=2, metrics=metrics)
+        for sid in ("a", "b", "c"):
+            store.put(sid, fitted())
+        assert not store.is_resident("a")
+        sofia = store.checkout("a")
+        try:
+            assert sofia.is_initialized
+            assert store.is_resident("a")
+            # The cap still holds: someone colder was spilled instead.
+            assert store.resident_count() == 2
+        finally:
+            store.checkin("a")
+        snapshot = metrics.snapshot()
+        assert snapshot["rehydrations"] == 1
+        assert snapshot["evictions"] == 2
+
+    def test_rehydrated_state_is_bit_identical(self, fitted, tmp_path):
+        store = CheckpointStore(tmp_path, max_resident=1)
+        original = fitted()
+        reference_state = {
+            "factors": [f.copy() for f in original.state.non_temporal],
+            "buffer": original.state.temporal_buffer.copy(),
+            "sigma": original.state.sigma.copy(),
+            "t": original.state.t,
+        }
+        store.put("a", original)
+        store.put("b", fitted())  # evicts "a"
+        assert not store.is_resident("a")
+        sofia = store.checkout("a")
+        try:
+            for got, expected in zip(
+                sofia.state.non_temporal, reference_state["factors"]
+            ):
+                np.testing.assert_array_equal(got, expected)
+            np.testing.assert_array_equal(
+                sofia.state.temporal_buffer, reference_state["buffer"]
+            )
+            np.testing.assert_array_equal(
+                sofia.state.sigma, reference_state["sigma"]
+            )
+            assert sofia.state.t == reference_state["t"]
+        finally:
+            store.checkin("a")
+
+    def test_lru_order_follows_checkouts(self, fitted, tmp_path):
+        store = CheckpointStore(tmp_path, max_resident=2)
+        store.put("a", fitted())
+        store.put("b", fitted())
+        # Touch "a" so "b" becomes the LRU victim.
+        store.checkout("a")
+        store.checkin("a")
+        store.put("c", fitted())
+        assert store.is_resident("a")
+        assert not store.is_resident("b")
+
+
+class TestPinning:
+    def test_checked_out_sessions_are_never_evicted(self, fitted, tmp_path):
+        store = CheckpointStore(tmp_path, max_resident=1)
+        store.put("a", fitted())
+        sofia = store.checkout("a")
+        try:
+            # "a" is pinned: adding "b" must evict "b"-vs-"a" choosing
+            # neither to break the pin — "b" itself is the only
+            # unpinned candidate.
+            store.put("b", fitted())
+            assert store.is_resident("a")
+            assert not store.is_resident("b")
+            assert sofia.is_initialized
+        finally:
+            store.checkin("a")
+
+    def test_unbalanced_checkin_raises(self, fitted, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("a", fitted())
+        with pytest.raises(RuntimeError, match="without matching checkout"):
+            store.checkin("a")
+
+
+class TestLifecycle:
+    def test_checkout_unknown_session_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(SessionNotFoundError):
+            store.checkout("ghost")
+
+    def test_remove_deletes_spilled_checkpoint(self, fitted, tmp_path):
+        store = CheckpointStore(tmp_path, max_resident=1)
+        store.put("a", fitted())
+        store.put("b", fitted())
+        path = store.checkpoint_path("a")
+        assert path.exists()
+        store.remove("a")
+        assert not path.exists()
+        assert "a" not in store
+
+    def test_save_to_writes_loadable_checkpoint(self, fitted, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("a", fitted())
+        target = tmp_path / "explicit.npz"
+        store.save_to("a", target)
+        assert target.exists()
+        assert load_sofia(target).is_initialized
+
+    def test_rejects_bad_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, max_resident=0)

@@ -1,0 +1,181 @@
+"""Concurrency regression tests for the backend/module registries.
+
+The serving scheduler runs sessions on worker threads, each possibly
+pinned to its own kernel backend (``use_backend``) or array module
+(``use_array_module``).  These tests pin the contract that makes that
+safe:
+
+* a ``use_backend``/``use_array_module`` scope is context-local — two
+  threads holding different scopes concurrently each see their own
+  choice, and neither leaks into the other thread or the process
+  default;
+* ``set_backend``/``set_array_module`` outside any scope set the
+  process-wide default, which *is* visible to threads spawned later
+  (the classic ContextVar pitfall: a naive ContextVar-only registry
+  would hide an import-time ``REPRO_KERNEL_BACKEND`` from workers).
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.tensor import device, kernels
+
+
+class TestKernelBackendThreadSafety:
+    def test_concurrent_use_backend_scopes_are_isolated(self):
+        n_threads = 4
+        names = ["batched", "reference", "sparse", "auto"]
+        barrier = threading.Barrier(n_threads)
+        before = kernels.active_backend().name
+
+        def hold(name):
+            with kernels.use_backend(name):
+                barrier.wait(timeout=10)
+                seen = kernels.active_backend().name
+                barrier.wait(timeout=10)
+                return seen
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            seen = list(pool.map(hold, names))
+        assert seen == names
+        assert kernels.active_backend().name == before
+
+    def test_use_backend_in_thread_does_not_leak_to_main(self):
+        before = kernels.active_backend().name
+        inside = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def hold():
+            with kernels.use_backend("reference"):
+                observed["worker"] = kernels.active_backend().name
+                inside.set()
+                release.wait(timeout=10)
+
+        worker = threading.Thread(target=hold)
+        worker.start()
+        try:
+            assert inside.wait(timeout=10)
+            # The worker's scope is live right now, yet invisible here.
+            assert kernels.active_backend().name == before
+            assert observed["worker"] == "reference"
+        finally:
+            release.set()
+            worker.join(timeout=10)
+        assert kernels.active_backend().name == before
+
+    def test_set_backend_default_is_visible_to_new_threads(self):
+        before = kernels.active_backend().name
+        try:
+            kernels.set_backend("reference")
+            seen = {}
+
+            def read():
+                seen["worker"] = kernels.active_backend().name
+
+            worker = threading.Thread(target=read)
+            worker.start()
+            worker.join(timeout=10)
+            assert seen["worker"] == "reference"
+        finally:
+            kernels.set_backend(before)
+
+    def test_set_backend_inside_scope_stays_context_local(self):
+        before = kernels.active_backend().name
+        default_seen = {}
+
+        def read_default():
+            default_seen["worker"] = kernels.active_backend().name
+
+        with kernels.use_backend("batched"):
+            kernels.set_backend("reference")
+            assert kernels.active_backend().name == "reference"
+            # Another thread, outside the scope, still sees the default.
+            worker = threading.Thread(target=read_default)
+            worker.start()
+            worker.join(timeout=10)
+        assert default_seen["worker"] == before
+        assert kernels.active_backend().name == before
+
+    def test_hammer_concurrent_scopes(self):
+        # Many short-lived scopes on a shared pool: every read inside a
+        # scope must match that scope's own backend.
+        names = ["batched", "reference", "sparse"]
+        failures = []
+
+        def spin(name):
+            for _ in range(200):
+                with kernels.use_backend(name):
+                    got = kernels.active_backend().name
+                    if got != name:
+                        failures.append((name, got))
+
+        threads = [
+            threading.Thread(target=spin, args=(name,)) for name in names
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures
+
+
+class TestArrayModuleThreadSafety:
+    def test_concurrent_use_array_module_scopes_are_isolated(self, monkeypatch):
+        # Only numpy is guaranteed importable, so seed the namespace
+        # cache with sentinels to get two distinguishable module names.
+        monkeypatch.setitem(device._namespaces, "fake-a", object())
+        monkeypatch.setitem(device._namespaces, "fake-b", object())
+        names = ["fake-a", "fake-b"]
+        barrier = threading.Barrier(len(names))
+        before = device.active_array_module_name()
+
+        def hold(name):
+            with device.use_array_module(name):
+                barrier.wait(timeout=10)
+                seen = device.active_array_module_name()
+                barrier.wait(timeout=10)
+                return seen
+
+        with ThreadPoolExecutor(max_workers=len(names)) as pool:
+            seen = list(pool.map(hold, names))
+        assert seen == names
+        assert device.active_array_module_name() == before
+
+    def test_use_array_module_in_thread_does_not_leak(self, monkeypatch):
+        monkeypatch.setitem(device._namespaces, "fake-c", object())
+        before = device.active_array_module_name()
+        inside = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with device.use_array_module("fake-c"):
+                inside.set()
+                release.wait(timeout=10)
+
+        worker = threading.Thread(target=hold)
+        worker.start()
+        try:
+            assert inside.wait(timeout=10)
+            assert device.active_array_module_name() == before
+        finally:
+            release.set()
+            worker.join(timeout=10)
+        assert device.active_array_module_name() == before
+
+    def test_set_array_module_default_visible_to_new_threads(self, monkeypatch):
+        monkeypatch.setitem(device._namespaces, "fake-d", object())
+        before = device.active_array_module_name()
+        try:
+            device.set_array_module("fake-d")
+            seen = {}
+
+            def read():
+                seen["worker"] = device.active_array_module_name()
+
+            worker = threading.Thread(target=read)
+            worker.start()
+            worker.join(timeout=10)
+            assert seen["worker"] == "fake-d"
+        finally:
+            device.set_array_module(before)

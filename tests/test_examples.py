@@ -30,6 +30,7 @@ def test_expected_examples_present():
         "taxi_imputation.py",
         "sensor_forecasting.py",
         "anomaly_detection.py",
+        "multi_stream_serving.py",
     } <= names
 
 
@@ -42,4 +43,20 @@ def test_quickstart_runs():
     )
     assert result.returncode == 0, result.stderr
     assert "dynamic phase" in result.stdout
+    assert "forecast shape" in result.stdout
+
+
+def test_multi_stream_serving_runs():
+    # The serving example is sized to finish in a few seconds: four
+    # sessions capped at two resident, so the eviction tier is
+    # genuinely exercised (the assertions below prove it did work).
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "multi_stream_serving.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "serving 4 sessions, 2 resident" in result.stdout
+    assert "evictions" in result.stdout
     assert "forecast shape" in result.stdout
