@@ -3,9 +3,12 @@
 Four synthetic sensor streams (different seasonal patterns, 25% missing
 entries) are served by a single :class:`repro.serving.SessionManager`
 capped at **two resident models**: as slices arrive round-robin, the
-micro-batching scheduler fuses them into ``step_batch`` flushes while
-cold sessions spill to disk checkpoints and rehydrate transparently —
-the same code path the ``repro-serve`` HTTP gateway runs behind.
+micro-batching scheduler fuses them into ``step_batch`` flushes —
+grouping same-shaped sessions into shared dispatches — while cold
+sessions spill to disk checkpoints and rehydrate transparently.  This
+is the same code path the ``repro-serve`` HTTP gateway runs behind;
+swap ``worker_kind="process"`` below to execute flushes on a
+GIL-escaping multiprocessing pool with bit-identical results.
 
 Run with::
 
@@ -47,7 +50,11 @@ def main() -> None:
     # 2. One runtime, two resident models for four sessions: half the
     #    fleet always lives as on-disk checkpoints.
     manager = SessionManager(
-        max_resident=2, max_batch=4, max_latency_s=60.0, workers=2
+        max_resident=2,
+        max_batch=4,
+        max_latency_s=60.0,
+        workers=2,
+        worker_kind="thread",  # or "process" to escape the GIL
     )
     client = InProcessServingClient(manager)
     with manager:
@@ -67,8 +74,8 @@ def main() -> None:
         print(f"serving {len(session_ids)} sessions, 2 resident:")
         for sid in session_ids:
             errors = [
-                relative_error(completed, truths[sid][..., seq])
-                for seq, completed in client.results(sid, since=24)
+                relative_error(r.completed, truths[sid][..., r.seq])
+                for r in client.results(sid, since=24)
             ]
             info = client.session_info(sid)
             print(
@@ -79,15 +86,16 @@ def main() -> None:
 
         # 5. Forecast one season ahead for every session.
         for sid in session_ids:
-            forecast = client.forecast(sid, period)
-            print(f"  {sid}: forecast shape {forecast.shape}")
+            result = client.forecast(sid, period)
+            print(f"  {sid}: forecast shape {result.forecast.shape}")
 
         # 6. The eviction tier did real work while we streamed.
         metrics = client.metrics()
         print(
             f"micro-batching: {metrics['slices_flushed']} slices in "
             f"{metrics['batches_flushed']} flushes "
-            f"(mean batch {metrics['mean_batch_size']:.1f})"
+            f"(mean batch {metrics['mean_batch_size']:.1f}, "
+            f"{metrics['mean_fused_sessions']:.1f} sessions/dispatch)"
         )
         print(
             f"eviction tier: {metrics['evictions']} evictions, "

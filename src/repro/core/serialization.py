@@ -9,6 +9,15 @@ this exact format, so a round-trip must be bit-exact: ``np.savez``
 stores the arrays losslessly and the config travels as JSON (Python
 float repr round-trips exactly).
 
+Two transports share one format: :func:`save_sofia` /
+:func:`load_sofia` write compressed ``.npz`` files on disk (durable
+checkpoints, eviction spills), while :func:`dumps_sofia` /
+:func:`loads_sofia` round-trip the identical versioned archive through
+``bytes`` — uncompressed, because the consumer is the serving layer's
+*process worker handoff* (state crosses a pipe once per flush; zlib
+latency would dominate the win).  Both loaders run the same
+format-version and config-field verification.
+
 Format versioning
 -----------------
 ``_FORMAT_VERSION`` is 2 since the config surface grew ``dtype``,
@@ -25,6 +34,7 @@ same reason.
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
 import zipfile
 from pathlib import Path
@@ -37,7 +47,7 @@ from repro.core.sofia import Sofia
 from repro.exceptions import CheckpointError, NotFittedError
 from repro.forecast.vector_hw import VectorHoltWinters
 
-__all__ = ["load_sofia", "save_sofia"]
+__all__ = ["dumps_sofia", "load_sofia", "loads_sofia", "save_sofia"]
 
 #: Version 2: the config JSON must carry the full post-PR-4 field set
 #: (``dtype``, ``density_threshold``, ``batch_size``, ...) and is
@@ -49,8 +59,8 @@ def _config_field_names() -> set[str]:
     return {field.name for field in dataclasses.fields(SofiaConfig)}
 
 
-def save_sofia(sofia: Sofia, path: str | Path) -> None:
-    """Checkpoint an initialized SOFIA model to ``path`` (npz)."""
+def _state_arrays(sofia: Sofia) -> dict[str, np.ndarray]:
+    """The full versioned archive contents for one initialized model."""
     if not sofia.is_initialized:
         raise NotFittedError("cannot save an uninitialized SOFIA model")
     state = sofia.state
@@ -79,7 +89,26 @@ def save_sofia(sofia: Sofia, path: str | Path) -> None:
     arrays["config_json"] = np.frombuffer(
         config_json.encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(Path(path), **arrays)
+    return arrays
+
+
+def save_sofia(sofia: Sofia, path: str | Path) -> None:
+    """Checkpoint an initialized SOFIA model to ``path`` (npz)."""
+    np.savez_compressed(Path(path), **_state_arrays(sofia))
+
+
+def dumps_sofia(sofia: Sofia) -> bytes:
+    """Serialize an initialized model to checkpoint-format ``bytes``.
+
+    Same versioned archive as :func:`save_sofia`, written uncompressed
+    into memory — the serving layer's process worker pool ships session
+    state across pipes with this (one round-trip per flush, so
+    compression latency matters more than size).  Restore with
+    :func:`loads_sofia`.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **_state_arrays(sofia))
+    return buffer.getvalue()
 
 
 def _load_config(archive) -> SofiaConfig:
@@ -110,16 +139,29 @@ def load_sofia(path: str | Path) -> Sofia:
         not carry exactly this build's :class:`SofiaConfig` fields.
         Nothing is ever silently defaulted.
     """
+    return _load_archive(Path(path), str(path))
+
+
+def loads_sofia(data: bytes) -> Sofia:
+    """Restore a model serialized by :func:`dumps_sofia`.
+
+    Runs the same format-version and config-field verification as
+    :func:`load_sofia`; raises :class:`CheckpointError` on any mismatch.
+    """
+    return _load_archive(io.BytesIO(data), "<bytes>")
+
+
+def _load_archive(source, label: str) -> Sofia:
     try:
-        archive_ctx = np.load(Path(path))
+        archive_ctx = np.load(source)
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise CheckpointError(
-            f"cannot read {path!s} as a SOFIA checkpoint: {exc}"
+            f"cannot read {label} as a SOFIA checkpoint: {exc}"
         ) from exc
     with archive_ctx as archive:
         if "format_version" not in archive:
             raise CheckpointError(
-                f"{path!s} has no 'format_version' field — not a SOFIA "
+                f"{label} has no 'format_version' field — not a SOFIA "
                 "checkpoint"
             )
         version = int(archive["format_version"])

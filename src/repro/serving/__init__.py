@@ -4,10 +4,14 @@ Hosts fleets of concurrent SOFIA sessions behind one runtime: a
 :class:`~repro.serving.manager.SessionManager` with per-session locks,
 a micro-batching :class:`~repro.serving.scheduler.MicroBatchScheduler`
 that flushes buffered slices through the fused ``Sofia.step_batch``
-path, an LRU :class:`~repro.serving.store.CheckpointStore` that spills
-cold sessions to disk and rehydrates them transparently, and a
-stdlib-only JSON/HTTP gateway (``repro-serve``) with in-process and
-HTTP clients.
+path and groups same-shaped sessions into fused dispatches, a
+:class:`~repro.serving.pool.WorkerPool` executor seam (in-process
+threads or a GIL-escaping ``multiprocessing`` tier), an LRU
+:class:`~repro.serving.store.CheckpointStore` that spills cold
+sessions to disk and rehydrates them transparently, and a stdlib-only
+JSON/HTTP gateway (``repro-serve``, versioned under ``/v1``) with
+in-process and HTTP clients behind one typed
+:class:`~repro.serving.api.ServingClient` protocol.
 
 Quickstart (in-process)::
 
@@ -24,19 +28,44 @@ Over HTTP: start ``repro-serve``, then drive the same surface with
 :class:`~repro.serving.client.HTTPServingClient` (or plain curl).
 """
 
+from repro.serving.api import (
+    ForecastResult,
+    ImputeResult,
+    IngestAck,
+    ServingClient,
+    SliceResult,
+)
 from repro.serving.client import HTTPServingClient, InProcessServingClient
 from repro.serving.manager import SessionManager, make_config
 from repro.serving.metrics import ServingMetrics
+from repro.serving.pool import (
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+    WorkerPool,
+    make_worker_pool,
+)
 from repro.serving.scheduler import MicroBatchScheduler, PendingSlice
 from repro.serving.store import CheckpointStore
+from repro.serving.worker import FlushRequest, FlushResult
 
 __all__ = [
     "CheckpointStore",
+    "FlushRequest",
+    "FlushResult",
+    "ForecastResult",
     "HTTPServingClient",
+    "ImputeResult",
     "InProcessServingClient",
+    "IngestAck",
     "MicroBatchScheduler",
     "PendingSlice",
+    "ProcessWorkerPool",
+    "ServingClient",
     "ServingMetrics",
     "SessionManager",
+    "SliceResult",
+    "ThreadWorkerPool",
+    "WorkerPool",
     "make_config",
+    "make_worker_pool",
 ]

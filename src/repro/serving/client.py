@@ -1,17 +1,18 @@
 """Clients for the serving runtime: in-process and HTTP.
 
-Both speak the same method surface with the same JSON-ish types, so a
-test scenario (or the example) can run against a bare
-:class:`~repro.serving.manager.SessionManager` or a live gateway
-without changing code:
+Both implement the :class:`~repro.serving.api.ServingClient` protocol
+with the same typed results, so a test scenario (or the example) can
+run against a bare :class:`~repro.serving.manager.SessionManager` or a
+live gateway without changing code:
 
 * :class:`InProcessServingClient` wraps a manager directly — zero
   serialization, the right tool for tests and embedded use;
-* :class:`HTTPServingClient` talks to a ``repro-serve`` gateway with
-  :mod:`urllib` (stdlib only), raising the same
-  :mod:`repro.exceptions` types the server mapped onto status codes.
+* :class:`HTTPServingClient` talks to a ``repro-serve`` gateway's
+  ``/v1`` surface with :mod:`urllib` (stdlib only), mapping the JSON
+  error envelope back onto the same :mod:`repro.exceptions` types the
+  server raised.
 
-Arrays come back as :class:`numpy.ndarray` from both.
+Arrays come back as :class:`numpy.ndarray` fields from both.
 """
 
 from __future__ import annotations
@@ -31,9 +32,20 @@ from repro.exceptions import (
     SessionNotFoundError,
     ShapeError,
 )
+from repro.serving.api import (
+    ForecastResult,
+    ImputeResult,
+    IngestAck,
+    ServingClient,
+    SliceResult,
+)
 from repro.serving.manager import SessionManager
 
-__all__ = ["HTTPServingClient", "InProcessServingClient"]
+__all__ = [
+    "HTTPServingClient",
+    "InProcessServingClient",
+    "ServingClient",
+]
 
 
 def _mask_payload(mask) -> list | None:
@@ -42,8 +54,12 @@ def _mask_payload(mask) -> list | None:
     return np.asarray(mask).astype(bool).tolist()
 
 
+def _optional_array(values) -> np.ndarray | None:
+    return None if values is None else np.asarray(values)
+
+
 class InProcessServingClient:
-    """The manager's surface with gateway-compatible types."""
+    """The manager's surface behind the typed client protocol."""
 
     def __init__(self, manager: SessionManager) -> None:
         self._manager = manager
@@ -63,22 +79,33 @@ class InProcessServingClient:
             kernel_backend=kernel_backend,
         )
 
-    def ingest(self, session_id: str, values, mask=None) -> int:
-        return self._manager.ingest(session_id, values, mask)
+    def ingest(self, session_id: str, values, mask=None) -> IngestAck:
+        seq = self._manager.ingest(session_id, values, mask)
+        return IngestAck(session_id=session_id, seq=seq)
 
-    def results(self, session_id: str, since: int = 0) -> list:
+    def results(
+        self, session_id: str, since: int = 0
+    ) -> list[SliceResult]:
         return [
-            (seq, np.asarray(completed))
+            SliceResult(
+                session_id=session_id,
+                seq=seq,
+                completed=np.asarray(completed),
+            )
             for seq, completed in self._manager.results(
                 session_id, since_seq=since
             )
         ]
 
-    def impute(self, session_id: str, values, mask=None) -> np.ndarray:
-        return self._manager.impute(session_id, values, mask)
+    def impute(self, session_id: str, values, mask=None) -> ImputeResult:
+        completed = self._manager.impute(session_id, values, mask)
+        return ImputeResult(session_id=session_id, completed=completed)
 
-    def forecast(self, session_id: str, horizon: int) -> np.ndarray:
-        return self._manager.forecast(session_id, horizon)
+    def forecast(self, session_id: str, horizon: int) -> ForecastResult:
+        forecast = self._manager.forecast(session_id, horizon)
+        return ForecastResult(
+            session_id=session_id, horizon=horizon, forecast=forecast
+        )
 
     def session_info(self, session_id: str) -> dict:
         return self._manager.session_info(session_id)
@@ -109,10 +136,14 @@ _ERROR_TYPES = {
 
 
 class HTTPServingClient:
-    """Talk to a running ``repro-serve`` gateway (stdlib urllib)."""
+    """Talk to a running ``repro-serve`` gateway (stdlib urllib).
+
+    Targets the versioned ``/v1`` surface; pass the bare base URL
+    (``http://host:port``) without the version prefix.
+    """
 
     def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
-        self._base = base_url.rstrip("/")
+        self._base = base_url.rstrip("/") + "/v1"
         self._timeout = timeout
 
     # ------------------------------------------------------------------
@@ -135,18 +166,23 @@ class HTTPServingClient:
             ) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
-            detail = exc.read().decode("utf-8", errors="replace")
-            try:
-                parsed = json.loads(detail)
-            except json.JSONDecodeError:
-                parsed = {"error": detail, "type": "ReproError"}
-            error_cls = _ERROR_TYPES.get(parsed.get("type"), SessionError)
-            raise error_cls(
-                parsed.get("error", f"HTTP {exc.code}")
-            ) from None
+            raise self._map_error(exc) from None
+
+    @staticmethod
+    def _map_error(exc: urllib.error.HTTPError) -> Exception:
+        """The ``/v1`` error envelope back into an exception."""
+        detail = exc.read().decode("utf-8", errors="replace")
+        try:
+            envelope = json.loads(detail).get("error")
+        except json.JSONDecodeError:
+            envelope = None
+        if not isinstance(envelope, dict):
+            envelope = {"type": "SessionError", "message": detail}
+        error_cls = _ERROR_TYPES.get(envelope.get("type"), SessionError)
+        return error_cls(envelope.get("message") or f"HTTP {exc.code}")
 
     # ------------------------------------------------------------------
-    # Surface (mirrors InProcessServingClient)
+    # Surface (the ServingClient protocol)
     # ------------------------------------------------------------------
     def create_session(
         self,
@@ -165,38 +201,57 @@ class HTTPServingClient:
             payload["kernel_backend"] = kernel_backend
         return self._request("POST", "/sessions", payload)
 
-    def ingest(self, session_id: str, values, mask=None) -> int:
+    def ingest(self, session_id: str, values, mask=None) -> IngestAck:
         payload = {"values": np.asarray(values).tolist()}
         if mask is not None:
             payload["mask"] = _mask_payload(mask)
         response = self._request(
             "POST", f"/sessions/{session_id}/slices", payload
         )
-        return int(response["seq"])
+        return IngestAck(
+            session_id=session_id, seq=int(response["seq"])
+        )
 
-    def results(self, session_id: str, since: int = 0) -> list:
+    def results(
+        self, session_id: str, since: int = 0
+    ) -> list[SliceResult]:
         response = self._request(
             "GET", f"/sessions/{session_id}/results?since={since}"
         )
         return [
-            (int(entry["seq"]), np.asarray(entry["completed"]))
+            SliceResult(
+                session_id=session_id,
+                seq=int(entry["seq"]),
+                completed=np.asarray(entry["completed"]),
+            )
             for entry in response["results"]
         ]
 
-    def impute(self, session_id: str, values, mask=None) -> np.ndarray:
+    def impute(self, session_id: str, values, mask=None) -> ImputeResult:
         payload = {"values": np.asarray(values).tolist()}
         if mask is not None:
             payload["mask"] = _mask_payload(mask)
         response = self._request(
             "POST", f"/sessions/{session_id}/impute", payload
         )
-        return np.asarray(response["completed"])
+        return ImputeResult(
+            session_id=session_id,
+            completed=np.asarray(response["completed"]),
+            lower=_optional_array(response.get("lower")),
+            upper=_optional_array(response.get("upper")),
+        )
 
-    def forecast(self, session_id: str, horizon: int) -> np.ndarray:
+    def forecast(self, session_id: str, horizon: int) -> ForecastResult:
         response = self._request(
             "GET", f"/sessions/{session_id}/forecast?horizon={horizon}"
         )
-        return np.asarray(response["forecast"])
+        return ForecastResult(
+            session_id=session_id,
+            horizon=int(response["horizon"]),
+            forecast=np.asarray(response["forecast"]),
+            lower=_optional_array(response.get("lower")),
+            upper=_optional_array(response.get("upper")),
+        )
 
     def session_info(self, session_id: str) -> dict:
         return self._request("GET", f"/sessions/{session_id}")

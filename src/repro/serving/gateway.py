@@ -1,34 +1,47 @@
 """Stdlib JSON/HTTP gateway in front of a :class:`SessionManager`.
 
 A :class:`~http.server.ThreadingHTTPServer` (one thread per connection,
-no third-party dependencies) exposing the serving runtime:
+no third-party dependencies) exposing the serving runtime under a
+versioned prefix:
 
-=======  ==============================  =====================================
-Method   Path                            Body / query
-=======  ==============================  =====================================
-GET      ``/healthz``                    --
-GET      ``/metrics``                    --
-GET      ``/sessions``                   --
-POST     ``/sessions``                   ``{"session_id", "config"}`` or
-                                         ``{"session_id", "checkpoint"}``;
-                                         optional ``"kernel_backend"``
-GET      ``/sessions/<id>``              --
-DELETE   ``/sessions/<id>``              optional ``?checkpoint=<path>``
-POST     ``/sessions/<id>/slices``       ``{"values", "mask"?}`` -> ``seq``
-GET      ``/sessions/<id>/results``      ``?since=<seq>``
-POST     ``/sessions/<id>/impute``       ``{"values", "mask"?}`` -> completed
-GET      ``/sessions/<id>/forecast``     ``?horizon=<h>``
-=======  ==============================  =====================================
+=======  ==================================  =================================
+Method   Path                                Body / query
+=======  ==================================  =================================
+GET      ``/v1/healthz``                     --
+GET      ``/v1/metrics``                     --
+GET      ``/v1/sessions``                    --
+POST     ``/v1/sessions``                    ``{"session_id", "config"}`` or
+                                             ``{"session_id", "checkpoint"}``;
+                                             optional ``"kernel_backend"``
+GET      ``/v1/sessions/<id>``               --
+DELETE   ``/v1/sessions/<id>``               optional ``?checkpoint=<path>``
+POST     ``/v1/sessions/<id>/slices``        ``{"values", "mask"?}`` -> ``seq``
+GET      ``/v1/sessions/<id>/results``       ``?since=<seq>``
+POST     ``/v1/sessions/<id>/impute``        ``{"values", "mask"?}``
+GET      ``/v1/sessions/<id>/forecast``      ``?horizon=<h>``
+=======  ==================================  =================================
 
-Arrays travel as (nested) JSON lists.  Errors map onto status codes:
-unknown session 404, duplicate session 409, session-state conflicts
-(warming up, failed) 409, bad configs/shapes/JSON 400, everything else
-500 — always with a JSON body ``{"error": ..., "type": ...}``.
+Arrays travel as (nested) JSON lists; ``impute`` and ``forecast``
+responses carry ``lower``/``upper`` fields (``null`` until the runtime
+computes prediction intervals) so the wire format is interval-ready.
+The pre-versioning paths (``/sessions`` etc.) answer ``308 Permanent
+Redirect`` to their ``/v1`` equivalents for one release.
+
+Every error is a uniform JSON envelope::
+
+    {"error": {"type": "SessionNotFoundError",
+               "message": "no session 'x'",
+               "session": "x"}}
+
+with ``session`` null when the failing request named none.  Types map
+onto status codes: unknown session 404, duplicate session or
+session-state conflicts (warming up, failed) 409, bad
+configs/shapes/JSON 400, everything else 500.
 
 ``main`` is the ``repro-serve`` console entry point::
 
     repro-serve --port 8349 --max-resident 64 --max-batch 16 \
-        --max-latency-ms 50 --workers 4
+        --max-latency-ms 50 --workers 4 --worker-kind process
 """
 
 from __future__ import annotations
@@ -51,8 +64,12 @@ from repro.exceptions import (
     ShapeError,
 )
 from repro.serving.manager import SessionManager
+from repro.serving.pool import WORKER_KINDS
 
 __all__ = ["ServingHTTPServer", "main", "serve"]
+
+#: The one API version this gateway speaks.
+API_PREFIX = "/v1"
 
 _SESSION_PATH = re.compile(
     r"^/sessions/(?P<sid>[^/]+)(?P<tail>/(?:slices|results|impute|forecast))?$"
@@ -95,11 +112,29 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, exc: Exception) -> None:
+    def _send_error_json(
+        self, exc: Exception, session_id: str | None
+    ) -> None:
         self._send_json(
-            {"error": str(exc), "type": type(exc).__name__},
+            {
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "session": session_id,
+                }
+            },
             status=_status_for(exc),
         )
+
+    def _send_redirect(self, location: str) -> None:
+        """308: the unversioned path moved under the API prefix."""
+        body = json.dumps({"location": location}).encode("utf-8")
+        self.send_response(308)
+        self.send_header("Location", location)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -114,28 +149,48 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
+    @staticmethod
+    def _session_of(path: str) -> str | None:
+        """The session id named by a (version-stripped) path, if any."""
+        match = _SESSION_PATH.match(path)
+        return match.group("sid") if match else None
+
     def _dispatch(self, method: str) -> None:
         manager = self.server.manager
         parsed = urlparse(self.path)
         query = parse_qs(parsed.query)
+        if parsed.path != API_PREFIX and not parsed.path.startswith(
+            API_PREFIX + "/"
+        ):
+            # One release of grace for pre-versioning clients.
+            target = API_PREFIX + parsed.path
+            if parsed.query:
+                target += "?" + parsed.query
+            self._send_redirect(target)
+            return
+        path = parsed.path[len(API_PREFIX):]
+        session_id = self._session_of(path)
         try:
-            handled = self._route(manager, method, parsed.path, query)
+            handled = self._route(manager, method, path, query)
         except ReproError as exc:
-            self._send_error_json(exc)
+            self._send_error_json(exc, session_id)
             return
         except (ValueError, KeyError) as exc:
-            self._send_error_json(exc)
+            self._send_error_json(exc, session_id)
             return
         except Exception as exc:  # noqa: BLE001 - HTTP boundary
-            self._send_error_json(exc)
+            self._send_error_json(exc, session_id)
             return
         if not handled:
-            self._send_json(
-                {"error": f"no route {method} {parsed.path}"}, status=404
+            self._send_error_json(
+                SessionNotFoundError(
+                    f"no route {method} {parsed.path}"
+                ),
+                session_id,
             )
 
     # ------------------------------------------------------------------
-    # Routes
+    # Routes (paths arrive with the version prefix stripped)
     # ------------------------------------------------------------------
     def _route(self, manager, method, path, query) -> bool:
         if method == "GET" and path == "/healthz":
@@ -206,7 +261,12 @@ class _Handler(BaseHTTPRequestHandler):
                 sid, payload["values"], payload.get("mask")
             )
             self._send_json(
-                {"session_id": sid, "completed": completed.tolist()}
+                {
+                    "session_id": sid,
+                    "completed": completed.tolist(),
+                    "lower": None,
+                    "upper": None,
+                }
             )
             return True
         if tail == "/forecast" and method == "GET":
@@ -217,6 +277,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "session_id": sid,
                     "horizon": horizon,
                     "forecast": np.asarray(forecast).tolist(),
+                    "lower": None,
+                    "upper": None,
                 }
             )
             return True
@@ -302,7 +364,28 @@ def main(argv: list[str] | None = None) -> int:
         "--workers",
         type=int,
         default=2,
-        help="flush worker threads (default 2)",
+        help="flush worker lanes (default 2)",
+    )
+    parser.add_argument(
+        "--worker-kind",
+        choices=WORKER_KINDS,
+        default="thread",
+        help="where flushes execute: 'thread' shares the gateway's "
+        "GIL, 'process' runs each lane in its own interpreter "
+        "(default thread)",
+    )
+    parser.add_argument(
+        "--no-fuse-sessions",
+        dest="fuse_sessions",
+        action="store_false",
+        help="disable cross-session batch fusion (one dispatch per "
+        "session; per-session results are identical either way)",
+    )
+    parser.add_argument(
+        "--max-fused-sessions",
+        type=int,
+        default=8,
+        help="max sessions sharing one fused dispatch (default 8)",
     )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
@@ -313,13 +396,17 @@ def main(argv: list[str] | None = None) -> int:
         max_batch=args.max_batch,
         max_latency_s=args.max_latency_ms / 1000.0,
         workers=args.workers,
+        worker_kind=args.worker_kind,
+        fuse_sessions=args.fuse_sessions,
+        max_fused_sessions=args.max_fused_sessions,
     )
     server = serve(
         manager, args.host, args.port, verbose=args.verbose
     )
     print(
-        f"repro-serve listening on http://{args.host}:{server.port} "
-        f"(max_batch={args.max_batch}, "
+        f"repro-serve listening on http://{args.host}:{server.port}"
+        f"{API_PREFIX} (max_batch={args.max_batch}, "
+        f"workers={args.workers} {args.worker_kind}, "
         f"max_resident={args.max_resident or 'unbounded'})"
     )
     try:

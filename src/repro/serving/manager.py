@@ -2,15 +2,31 @@
 
 A :class:`SessionManager` hosts a fleet of independent SOFIA models
 ("sessions"), each identified by a string id and fed by its own tensor
-stream.  It composes the three serving pieces:
+stream.  It composes the serving pieces:
 
 * the :class:`~repro.serving.scheduler.MicroBatchScheduler` buffers
-  ingested slices per session and flushes them through the fused
-  ``Sofia.step_batch`` path on a worker pool;
+  ingested slices per session, groups due sessions with matching
+  fusion keys, and dispatches fused flush groups;
+* a :class:`~repro.serving.pool.WorkerPool` executes those groups —
+  in-process threads (the default) or a ``multiprocessing`` worker
+  tier that escapes the GIL, selected via ``worker_pool=`` /
+  ``worker_kind=``;
 * the :class:`~repro.serving.store.CheckpointStore` bounds resident
   memory — cold sessions spill to disk and rehydrate transparently on
-  their next flush;
+  their next flush — and doubles as the process handoff medium
+  (:meth:`~repro.serving.store.CheckpointStore.export_state` /
+  :meth:`~repro.serving.store.CheckpointStore.import_state`);
 * :class:`~repro.serving.metrics.ServingMetrics` counts everything.
+
+Flushing is a three-step cycle around plain data: the manager
+*prepares* a picklable :class:`~repro.serving.worker.FlushRequest` per
+group member (warmup bookkeeping, state checkout/serialization), the
+pool *executes* the group wherever it runs, and the manager *commits*
+each :class:`~repro.serving.worker.FlushResult` back (store the
+updated model, publish per-slice results, record failures).  Sessions
+in one fused group share a single dispatch, but each is prepared,
+executed, and committed independently — one member's failure poisons
+only that member.
 
 Session lifecycle
 -----------------
@@ -30,20 +46,27 @@ Thread-safety
 The registry has its own lock; each session carries a per-session lock
 held for the duration of any model mutation (one flush, impute, or
 forecast at a time per session — different sessions proceed in
-parallel).  Lock order is registry -> session -> store; the scheduler's
-condition variable is never held across a flush.  Worker threads may
-run sessions pinned to different kernel backends concurrently — safe
-because the backend registries are context-local per thread (see
-``repro.tensor.kernels.use_backend``).
+parallel).  A fused flush holds every member's lock, acquired in
+sorted session-id order (all other paths take at most one session
+lock, so the ordering cannot deadlock).  Lock order is registry ->
+session -> store; the scheduler's condition variable is never held
+across a flush, and fusion keys are computed from immutable or
+atomically-read session fields so the scheduler can ask for them
+without taking session locks.  Worker threads may run sessions pinned
+to different kernel backends concurrently — safe because the backend
+registries are context-local per thread (see
+``repro.tensor.kernels.use_backend``) and a process worker applies the
+pin inside its own interpreter.
 """
 
 from __future__ import annotations
 
 import tempfile
 import threading
-import time
 from collections import deque
-from contextlib import nullcontext
+from collections.abc import Hashable
+from contextlib import ExitStack, nullcontext
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -59,8 +82,10 @@ from repro.exceptions import (
     ShapeError,
 )
 from repro.serving.metrics import ServingMetrics
+from repro.serving.pool import WorkerPool, make_worker_pool
 from repro.serving.scheduler import MicroBatchScheduler, PendingSlice
 from repro.serving.store import CheckpointStore
+from repro.serving.worker import FlushRequest, FlushResult
 from repro.tensor import kernels
 from repro.tensor.validation import check_mask
 
@@ -114,8 +139,46 @@ class _Session:
         )
 
 
+class _Runner:
+    """The scheduler-facing seam of one manager (see ``FlushRunner``)."""
+
+    def __init__(self, manager: "SessionManager") -> None:
+        self._manager = manager
+
+    def run(self, jobs: list[tuple[str, list[PendingSlice]]]) -> None:
+        self._manager._run_flush_jobs(jobs)
+
+    def fusion_key(self, session_id: str) -> Hashable | None:
+        return self._manager._session_fusion_key(session_id)
+
+
+@dataclass
+class _Prepared:
+    """One group member between prepare and commit."""
+
+    session: _Session
+    items: list[PendingSlice]
+    request: FlushRequest | None = None
+    #: Whether prepare checked the live model out of the store (the
+    #: in-process transport); commit must check it back in.
+    checked_out: bool = False
+    #: Whether the request initializes the session from its warmup.
+    initializes: bool = False
+
+
 class SessionManager:
-    """Create/ingest/impute/forecast/close over many SOFIA sessions."""
+    """Create/ingest/impute/forecast/close over many SOFIA sessions.
+
+    The executor seam: ``worker_pool`` takes any ready-made
+    :class:`~repro.serving.pool.WorkerPool`; otherwise one is built
+    from ``worker_kind`` (``"thread"`` in-process, ``"process"`` for
+    the multiprocessing tier) and ``workers``.  The manager owns the
+    pool either way and closes it with the runtime.  ``fuse_sessions``
+    switches cross-session batch fusion (grouping due sessions with
+    identical ``(shape, rank, dtype, backend)`` into one dispatch, at
+    most ``max_fused_sessions`` per group); per-session results are
+    bit-identical either way.
+    """
 
     def __init__(
         self,
@@ -125,6 +188,10 @@ class SessionManager:
         max_batch: int = 16,
         max_latency_s: float = 0.05,
         workers: int = 2,
+        worker_kind: str = "thread",
+        worker_pool: WorkerPool | None = None,
+        fuse_sessions: bool = True,
+        max_fused_sessions: int = 8,
         keep_results: int = 64,
     ) -> None:
         if keep_results < 1:
@@ -144,13 +211,23 @@ class SessionManager:
             checkpoint_dir, max_resident=max_resident, metrics=self.metrics
         )
         self._keep_results = keep_results
+        if worker_pool is None:
+            worker_pool = make_worker_pool(worker_kind, workers)
+        self._pool = worker_pool
         self._scheduler = MicroBatchScheduler(
-            self._flush,
+            _Runner(self),
             max_batch=max_batch,
             max_latency_s=max_latency_s,
-            workers=workers,
+            workers=self._pool.size,
+            fuse=fuse_sessions,
+            max_fused=max_fused_sessions,
         )
         self._closed = False
+
+    @property
+    def worker_pool(self) -> WorkerPool:
+        """The executor behind the scheduler (thread/process/custom)."""
+        return self._pool
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -251,6 +328,7 @@ class SessionManager:
                 return
             self._closed = True
         self._scheduler.close(drain=True)
+        self._pool.close()
         if self._tempdir is not None:
             self._tempdir.cleanup()
 
@@ -313,7 +391,11 @@ class SessionManager:
                     seq=seq,
                     subtensor=y,
                     mask=m,
-                    arrived_at=time.monotonic(),
+                    # Stamped off the scheduler's own monotonic clock:
+                    # the latency deadline compares against this, and
+                    # mixing clocks (or using wall time, which NTP can
+                    # step) would skew it.
+                    arrived_at=self._scheduler.now(),
                 ),
             )
         self.metrics.increment("slices_ingested")
@@ -488,37 +570,104 @@ class SessionManager:
             return nullcontext()
         return kernels.use_backend(session.kernel_backend)
 
-    def _flush(self, session_id: str, items: list[PendingSlice]) -> None:
-        """Scheduler callback: apply one micro-batch to one session.
+    def _session_fusion_key(self, session_id: str) -> Hashable | None:
+        """What makes sessions fusable: same shape, rank, dtype, backend.
 
-        Never raises — a failing batch marks the session failed and the
-        error surfaces on the next API call against it.
+        Called by the scheduler *under its condition variable*, so this
+        must not take session locks (lock order is session -> scheduler
+        condition).  Every field read is either immutable after
+        creation (config, kernel backend) or an atomically-assigned
+        snapshot (``initialized``, ``subtensor_shape``); a stale read
+        only costs one missed or solo fusion, never correctness.
+        Warming and failed sessions never fuse.
         """
-        try:
-            session = self._get_session(session_id)
-        except SessionNotFoundError:
-            return  # closed concurrently; nothing to apply to
-        started = time.perf_counter()
-        with session.lock:
-            if session.failure is not None:
-                return
-            try:
-                with self._backend_context(session):
-                    self._apply_locked(session, items)
-            except Exception as exc:  # noqa: BLE001 - worker boundary
-                session.failure = f"{type(exc).__name__}: {exc}"
-                self.metrics.increment("flush_failures")
-                return
-        self.metrics.observe_flush(
-            len(items), time.perf_counter() - started
+        with self._registry_lock:
+            session = self._sessions.get(session_id)
+        if (
+            session is None
+            or not session.initialized
+            or session.failure is not None
+            or session.subtensor_shape is None
+        ):
+            return None
+        return (
+            session.subtensor_shape,
+            session.config.rank,
+            session.config.dtype,
+            session.kernel_backend,
         )
 
-    def _apply_locked(
-        self, session: _Session, items: list[PendingSlice]
+    def _run_flush_jobs(
+        self, jobs: list[tuple[str, list[PendingSlice]]]
     ) -> None:
-        """Apply a batch under the session lock: warmup and/or steps."""
+        """Scheduler dispatch: apply one fused group of micro-batches.
+
+        Never raises — a failing member marks only its own session
+        failed and the error surfaces on the next API call against it.
+        All member locks are taken in sorted session-id order for the
+        whole prepare/execute/commit cycle, so synchronous operations
+        (impute, forecast, results) observe each flush atomically.
+        """
+        members: list[tuple[_Session, list[PendingSlice]]] = []
+        for session_id, items in sorted(jobs):
+            try:
+                members.append((self._get_session(session_id), items))
+            except SessionNotFoundError:
+                continue  # closed concurrently; nothing to apply to
+        if not members:
+            return
+        with ExitStack() as stack:
+            for session, _ in members:
+                stack.enter_context(session.lock)
+            prepared = [
+                self._prepare_locked(session, items)
+                for session, items in members
+            ]
+            requests = [
+                plan.request for plan in prepared if plan.request is not None
+            ]
+            if requests:
+                results = self._pool.execute(requests)
+                self.metrics.increment("dispatches")
+                if len(requests) > 1:
+                    self.metrics.increment("fused_dispatches")
+                    self.metrics.increment(
+                        "fused_sessions_flushed", len(requests)
+                    )
+                by_session = {
+                    result.session_id: result for result in results
+                }
+                for plan in prepared:
+                    if plan.request is None:
+                        continue
+                    self._commit_locked(
+                        plan, by_session.get(plan.request.session_id)
+                    )
+
+    def _prepare_locked(
+        self, session: _Session, items: list[PendingSlice]
+    ) -> _Prepared:
+        """Turn one member's batch into a flush request (or buffer it).
+
+        Warmup bookkeeping happens here, in the manager: slices of a
+        warming session accumulate until ``init_steps`` have arrived,
+        at which point the request carries the whole initialization
+        window.  A warming session whose window is still short
+        produces no request (the slices were absorbed into the warmup
+        buffer); so does a failed session (its slices are dropped, as
+        before — the failure already surfaces on every API call).
+        """
+        plan = _Prepared(session=session, items=items)
+        if session.failure is not None:
+            return plan
         config = session.config
         remaining = items
+        request = FlushRequest(
+            session_id=session.session_id,
+            config=config,
+            transport=self._pool.transport,
+            kernel_backend=session.kernel_backend,
+        )
         if not session.initialized:
             need = config.init_steps - len(session.warmup)
             head, remaining = items[:need], items[need:]
@@ -526,30 +675,69 @@ class SessionManager:
                 (item.subtensor, item.mask) for item in head
             )
             if len(session.warmup) < config.init_steps:
-                return
-            sofia = Sofia(config)
-            completed = sofia.initialize(
-                [y for y, _ in session.warmup],
-                [m for _, m in session.warmup],
-            )
+                # Buffered only; count the slices as flushed, exactly
+                # like the closure-based path did.
+                self.metrics.observe_flush(len(items), 0.0)
+                return plan
             # Startup slices get results too: their seqs are exactly
             # 0..init_steps-1 in ingestion order.
-            for seq, slice_completed in enumerate(completed):
-                session.results.append((seq, slice_completed))
-            session.consumed += len(session.warmup)
-            session.warmup = []
-            session.initialized = True
-            self._store.put(session.session_id, sofia)
-        if not remaining:
-            return
-        sofia = self._store.checkout(session.session_id)
+            request.warmup_seqs = list(range(config.init_steps))
+            request.warmup_ys = np.stack(
+                [y for y, _ in session.warmup]
+            )
+            request.warmup_masks = np.stack(
+                [m for _, m in session.warmup]
+            )
+            plan.initializes = True
+        if remaining:
+            request.step_seqs = [item.seq for item in remaining]
+            request.step_ys = np.stack(
+                [item.subtensor for item in remaining]
+            )
+            request.step_masks = np.stack(
+                [item.mask for item in remaining]
+            )
+        if session.initialized:
+            if self._pool.transport == "state":
+                request.state = self._store.export_state(
+                    session.session_id
+                )
+            else:
+                request.model = self._store.checkout(session.session_id)
+                plan.checked_out = True
+        plan.request = request
+        return plan
+
+    def _commit_locked(
+        self, plan: _Prepared, result: FlushResult | None
+    ) -> None:
+        """Fold one member's result back into its session."""
+        session = plan.session
         try:
-            steps = sofia.step_batch(
-                np.stack([item.subtensor for item in remaining]),
-                np.stack([item.mask for item in remaining]),
+            if result is None or result.error is not None:
+                session.failure = (
+                    "worker pool returned no result for this flush"
+                    if result is None
+                    else result.error
+                )
+                self.metrics.increment("flush_failures")
+                return
+            if result.state is not None:
+                self._store.import_state(
+                    session.session_id, result.state
+                )
+            elif result.model is not None and not plan.checked_out:
+                # Freshly initialized on the in-process transport.
+                self._store.put(session.session_id, result.model)
+            if plan.initializes:
+                session.warmup = []
+                session.initialized = True
+            for seq, completed in result.results:
+                session.results.append((seq, completed))
+            session.consumed += result.consumed
+            self.metrics.observe_flush(
+                len(plan.items), result.seconds
             )
         finally:
-            self._store.checkin(session.session_id)
-        for item, step in zip(remaining, steps):
-            session.results.append((item.seq, step.completed))
-        session.consumed += len(remaining)
+            if plan.checked_out:
+                self._store.checkin(session.session_id)

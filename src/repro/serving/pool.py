@@ -1,0 +1,210 @@
+"""The executor seam: where flush requests actually run.
+
+A :class:`WorkerPool` turns a group of
+:class:`~repro.serving.worker.FlushRequest` into matching
+:class:`~repro.serving.worker.FlushResult` — and *which Python* does
+the arithmetic is the pool's business, not the scheduler's or the
+manager's:
+
+* :class:`ThreadWorkerPool` executes on the calling scheduler thread,
+  in-process.  Zero serialization (the ``"model"`` transport passes
+  the live ``Sofia`` object), but every flush shares one GIL — the
+  Python layer between kernel calls serializes across sessions.
+* :class:`ProcessWorkerPool` owns ``workers`` long-lived
+  ``multiprocessing`` lanes; a flush group is pickled over a pipe
+  (the ``"state"`` transport: model state as versioned
+  checkpoint-format bytes), executed in the worker's own interpreter,
+  and the results pickled back.  Flushes of different groups run on
+  different cores with no shared GIL — throughput scales with
+  ``workers`` on multi-core machines at the cost of one
+  serialize/deserialize round-trip per flush (which cross-session
+  fusion amortizes over whole groups of tenants).
+
+Pools are deliberately *passive*: they have no queue and no threads of
+their own waiting for work.  The scheduler's dispatch threads (one per
+lane) call :meth:`WorkerPool.execute` synchronously, so backpressure,
+ordering, and fusion all stay in one place — the scheduler.
+
+``make_worker_pool`` maps the CLI surface
+(``--worker-kind {thread,process}``) onto constructors; passing a
+ready-made pool to ``SessionManager(worker_pool=...)`` covers
+everything else (tests wrap pools to observe fusion, future transports
+implement the same protocol).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from typing import Protocol, runtime_checkable
+
+from repro.serving.worker import (
+    FlushRequest,
+    FlushResult,
+    execute_requests,
+    process_worker_main,
+)
+
+__all__ = [
+    "ProcessWorkerPool",
+    "ThreadWorkerPool",
+    "WorkerPool",
+    "make_worker_pool",
+]
+
+WORKER_KINDS = ("thread", "process")
+
+
+@runtime_checkable
+class WorkerPool(Protocol):
+    """Executes flush-request groups; selected at manager construction.
+
+    ``size`` is the number of groups that can execute concurrently
+    (the scheduler starts one dispatch thread per lane), ``transport``
+    is the request transport the pool needs — ``"model"`` for live
+    in-process objects, ``"state"`` for picklable checkpoint bytes —
+    and ``kind`` names the pool on metrics and benchmark reports.
+    """
+
+    kind: str
+    transport: str
+
+    @property
+    def size(self) -> int: ...
+
+    def execute(
+        self, requests: list[FlushRequest]
+    ) -> list[FlushResult]: ...
+
+    def close(self) -> None: ...
+
+
+def _check_workers(workers: int) -> int:
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+class ThreadWorkerPool:
+    """In-process execution on the calling scheduler thread."""
+
+    kind = "thread"
+    transport = "model"
+
+    def __init__(self, workers: int = 2) -> None:
+        self._size = _check_workers(workers)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def execute(
+        self, requests: list[FlushRequest]
+    ) -> list[FlushResult]:
+        return execute_requests(requests)
+
+    def close(self) -> None:
+        pass
+
+
+class _Lane:
+    """One worker process plus the parent end of its pipe."""
+
+    def __init__(self, context) -> None:
+        self.connection, child = multiprocessing.Pipe()
+        self.process = context.Process(
+            target=process_worker_main,
+            args=(child,),
+            daemon=True,
+            name="repro-serve-worker",
+        )
+        self.process.start()
+        # The child inherited (or re-imported with) its own handle;
+        # closing the parent's copy makes a dead worker surface as
+        # EOFError on recv instead of a hang.
+        child.close()
+
+    def stop(self, timeout: float) -> None:
+        try:
+            self.connection.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        self.connection.close()
+
+
+class ProcessWorkerPool:
+    """``workers`` long-lived multiprocessing lanes behind a free-list.
+
+    Lanes start eagerly (the ``"spawn"`` start method by default —
+    fork is unsafe under the scheduler's threads) so the interpreter
+    and import cost is paid once at pool construction, not on the
+    flush path.  A lane whose pipe breaks mid-flush is respawned and
+    the affected group's sessions get error results — the same
+    poison-one-session contract in-process failures have.
+    """
+
+    kind = "process"
+    transport = "state"
+
+    def __init__(
+        self, workers: int = 2, *, start_method: str = "spawn"
+    ) -> None:
+        self._size = _check_workers(workers)
+        self._context = multiprocessing.get_context(start_method)
+        self._idle: queue.Queue[_Lane] = queue.Queue()
+        self._close_lock = threading.Lock()
+        self._closed = False
+        for _ in range(self._size):
+            self._idle.put(_Lane(self._context))
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def execute(
+        self, requests: list[FlushRequest]
+    ) -> list[FlushResult]:
+        lane = self._idle.get()
+        try:
+            lane.connection.send(requests)
+            return lane.connection.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            lane.stop(timeout=1.0)
+            lane = _Lane(self._context)
+            return [
+                FlushResult(
+                    session_id=request.session_id,
+                    error=(
+                        "worker process died during flush: "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+                for request in requests
+            ]
+        finally:
+            self._idle.put(lane)
+
+    def close(self) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in range(self._size):
+            lane = self._idle.get()
+            lane.stop(timeout=5.0)
+
+
+def make_worker_pool(kind: str, workers: int) -> WorkerPool:
+    """Build the pool behind ``--worker-kind``; unknown kinds raise."""
+    if kind == "thread":
+        return ThreadWorkerPool(workers)
+    if kind == "process":
+        return ProcessWorkerPool(workers)
+    raise ValueError(
+        f"unknown worker kind {kind!r}; available: {WORKER_KINDS}"
+    )

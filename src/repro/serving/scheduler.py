@@ -2,7 +2,7 @@
 
 Incoming slices are cheap to *accept* (append to a per-session buffer
 under a condition variable) and expensive to *apply* (a SOFIA dynamic
-step).  The scheduler decouples the two: a pool of worker threads
+step).  The scheduler decouples the two: a pool of dispatch threads
 flushes a session's buffered slices through one fused
 ``Sofia.step_batch`` call when either
 
@@ -13,22 +13,49 @@ flushes a session's buffered slices through one fused
   (latency trigger — a trickling session is not starved just because
   it never fills a batch).
 
+Cross-session fusion
+--------------------
+When a dispatch thread finds a due session, it also collects every
+*other* currently-due session with the same fusion key (the runner's
+``fusion_key`` — the manager keys initialized sessions by
+``(subtensor shape, rank, dtype, kernel backend)``) into one fused
+group, up to ``max_fused`` sessions.  The whole group is handed to the
+runner as a single job list, so one dispatch — one worker wakeup, one
+process round-trip on a process pool — amortizes across tenants
+instead of costing once per session.  Grouping never changes *what* a
+session computes: each member contributes exactly the batch it would
+have flushed alone (oldest ``max_batch`` slices), so per-session
+trajectories are bit-identical with fusion on or off.  Sessions whose
+key is ``None`` (warming sessions, unkeyed runners) always flush
+alone.
+
 Ordering and determinism
 ------------------------
 Slices of one session are always applied in arrival order: at most one
 flush per session is in flight (``_inflight``), a flush takes the
 buffer's oldest ``max_batch`` slices, and newer arrivals stay buffered
 until the in-flight flush completes.  Different sessions flush
-concurrently on the worker pool.  With the latency trigger disabled
-(``max_latency_s`` large) the batch boundaries are a pure function of
-the submission sequence — every ``max_batch`` slices, remainder on
-drain — which is what makes serving runs reproducible enough to pin
-bit-identical eviction tests on.
+concurrently on the dispatch threads.  With the latency trigger
+disabled (``max_latency_s`` large) the batch boundaries are a pure
+function of the submission sequence — every ``max_batch`` slices,
+remainder on drain — which is what makes serving runs reproducible
+enough to pin bit-identical eviction tests on.
 
-The ``flush`` callable is supplied by the session manager and must not
-raise (the manager records per-session failures itself); a defensive
-try/finally still guarantees the scheduler's bookkeeping survives a
-misbehaving callback.
+Clocks
+------
+All timing runs on one injectable monotonic ``clock`` (defaults to
+:func:`time.monotonic`; wall clocks like ``time.time`` drift under NTP
+adjustment and would break the latency deadline).  Arrival stamps must
+come from the same clock — producers call :meth:`MicroBatchScheduler.
+now` when building a :class:`PendingSlice`.  Tests freeze the clock by
+injecting a fake and calling :meth:`MicroBatchScheduler.kick` after
+advancing it, so deadline behaviour is pinned without real sleeps.
+
+The runner is supplied by the session manager and must not raise (the
+manager records per-session failures itself); a defensive try/finally
+still guarantees the scheduler's bookkeeping survives a misbehaving
+runner.  A plain ``flush(session_id, items)`` callable is accepted too
+and wrapped into an unfused runner.
 """
 
 from __future__ import annotations
@@ -36,16 +63,21 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter, deque
-from collections.abc import Callable
+from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Protocol
 
-__all__ = ["MicroBatchScheduler", "PendingSlice"]
+__all__ = ["FlushRunner", "MicroBatchScheduler", "PendingSlice"]
 
 
 @dataclass(frozen=True)
 class PendingSlice:
-    """One buffered slice: sequence number, data, mask, arrival time."""
+    """One buffered slice: sequence number, data, mask, arrival time.
+
+    ``arrived_at`` must be a reading of the owning scheduler's clock
+    (:meth:`MicroBatchScheduler.now`) — mixing clocks would skew the
+    latency deadline.
+    """
 
     seq: int
     subtensor: Any
@@ -53,16 +85,47 @@ class PendingSlice:
     arrived_at: float = field(compare=False)
 
 
+class FlushRunner(Protocol):
+    """What the scheduler dispatches to (the manager, in production)."""
+
+    def run(self, jobs: list[tuple[str, list[PendingSlice]]]) -> None:
+        """Apply a fused group; one (session, batch) pair per member."""
+        ...
+
+    def fusion_key(self, session_id: str) -> Hashable | None:
+        """Sessions sharing a non-``None`` key may flush as one group."""
+        ...
+
+
+class _CallableRunner:
+    """Adapter: a bare ``flush(sid, items)`` callable, never fused."""
+
+    def __init__(
+        self, flush: Callable[[str, list[PendingSlice]], None]
+    ) -> None:
+        self._flush = flush
+
+    def run(self, jobs: list[tuple[str, list[PendingSlice]]]) -> None:
+        for session_id, items in jobs:
+            self._flush(session_id, items)
+
+    def fusion_key(self, session_id: str) -> Hashable | None:
+        return None
+
+
 class MicroBatchScheduler:
-    """Per-session micro-batch buffers + a flushing worker pool."""
+    """Per-session micro-batch buffers + fusing dispatch threads."""
 
     def __init__(
         self,
-        flush: Callable[[str, list[PendingSlice]], None],
+        runner: FlushRunner | Callable[[str, list[PendingSlice]], None],
         *,
         max_batch: int = 16,
         max_latency_s: float = 0.05,
         workers: int = 2,
+        fuse: bool = True,
+        max_fused: int = 8,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -72,9 +135,16 @@ class MicroBatchScheduler:
             )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        self._flush = flush
+        if max_fused < 1:
+            raise ValueError(f"max_fused must be >= 1, got {max_fused}")
+        if callable(runner) and not hasattr(runner, "run"):
+            runner = _CallableRunner(runner)
+        self._runner: FlushRunner = runner
         self.max_batch = max_batch
         self.max_latency_s = max_latency_s
+        self.fuse = fuse
+        self.max_fused = max_fused
+        self._clock = clock
         self._cv = threading.Condition()
         self._buffers: dict[str, deque[PendingSlice]] = {}
         #: Sessions with a flush in flight -> number of slices in it.
@@ -99,12 +169,25 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
+    def now(self) -> float:
+        """A reading of the scheduler's clock, for arrival stamps."""
+        return self._clock()
+
     def submit(self, session_id: str, item: PendingSlice) -> None:
         """Buffer one slice; wakes a worker if the session became due."""
         with self._cv:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
             self._buffers.setdefault(session_id, deque()).append(item)
+            self._cv.notify_all()
+
+    def kick(self) -> None:
+        """Wake the dispatch threads to re-evaluate deadlines.
+
+        Needed only when the injected clock advances without a submit
+        (frozen-clock tests); real time wakes the workers by itself.
+        """
+        with self._cv:
             self._cv.notify_all()
 
     def pending_count(self, session_id: str) -> int:
@@ -198,21 +281,55 @@ class MicroBatchScheduler:
             or now - buffer[0].arrived_at >= self.max_latency_s
         )
 
-    def _pop_due_locked(
+    def _take_batch_locked(self, session_id: str) -> list[PendingSlice]:
+        """Pop the oldest ``max_batch`` slices and mark them in flight."""
+        buffer = self._buffers[session_id]
+        batch = [
+            buffer.popleft()
+            for _ in range(min(self.max_batch, len(buffer)))
+        ]
+        if not buffer:
+            del self._buffers[session_id]
+        self._inflight[session_id] = len(batch)
+        return batch
+
+    def _pop_due_group_locked(
         self, now: float
-    ) -> tuple[str, list[PendingSlice]] | None:
-        for session_id in self._buffers:
-            if self._due_locked(session_id, now):
-                buffer = self._buffers[session_id]
-                batch = [
-                    buffer.popleft()
-                    for _ in range(min(self.max_batch, len(buffer)))
-                ]
-                if not buffer:
-                    del self._buffers[session_id]
-                self._inflight[session_id] = len(batch)
-                return session_id, batch
-        return None
+    ) -> list[tuple[str, list[PendingSlice]]]:
+        """The next fused group of due sessions (empty when none due).
+
+        The first due session anchors the group; when fusion is on and
+        its key is not ``None``, every other currently-due session
+        with the same key joins, up to ``max_fused`` members.  Each
+        member contributes exactly the batch it would have flushed
+        alone.
+        """
+        anchor = next(
+            (
+                session_id
+                for session_id in self._buffers
+                if self._due_locked(session_id, now)
+            ),
+            None,
+        )
+        if anchor is None:
+            return []
+        key = self._runner.fusion_key(anchor) if self.fuse else None
+        peers: list[str] = []
+        if key is not None:
+            for session_id in self._buffers:
+                if len(peers) >= self.max_fused - 1:
+                    break
+                if (
+                    session_id != anchor
+                    and self._due_locked(session_id, now)
+                    and self._runner.fusion_key(session_id) == key
+                ):
+                    peers.append(session_id)
+        return [
+            (session_id, self._take_batch_locked(session_id))
+            for session_id in (anchor, *peers)
+        ]
 
     def _next_deadline_locked(self, now: float) -> float | None:
         """Seconds until the earliest latency deadline, if any."""
@@ -230,25 +347,25 @@ class MicroBatchScheduler:
     def _worker_loop(self) -> None:
         while True:
             with self._cv:
-                job = None
-                while job is None:
-                    now = time.monotonic()
-                    job = self._pop_due_locked(now)
-                    if job is not None:
+                jobs: list[tuple[str, list[PendingSlice]]] = []
+                while not jobs:
+                    now = self._clock()
+                    jobs = self._pop_due_group_locked(now)
+                    if jobs:
                         break
                     if self._closed:
                         return
                     self._cv.wait(self._next_deadline_locked(now))
-            session_id, batch = job
             try:
-                self._flush(session_id, batch)
+                self._runner.run(jobs)
             except Exception:  # noqa: BLE001 - workers must survive
-                # The manager's flush callback records per-session
-                # failures itself; a raise reaching this loop is a bug
-                # there, and must not take the shared worker down with
-                # it (other sessions still need flushing).
+                # The manager's runner records per-session failures
+                # itself; a raise reaching this loop is a bug there,
+                # and must not take the shared dispatch thread down
+                # with it (other sessions still need flushing).
                 pass
             finally:
                 with self._cv:
-                    self._inflight.pop(session_id, None)
+                    for session_id, _ in jobs:
+                        self._inflight.pop(session_id, None)
                     self._cv.notify_all()

@@ -31,7 +31,12 @@ import threading
 from collections import Counter, OrderedDict
 from pathlib import Path
 
-from repro.core.serialization import load_sofia, save_sofia
+from repro.core.serialization import (
+    dumps_sofia,
+    load_sofia,
+    loads_sofia,
+    save_sofia,
+)
 from repro.core.sofia import Sofia
 from repro.exceptions import SessionNotFoundError
 from repro.serving.metrics import ServingMetrics
@@ -159,6 +164,34 @@ class CheckpointStore:
         finally:
             self.checkin(session_id)
         return target
+
+    # ------------------------------------------------------------------
+    # Process-worker handoff
+    # ------------------------------------------------------------------
+    def export_state(self, session_id: str) -> bytes:
+        """The session's model as versioned checkpoint-format bytes.
+
+        The serving layer's process worker pool ships session state to
+        a worker with this — the same ``_FORMAT_VERSION`` archive the
+        eviction tier spills, so a worker rebuilds the model through
+        the one verified ``Sofia.from_state`` path.  The pin is held
+        only for the serialization itself; the caller is expected to
+        hold the session's lock across the whole flush.
+        """
+        sofia = self.checkout(session_id)
+        try:
+            return dumps_sofia(sofia)
+        finally:
+            self.checkin(session_id)
+
+    def import_state(self, session_id: str, data: bytes) -> None:
+        """Replace the session's model from worker-returned bytes.
+
+        The loaded model becomes the authoritative resident copy
+        (most-recently-used; any stale spill file of the session is
+        dropped by :meth:`put`).
+        """
+        self.put(session_id, loads_sofia(data))
 
     # ------------------------------------------------------------------
     # Eviction

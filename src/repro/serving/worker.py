@@ -1,0 +1,159 @@
+"""Transport-agnostic flush execution: requests in, results out.
+
+The scheduler used to call a closure supplied by the session manager;
+that closure captured live objects and therefore pinned the whole
+runtime to threads.  This module replaces it with plain data — a
+:class:`FlushRequest` describes everything one session's flush needs
+and a :class:`FlushResult` carries everything the manager must commit
+back, so the pair can cross a process boundary by pickling (the
+``"state"`` transport: model state travels as versioned
+checkpoint-format bytes from :func:`repro.core.serialization`) or stay
+in-process with zero copies (the ``"model"`` transport: the live
+:class:`~repro.core.Sofia` object rides along).
+
+:func:`execute_requests` is the worker-side entry point for a *fused
+group*: several sessions' requests executed back-to-back in one
+dispatch.  Each request is isolated in its own try/except — one
+session's failing batch becomes an ``error`` result and the remaining
+group members still flush (the manager poisons only the failed
+session).  :func:`process_worker_main` is the loop a
+``multiprocessing`` worker runs around it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SofiaConfig
+from repro.core.serialization import dumps_sofia, loads_sofia
+from repro.core.sofia import Sofia
+from repro.tensor import kernels
+
+__all__ = [
+    "FlushRequest",
+    "FlushResult",
+    "execute_request",
+    "execute_requests",
+    "process_worker_main",
+]
+
+
+@dataclass
+class FlushRequest:
+    """One session's flush, as plain (picklable) data.
+
+    Exactly one of ``model`` (``transport="model"``, in-process) and
+    ``state`` (``transport="state"``, checkpoint-format bytes) carries
+    the session's model — or neither, when this flush *initializes*
+    the session from its completed warmup window (``warmup_ys`` set).
+    ``step_seqs``/``step_ys``/``step_masks`` describe the dynamic-phase
+    slices to apply after any initialization, oldest first.
+    """
+
+    session_id: str
+    config: SofiaConfig
+    transport: str = "model"
+    kernel_backend: str | None = None
+    model: Sofia | None = None
+    state: bytes | None = None
+    warmup_seqs: list[int] = field(default_factory=list)
+    warmup_ys: np.ndarray | None = None
+    warmup_masks: np.ndarray | None = None
+    step_seqs: list[int] = field(default_factory=list)
+    step_ys: np.ndarray | None = None
+    step_masks: np.ndarray | None = None
+
+
+@dataclass
+class FlushResult:
+    """What one executed flush hands back to the manager.
+
+    ``results`` pairs each consumed slice's sequence number with its
+    completed (imputed) reconstruction.  The updated model comes back
+    on the same transport the request used; ``error`` is the formatted
+    exception when execution failed (the other fields then describe
+    nothing and the manager marks the session failed).
+    """
+
+    session_id: str
+    results: list[tuple[int, np.ndarray]] = field(default_factory=list)
+    consumed: int = 0
+    model: Sofia | None = None
+    state: bytes | None = None
+    error: str | None = None
+    seconds: float = 0.0
+
+
+def _backend_scope(name: str | None):
+    return nullcontext() if name is None else kernels.use_backend(name)
+
+
+def execute_request(request: FlushRequest) -> FlushResult:
+    """Run one flush; never raises (failures become ``error`` results)."""
+    started = time.perf_counter()
+    result = FlushResult(session_id=request.session_id)
+    try:
+        with _backend_scope(request.kernel_backend):
+            if request.model is not None:
+                sofia = request.model
+            elif request.state is not None:
+                sofia = loads_sofia(request.state)
+            else:
+                sofia = None
+            if request.warmup_ys is not None:
+                sofia = Sofia(request.config)
+                completed = sofia.initialize(
+                    list(request.warmup_ys), list(request.warmup_masks)
+                )
+                result.results.extend(
+                    zip(request.warmup_seqs, completed)
+                )
+                result.consumed += len(request.warmup_seqs)
+            if request.step_ys is not None and len(request.step_seqs):
+                steps = sofia.step_batch(
+                    request.step_ys, request.step_masks
+                )
+                result.results.extend(
+                    (seq, step.completed)
+                    for seq, step in zip(request.step_seqs, steps)
+                )
+                result.consumed += len(request.step_seqs)
+        if request.transport == "state":
+            result.state = dumps_sofia(sofia)
+        else:
+            result.model = sofia
+    except Exception as exc:  # noqa: BLE001 - worker boundary
+        result = FlushResult(
+            session_id=request.session_id,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    result.seconds = time.perf_counter() - started
+    return result
+
+
+def execute_requests(requests: list[FlushRequest]) -> list[FlushResult]:
+    """Execute a fused group in one dispatch, members isolated."""
+    return [execute_request(request) for request in requests]
+
+
+def process_worker_main(connection) -> None:
+    """Request loop of one ``multiprocessing`` worker lane.
+
+    Receives pickled request groups over ``connection``, answers with
+    the matching result groups, and exits on the ``None`` sentinel.
+    ``execute_request`` already converts per-session exceptions into
+    error results, so the loop itself only ends at shutdown (sentinel
+    or closed pipe).
+    """
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        connection.send(execute_requests(message))

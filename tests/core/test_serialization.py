@@ -7,7 +7,12 @@ import pytest
 
 from repro.core import Sofia, SofiaConfig
 from repro.core import serialization
-from repro.core.serialization import load_sofia, save_sofia
+from repro.core.serialization import (
+    dumps_sofia,
+    load_sofia,
+    loads_sofia,
+    save_sofia,
+)
 from repro.exceptions import CheckpointError, NotFittedError
 
 from tests.core.conftest import corrupt_tensor, make_seasonal_stream
@@ -86,6 +91,55 @@ class TestRoundtrip:
         save_sofia(sofia, path)
         restored = load_sofia(path)
         np.testing.assert_allclose(restored.forecast(6), sofia.forecast(6))
+
+
+class TestBytesRoundtrip:
+    """dumps/loads: the process worker's handoff medium."""
+
+    def test_bytes_round_trip_bit_identical(self, fitted_sofia):
+        sofia, _, _, _ = fitted_sofia
+        restored = loads_sofia(dumps_sofia(sofia))
+        assert restored.config == sofia.config
+        assert restored.state.t == sofia.state.t
+        for a, b in zip(
+            restored.state.non_temporal, sofia.state.non_temporal
+        ):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(
+            restored.state.temporal_buffer, sofia.state.temporal_buffer
+        )
+        np.testing.assert_array_equal(
+            restored.state.sigma, sofia.state.sigma
+        )
+
+    def test_corrupt_bytes_fail_loudly(self, fitted_sofia):
+        sofia, _, _, _ = fitted_sofia
+        data = dumps_sofia(sofia)
+        with pytest.raises(CheckpointError):
+            loads_sofia(data[: len(data) // 2])
+
+    def test_bytes_and_file_are_the_same_format(
+        self, fitted_sofia, tmp_path
+    ):
+        sofia, _, _, _ = fitted_sofia
+        path = tmp_path / "as_bytes.npz"
+        path.write_bytes(dumps_sofia(sofia))
+        restored = load_sofia(path)  # file loader reads the bytes form
+        assert restored.config == sofia.config
+        assert restored.state.t == sofia.state.t
+
+    def test_steps_continue_identically_after_bytes_trip(
+        self, fitted_sofia
+    ):
+        import copy
+
+        sofia, _, corrupted, mask = fitted_sofia
+        original = copy.deepcopy(sofia)
+        restored = loads_sofia(dumps_sofia(sofia))
+        for t in range(24, 30):
+            a = original.step(corrupted[..., t], mask[..., t])
+            b = restored.step(corrupted[..., t], mask[..., t])
+            np.testing.assert_array_equal(a.completed, b.completed)
 
 
 class TestConfigSurface:

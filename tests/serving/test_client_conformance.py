@@ -1,0 +1,189 @@
+"""One conformance suite, two transports.
+
+Every test here runs twice — once against
+:class:`InProcessServingClient` on a bare manager, once against
+:class:`HTTPServingClient` on a live gateway — and asserts the same
+behaviour from the same :class:`~repro.serving.api.ServingClient`
+surface: typed results, identical field values, identical exception
+types.  This is the contract that lets callers switch transports
+without changing code.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    SessionError,
+    SessionExistsError,
+    SessionNotFoundError,
+)
+from repro.serving import (
+    ForecastResult,
+    HTTPServingClient,
+    ImputeResult,
+    IngestAck,
+    InProcessServingClient,
+    ServingClient,
+    SessionManager,
+    SliceResult,
+)
+from repro.serving.gateway import serve
+
+from tests.serving.conftest import CONFIG_KWARGS, make_session_stream
+
+TRANSPORTS = ("inprocess", "http")
+
+
+@pytest.fixture(params=TRANSPORTS)
+def client(request):
+    """A ServingClient over either transport, same manager settings."""
+    manager = SessionManager(max_batch=4, max_latency_s=0.01, workers=2)
+    if request.param == "inprocess":
+        try:
+            yield InProcessServingClient(manager)
+        finally:
+            manager.close()
+        return
+    server = serve(manager, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield HTTPServingClient(f"http://127.0.0.1:{server.port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        manager.close()
+
+
+def _warm_session(client, session_id="s", n_steps=12, seed=31):
+    """Create a session and feed it past warmup; wait until applied.
+
+    Only the public client surface is used (no manager handle — the
+    HTTP transport has none), so settling relies on the 10 ms latency
+    deadline plus a status poll.
+    """
+    slices, masks = make_session_stream(seed=seed, n_steps=n_steps)
+    client.create_session(session_id, dict(CONFIG_KWARGS))
+    for t in range(n_steps):
+        client.ingest(session_id, slices[t], masks[t])
+    for _ in range(500):
+        info = client.session_info(session_id)
+        if info["pending"] == 0 and info["status"] != "warming":
+            break
+        time.sleep(0.01)
+    else:
+        raise AssertionError("session never settled after ingest")
+    return slices, masks
+
+
+class TestProtocol:
+    def test_both_clients_implement_serving_client(self, client):
+        assert isinstance(client, ServingClient)
+
+
+class TestTypedSurface:
+    def test_ingest_returns_ack(self, client):
+        slices, masks = make_session_stream(seed=40, n_steps=1)
+        client.create_session("s", dict(CONFIG_KWARGS))
+        ack = client.ingest("s", slices[0], masks[0])
+        assert isinstance(ack, IngestAck)
+        assert ack == IngestAck(session_id="s", seq=0)
+
+    def test_results_are_slice_results(self, client):
+        _warm_session(client, n_steps=12)
+        results = client.results("s")
+        assert results, "warmed session should have flushed results"
+        assert all(isinstance(r, SliceResult) for r in results)
+        assert [r.seq for r in results] == sorted(
+            r.seq for r in results
+        )
+        assert all(r.session_id == "s" for r in results)
+
+    def test_impute_result_fields(self, client):
+        slices, masks = _warm_session(client, n_steps=12)
+        result = client.impute("s", slices[0], masks[0])
+        assert isinstance(result, ImputeResult)
+        assert result.session_id == "s"
+        np.testing.assert_allclose(
+            result.completed[masks[0]], slices[0][masks[0]]
+        )
+        assert result.lower is None and result.upper is None
+
+    def test_forecast_result_fields(self, client):
+        slices, _ = _warm_session(client, n_steps=12)
+        result = client.forecast("s", 4)
+        assert isinstance(result, ForecastResult)
+        assert result.session_id == "s"
+        assert result.horizon == 4
+        assert result.forecast.shape == (4, *slices[0].shape)
+        assert result.lower is None and result.upper is None
+
+    def test_info_surfaces_are_dicts(self, client):
+        client.create_session("s", dict(CONFIG_KWARGS))
+        assert isinstance(client.session_info("s"), dict)
+        assert isinstance(client.metrics(), dict)
+        assert client.list_sessions() == ["s"]
+
+
+class TestSharedErrors:
+    def test_unknown_session(self, client):
+        with pytest.raises(SessionNotFoundError):
+            client.session_info("ghost")
+
+    def test_duplicate_session(self, client):
+        client.create_session("dup", dict(CONFIG_KWARGS))
+        with pytest.raises(SessionExistsError):
+            client.create_session("dup", dict(CONFIG_KWARGS))
+
+    def test_warming_session_rejects_forecast(self, client):
+        client.create_session("cold", dict(CONFIG_KWARGS))
+        with pytest.raises(SessionError, match="warming"):
+            client.forecast("cold", 2)
+
+
+class TestDeprecationShims:
+    """Release N-1 idioms still work, warning once each."""
+
+    def test_ack_as_int(self, client):
+        slices, masks = make_session_stream(seed=41, n_steps=1)
+        client.create_session("s", dict(CONFIG_KWARGS))
+        ack = client.ingest("s", slices[0], masks[0])
+        with pytest.deprecated_call():
+            assert int(ack) == 0
+        with pytest.deprecated_call():
+            assert ack == 0
+
+    def test_slice_result_unpacks(self, client):
+        _warm_session(client, n_steps=12)
+        results = client.results("s")
+        with pytest.deprecated_call():
+            seq, completed = results[0]
+        assert seq == results[0].seq
+        np.testing.assert_array_equal(completed, results[0].completed)
+
+    def test_results_as_arrays(self, client):
+        slices, masks = _warm_session(client, n_steps=12)
+        imputed = client.impute("s", slices[0], masks[0])
+        with pytest.deprecated_call():
+            as_array = np.asarray(imputed)
+        np.testing.assert_array_equal(as_array, imputed.completed)
+        forecast = client.forecast("s", 2)
+        with pytest.deprecated_call():
+            as_array = np.asarray(forecast)
+        np.testing.assert_array_equal(as_array, forecast.forecast)
+
+    def test_dict_style_field_access(self, client):
+        slices, masks = _warm_session(client, n_steps=12)
+        imputed = client.impute("s", slices[0], masks[0])
+        with pytest.deprecated_call():
+            completed = imputed["completed"]
+        np.testing.assert_array_equal(completed, imputed.completed)
+        with pytest.deprecated_call():
+            assert imputed.get("lower") is None
+        with pytest.raises(KeyError):
+            with pytest.deprecated_call():
+                imputed["nope"]

@@ -1,6 +1,9 @@
 """HTTP tests: a live ThreadingHTTPServer driven by HTTPServingClient."""
 
+import json
 import threading
+import urllib.error
+import urllib.request
 
 import numpy as np
 import pytest
@@ -51,8 +54,9 @@ class TestRoutes:
         assert client.list_sessions() == ["taxi"]
 
         for t in range(16):
-            seq = client.ingest("taxi", slices[t], masks[t])
-            assert seq == t
+            ack = client.ingest("taxi", slices[t], masks[t])
+            assert ack.session_id == "taxi"
+            assert ack.seq == t
         manager.drain("taxi")
 
         info = client.session_info("taxi")
@@ -60,16 +64,23 @@ class TestRoutes:
         assert info["consumed"] == 16
 
         results = client.results("taxi", since=12)
-        assert [seq for seq, _ in results] == [12, 13, 14, 15]
-        assert results[0][1].shape == tuple(info["subtensor_shape"])
-
-        completed = client.impute("taxi", slices[0], masks[0])
-        np.testing.assert_allclose(
-            completed[masks[0]], slices[0][masks[0]]
+        assert [r.seq for r in results] == [12, 13, 14, 15]
+        assert results[0].completed.shape == tuple(
+            info["subtensor_shape"]
         )
 
+        imputed = client.impute("taxi", slices[0], masks[0])
+        np.testing.assert_allclose(
+            imputed.completed[masks[0]], slices[0][masks[0]]
+        )
+        assert imputed.lower is None and imputed.upper is None
+
         forecast = client.forecast("taxi", 3)
-        assert forecast.shape == (3, *info["subtensor_shape"])
+        assert forecast.horizon == 3
+        assert forecast.forecast.shape == (
+            3,
+            *info["subtensor_shape"],
+        )
 
         saved = client.close_session(
             "taxi", checkpoint_path=str(tmp_path / "taxi.npz")
@@ -86,6 +97,43 @@ class TestRoutes:
             client.ingest("warm", slices[t], masks[t])
         manager.drain("warm")
         assert len(client.results("warm")) == 4
+
+
+class TestVersioning:
+    def _raw(self, client, path):
+        """(status, headers, body) of an unredirected raw GET."""
+        url = client._base.removesuffix("/v1") + path
+
+        class NoRedirect(urllib.request.HTTPRedirectHandler):
+            def redirect_request(self, *args, **kwargs):
+                return None
+
+        opener = urllib.request.build_opener(NoRedirect)
+        try:
+            with opener.open(url, timeout=10) as response:
+                return response.status, response.headers, response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.headers, exc.read()
+
+    def test_unversioned_path_redirects_308(self, live_gateway):
+        client, _ = live_gateway
+        status, headers, _ = self._raw(client, "/healthz")
+        assert status == 308
+        assert headers["Location"] == "/v1/healthz"
+
+    def test_redirect_preserves_query(self, live_gateway):
+        client, _ = live_gateway
+        status, headers, _ = self._raw(
+            client, "/sessions/x/forecast?horizon=3"
+        )
+        assert status == 308
+        assert headers["Location"] == "/v1/sessions/x/forecast?horizon=3"
+
+    def test_v1_path_serves_directly(self, live_gateway):
+        client, _ = live_gateway
+        status, _, body = self._raw(client, "/v1/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
 
 
 class TestHTTPErrors:
@@ -113,8 +161,36 @@ class TestHTTPErrors:
 
     def test_unknown_route_is_404(self, live_gateway):
         client, _ = live_gateway
-        with pytest.raises(SessionError, match="no route"):
+        with pytest.raises(SessionNotFoundError, match="no route"):
             client._request("GET", "/definitely/not/a/route")
+
+    def test_error_envelope_shape(self, live_gateway):
+        client, _ = live_gateway
+        url = f"{client._base}/sessions/ghost"
+        try:
+            urllib.request.urlopen(url, timeout=10)
+            raise AssertionError("expected a 404")
+        except urllib.error.HTTPError as exc:
+            envelope = json.loads(exc.read())["error"]
+        assert envelope["type"] == "SessionNotFoundError"
+        assert "ghost" in envelope["message"]
+        assert envelope["session"] == "ghost"
+
+    def test_error_envelope_session_null_when_unnamed(self, live_gateway):
+        client, _ = live_gateway
+        url = f"{client._base}/sessions"
+        request = urllib.request.Request(
+            url,
+            data=b'{"config": {}}',
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+            raise AssertionError("expected a 400")
+        except urllib.error.HTTPError as exc:
+            envelope = json.loads(exc.read())["error"]
+        assert envelope["session"] is None
 
 
 class TestCLI:
@@ -128,6 +204,9 @@ class TestCLI:
             "--max-batch",
             "--max-latency-ms",
             "--workers",
+            "--worker-kind",
+            "--no-fuse-sessions",
+            "--max-fused-sessions",
             "--checkpoint-dir",
         ):
             assert flag in out

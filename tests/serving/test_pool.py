@@ -1,0 +1,426 @@
+"""The executor seam: worker pools, cross-session fusion, clocks.
+
+Pins the tentpole contracts of the pool redesign:
+
+* per-session trajectories are **bit-identical** across thread pool,
+  process pool, and fusion on/off — the seam changes where and how
+  flushes execute, never what they compute;
+* sessions fuse only on matching ``(shape, rank, dtype, backend)``
+  keys, and one fused member's failure never poisons the others;
+* all scheduler timing runs on an injectable monotonic clock, pinned
+  by a frozen-clock latency test (no wall clocks, no real sleeps).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SessionError
+from repro.serving import SessionManager
+from repro.serving.pool import (
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+    WorkerPool,
+    make_worker_pool,
+)
+from repro.serving.scheduler import MicroBatchScheduler, PendingSlice
+from repro.serving.worker import FlushResult, execute_requests
+
+from tests.serving.conftest import make_config, make_session_stream
+
+#: Latency trigger disabled: flushes happen on full batches and drains
+#: only, so batch boundaries (and with them trajectories) are a pure
+#: function of the submission sequence.
+DETERMINISTIC = dict(max_batch=4, max_latency_s=60.0)
+
+
+class RecordingPool:
+    """Wraps a pool; records each dispatched group's session ids."""
+
+    def __init__(self, inner: WorkerPool) -> None:
+        self.inner = inner
+        self.kind = inner.kind
+        self.transport = inner.transport
+        self.groups: list[list[str]] = []
+        self._lock = threading.Lock()
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    def execute(self, requests):
+        with self._lock:
+            self.groups.append([r.session_id for r in requests])
+        return self.inner.execute(requests)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class PoisoningPool(RecordingPool):
+    """Replaces one session's results with errors (a 'crashed' flush).
+
+    Armed explicitly so tests control *which* flush fails — a session
+    poisoned mid-warmup would stop fusing (failed sessions have no
+    fusion key) before the group under test ever forms.
+    """
+
+    def __init__(self, inner: WorkerPool, victim: str) -> None:
+        super().__init__(inner)
+        self.victim = victim
+        self.armed = False
+
+    def execute(self, requests):
+        results = super().execute(requests)
+        if not self.armed:
+            return results
+        return [
+            FlushResult(session_id=r.session_id, error="injected crash")
+            if r.session_id == self.victim
+            else r
+            for r in results
+        ]
+
+
+def _run_sessions(manager, configs, n_steps=14, seed=50):
+    """Feed every session the same stream; return per-session results."""
+    streams = {
+        sid: make_session_stream(seed=seed + i, n_steps=n_steps)
+        for i, sid in enumerate(configs)
+    }
+    for sid, config in configs.items():
+        manager.create_session(sid, config)
+    for t in range(n_steps):
+        for sid, (slices, masks) in streams.items():
+            manager.ingest(sid, slices[t], masks[t])
+    manager.drain()
+    return {sid: manager.results(sid) for sid in configs}
+
+
+def _assert_identical(reference, candidate):
+    assert set(reference) == set(candidate)
+    for sid in reference:
+        assert [s for s, _ in reference[sid]] == [
+            s for s, _ in candidate[sid]
+        ]
+        for (_, a), (_, b) in zip(reference[sid], candidate[sid]):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestMakeWorkerPool:
+    def test_kinds(self):
+        pool = make_worker_pool("thread", 3)
+        assert isinstance(pool, ThreadWorkerPool)
+        assert pool.size == 3
+        pool.close()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown worker kind"):
+            make_worker_pool("gpu", 2)
+
+    def test_bad_worker_count_raises(self):
+        with pytest.raises(ValueError, match="workers"):
+            make_worker_pool("thread", 0)
+
+
+class TestBitIdenticalTrajectories:
+    """The acceptance bar: the seam never changes the numbers."""
+
+    def test_fused_equals_unfused(self):
+        configs = {sid: make_config() for sid in ("a", "b", "c")}
+        with SessionManager(
+            **DETERMINISTIC, fuse_sessions=False
+        ) as manager:
+            unfused = _run_sessions(manager, configs)
+        with SessionManager(
+            **DETERMINISTIC, fuse_sessions=True, workers=1
+        ) as manager:
+            fused = _run_sessions(manager, configs)
+        _assert_identical(unfused, fused)
+
+    def test_process_equals_thread(self):
+        configs = {sid: make_config() for sid in ("a", "b")}
+        with SessionManager(
+            **DETERMINISTIC, worker_kind="thread"
+        ) as manager:
+            thread = _run_sessions(manager, configs)
+        with SessionManager(
+            **DETERMINISTIC, worker_kind="process", workers=2
+        ) as manager:
+            process = _run_sessions(manager, configs)
+        _assert_identical(thread, process)
+
+    def test_forecast_identical_across_pools(self):
+        configs = {"a": make_config()}
+        with SessionManager(
+            **DETERMINISTIC, worker_kind="thread"
+        ) as manager:
+            _run_sessions(manager, configs)
+            thread_forecast = manager.forecast("a", 3)
+        with SessionManager(
+            **DETERMINISTIC, worker_kind="process", workers=1
+        ) as manager:
+            _run_sessions(manager, configs)
+            process_forecast = manager.forecast("a", 3)
+        np.testing.assert_array_equal(thread_forecast, process_forecast)
+
+
+class TestFusionKeys:
+    """Only same-(shape, rank, dtype, backend) sessions share a group."""
+
+    def _grouped_sessions(self, configs, n_steps=14):
+        """Dispatch groups seen while running these sessions together."""
+        pool = RecordingPool(ThreadWorkerPool(workers=1))
+        with SessionManager(
+            **DETERMINISTIC, worker_pool=pool
+        ) as manager:
+            _run_sessions(manager, configs, n_steps=n_steps)
+        return pool.groups
+
+    def test_same_key_sessions_fuse(self):
+        # Two phases: first warm every session up (they initialize
+        # serially, so nothing can fuse yet), then buffer a small
+        # under-batch everywhere and drain — all three become due at
+        # once with identical keys and must share one dispatch.
+        sids = ("a", "b", "c")
+        pool = RecordingPool(ThreadWorkerPool(workers=1))
+        streams = {
+            sid: make_session_stream(seed=50 + i, n_steps=14)
+            for i, sid in enumerate(sids)
+        }
+        with SessionManager(
+            **DETERMINISTIC, worker_pool=pool
+        ) as manager:
+            for sid in sids:
+                manager.create_session(sid, make_config())
+            for t in range(12):
+                for sid, (slices, masks) in streams.items():
+                    manager.ingest(sid, slices[t], masks[t])
+            manager.drain()
+            pool.groups.clear()
+            for t in range(12, 14):
+                for sid, (slices, masks) in streams.items():
+                    manager.ingest(sid, slices[t], masks[t])
+            manager.drain()
+        assert list(sorted(group) for group in pool.groups) == [
+            ["a", "b", "c"]
+        ]
+
+    def test_mixed_ranks_never_fuse(self):
+        groups = self._grouped_sessions(
+            {"a": make_config(), "b": make_config(rank=3)}
+        )
+        assert all(len(group) == 1 for group in groups)
+
+    def test_mixed_dtypes_never_fuse(self):
+        groups = self._grouped_sessions(
+            {"a": make_config(), "b": make_config(dtype="float32")}
+        )
+        assert all(len(group) == 1 for group in groups)
+
+    def test_mixed_shapes_never_fuse(self):
+        pool = RecordingPool(ThreadWorkerPool(workers=1))
+        config = make_config()
+        rng = np.random.default_rng(7)
+        with SessionManager(
+            **DETERMINISTIC, worker_pool=pool
+        ) as manager:
+            manager.create_session("a", config)
+            manager.create_session("b", config)
+            for _ in range(14):
+                manager.ingest("a", rng.normal(size=(5, 4)))
+                manager.ingest("b", rng.normal(size=(4, 5)))
+            manager.drain()
+        assert all(len(group) == 1 for group in pool.groups)
+
+    def test_warming_sessions_never_fuse(self):
+        # 6 slices each < init_steps (8): every dispatch stays solo.
+        groups = self._grouped_sessions(
+            {sid: make_config() for sid in ("a", "b")}, n_steps=6
+        )
+        assert all(len(group) <= 1 for group in groups)
+
+
+class TestFusedFailureIsolation:
+    def test_failing_member_leaves_group_unpoisoned(self):
+        configs = {sid: make_config() for sid in ("bad", "ok1", "ok2")}
+        pool = PoisoningPool(ThreadWorkerPool(workers=1), victim="bad")
+        with SessionManager(
+            **DETERMINISTIC, worker_pool=pool
+        ) as manager:
+            streams = {
+                sid: make_session_stream(seed=60 + i, n_steps=14)
+                for i, sid in enumerate(configs)
+            }
+            for sid, config in configs.items():
+                manager.create_session(sid, config)
+            # Warm every session up cleanly (12 slices: warmup + 4).
+            for t in range(12):
+                for sid, (slices, masks) in streams.items():
+                    manager.ingest(sid, slices[t], masks[t])
+            manager.drain()
+            # Now arm the poison and buffer 2 slices per session —
+            # under max_batch, so nothing is due until the drain makes
+            # all three due at once and the single dispatch thread
+            # pops them as one fused group including the victim.
+            pool.armed = True
+            pool.groups.clear()
+            for t in range(12, 14):
+                for sid, (slices, masks) in streams.items():
+                    manager.ingest(sid, slices[t], masks[t])
+            manager.drain()
+            assert any(
+                len(group) > 1 and "bad" in group
+                for group in pool.groups
+            )
+            with pytest.raises(SessionError, match="injected crash"):
+                manager.results("bad")
+            for sid in ("ok1", "ok2"):
+                results = manager.results(sid)
+                assert [s for s, _ in results][-1] == 13
+                forecast = manager.forecast(sid, 2)
+                assert np.isfinite(forecast).all()
+            assert manager.metrics.snapshot()["flush_failures"] >= 1
+
+
+class TestProcessPoolRecovery:
+    def test_worker_death_poisons_only_inflight_sessions(self):
+        config = make_config()
+        slices, masks = make_session_stream(seed=70, n_steps=14)
+        with SessionManager(
+            **DETERMINISTIC, worker_kind="process", workers=1
+        ) as manager:
+            manager.create_session("a", config)
+            for t in range(14):
+                manager.ingest("a", slices[t], masks[t])
+            manager.drain()
+            # Kill the lane under the pool; the next flush must come
+            # back as an error result, not a hang or a crash.
+            lane = manager.worker_pool._idle.queue[0]
+            lane.process.terminate()
+            lane.process.join(5)
+            manager.ingest("a", slices[0], masks[0])
+            manager.drain()
+            with pytest.raises(SessionError, match="worker process died"):
+                manager.results("a")
+            # The pool respawned its lane: new sessions still serve.
+            manager.create_session("b", config)
+            for t in range(14):
+                manager.ingest("b", slices[t], masks[t])
+            manager.drain()
+            assert len(manager.results("b")) == 14
+
+
+class FrozenClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestMonotonicClock:
+    def test_no_wall_clock_in_serving_sources(self):
+        """Deadlines must survive NTP steps: time.time is banned."""
+        import repro.serving
+        from pathlib import Path
+
+        serving_dir = Path(repro.serving.__file__).parent
+        offenders = [
+            path.name
+            for path in serving_dir.glob("*.py")
+            if "time.time(" in path.read_text()
+        ]
+        assert offenders == []
+
+    def test_trickling_session_flushes_within_deadline(self):
+        """One slice, frozen clock: due exactly at max_latency_s."""
+        clock = FrozenClock()
+        flushed = threading.Event()
+        jobs: list = []
+
+        def flush(session_id, items):
+            jobs.append((session_id, [item.seq for item in items]))
+            flushed.set()
+
+        scheduler = MicroBatchScheduler(
+            flush,
+            max_batch=64,
+            max_latency_s=0.5,
+            workers=1,
+            clock=clock,
+        )
+        try:
+            scheduler.submit(
+                "trickle",
+                PendingSlice(
+                    seq=0,
+                    subtensor=np.zeros(1),
+                    mask=np.ones(1, dtype=bool),
+                    arrived_at=scheduler.now(),
+                ),
+            )
+            # Under deadline: the worker must not flush, no matter how
+            # much real time passes.
+            clock.advance(0.49)
+            scheduler.kick()
+            assert not flushed.wait(0.2)
+            # At the deadline: flushes promptly.
+            clock.advance(0.01)
+            scheduler.kick()
+            assert flushed.wait(5.0)
+            assert jobs == [("trickle", [0])]
+        finally:
+            scheduler.close()
+
+    def test_arrival_stamps_use_scheduler_clock(self):
+        """now() reads the injected clock, not the real one."""
+        clock = FrozenClock()
+        clock.t = 123.0
+        scheduler = MicroBatchScheduler(
+            lambda sid, items: None,
+            max_batch=4,
+            max_latency_s=60.0,
+            workers=1,
+            clock=clock,
+        )
+        try:
+            assert scheduler.now() == 123.0
+            before = time.monotonic()
+            assert abs(scheduler.now() - before) > 1.0
+        finally:
+            scheduler.close()
+
+
+class TestWorkerExecution:
+    def test_execute_requests_isolates_failures(self):
+        from repro.serving.worker import FlushRequest
+
+        good = FlushRequest(
+            session_id="ok",
+            config=make_config(),
+            state=None,
+            model=None,
+        )
+        results = execute_requests([good])
+        assert results[0].session_id == "ok"
+        # No model, no state, no warmup: stepping is impossible and
+        # must come back as an error result, never a raise.
+        bad = FlushRequest(
+            session_id="broken",
+            config=make_config(),
+            step_seqs=[0],
+            step_ys=np.zeros((1, 5, 4)),
+            step_masks=np.ones((1, 5, 4), dtype=bool),
+        )
+        ok, err = execute_requests([good, bad])
+        assert ok.error is None
+        assert err.error is not None
+        assert err.session_id == "broken"
