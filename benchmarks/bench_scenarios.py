@@ -1,0 +1,154 @@
+"""Scenario bench: accuracy under stress + replay latency SLOs, gated.
+
+Runs every registered scenario both ways and emits one case per
+scenario (``scenario_<name>``) combining:
+
+* the offline accuracy run (:mod:`repro.scenarios.offline`):
+  ``rae``, ``final_nre``, ``afe`` — gated by ``check_regression.py``'s
+  accuracy rules (``--error-threshold`` ratio with a ``--min-error``
+  absolute floor), plus the scenario's own expected-quality envelope
+  (any violation fails this bench directly, before the regression gate
+  even runs);
+* a live replay (:mod:`repro.scenarios.replay`) against a self-hosted
+  gateway: ``ingest_p95_seconds``/``ingest_p99_seconds`` server-side
+  ingest→commit percentiles — gated by the standard ``*_seconds``
+  ratio rules.  The median and client round-trip percentiles ride
+  along in milliseconds (``ingest_p50_ms``, ``rtt_*_ms``) deliberately
+  *outside* the gated suffix: on short CI streams the median flips
+  bimodally between warmup-queued and steady-state slices, and RTT
+  folds in client-thread scheduling noise — both would make the gate
+  flaky.
+
+``--quick`` shrinks every scenario (tiny streams, fewer replay slices)
+for CI; the committed baseline in
+``benchmarks/baseline/BENCH_scenarios.json`` is a ``--quick`` run so
+the gate compares like with like.
+
+Run::
+
+    python benchmarks/bench_scenarios.py --quick --json BENCH_scenarios.json
+"""
+
+import argparse
+import json
+import platform
+import sys
+
+import numpy as np
+
+from repro.scenarios import available_scenarios
+from repro.scenarios.offline import run_scenario
+from repro.scenarios.replay import run_replay
+
+
+def run_scenario_report(*, quick=False, rate=300.0, seed=0):
+    """All scenarios through both paths; returns the report payload."""
+    results = []
+    violations = []
+    for name in available_scenarios():
+        offline = run_scenario(name, seed=seed, tiny=quick)
+        replay = run_replay(
+            name,
+            rate=rate,
+            slices=24 if quick else None,
+            tiny=quick,
+            seed=seed,
+        )
+        replay_payload = replay.as_dict()
+        entry = {
+            "case": f"scenario_{name}",
+            "rae": offline.rae,
+            "final_nre": offline.final_nre,
+            "afe": offline.afe,
+            "art_seconds": offline.art_seconds,
+            "envelope_violations": len(offline.violations),
+            "n_sessions": replay.n_sessions,
+            "slices_per_session": replay.slices_per_session,
+            "offered_rate": replay.offered_rate,
+            "achieved_rate": replay.achieved_rate,
+            "drained": replay.drained,
+            "send_errors": replay.send_errors,
+            # p50 rides along in ms, outside the gated *_seconds
+            # suffix: with short CI streams the median races between
+            # "queued behind session init" and "steady state" and
+            # flips bimodally run to run.  The SLO percentiles (p95,
+            # p99) sit firmly in the slow mode and are stable.
+            "ingest_p50_ms": replay_payload["ingest_p50_seconds"] * 1e3,
+            "ingest_p95_seconds": replay_payload["ingest_p95_seconds"],
+            "ingest_p99_seconds": replay_payload["ingest_p99_seconds"],
+            "rtt_p50_ms": replay_payload["rtt_p50_seconds"] * 1e3,
+            "rtt_p95_ms": replay_payload["rtt_p95_seconds"] * 1e3,
+            "rtt_p99_ms": replay_payload["rtt_p99_seconds"] * 1e3,
+        }
+        results.append(entry)
+        for violation in offline.violations:
+            violations.append(f"{name}: {violation}")
+        if not replay.drained:
+            violations.append(f"{name}: replay did not drain")
+        if replay.send_errors:
+            violations.append(
+                f"{name}: {replay.send_errors} replay send errors"
+            )
+    payload = {
+        "benchmark": "scenarios",
+        "quick": quick,
+        "rate": rate,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+    }
+    return payload, violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Accuracy + replay-latency bench over every "
+        "registered scenario."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run (tiny scenarios, 24 replay slices/session)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=300.0,
+        help="aggregate replay rate in slices/second (default 300)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="also write the report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    payload, violations = run_scenario_report(
+        quick=args.quick, rate=args.rate, seed=args.seed
+    )
+    for entry in payload["results"]:
+        print(
+            f"{entry['case']}: rae {entry['rae']:.3f}, "
+            f"final_nre {entry['final_nre']:.3f}, afe {entry['afe']:.3f} "
+            f"| ingest p50/p95/p99 "
+            f"{entry['ingest_p50_ms']:.0f}/"
+            f"{entry['ingest_p95_seconds'] * 1e3:.0f}/"
+            f"{entry['ingest_p99_seconds'] * 1e3:.0f} ms "
+            f"({entry['achieved_rate']:.0f} sl/s achieved)"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if violations:
+        print(f"\n{len(violations)} scenario violation(s):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

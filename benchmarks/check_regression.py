@@ -24,6 +24,14 @@ numeric timing field present in the baseline but missing from the fresh
 run is a failure (a silently renamed or dropped field would otherwise
 leave that path permanently ungated), as is a whole missing case.
 
+Accuracy fields are gated symmetrically to timings: every numeric
+field named (or suffixed) ``rae``/``nre``/``afe`` — e.g. ``rae``,
+``final_nre``, ``ingest_afe`` — fails when it grows past
+``--error-threshold`` times the baseline AND by more than
+``--min-error`` absolute (small errors ratio-compare noisily: 0.001 ->
+0.002 is a 2x ratio nobody should page for).  A baseline accuracy
+field missing from the fresh run is a failure, same as timings.
+
 Faster-than-baseline runs always pass.  ``--baseline``/``--fresh`` may
 be repeated to gate several report pairs in one invocation::
 
@@ -52,11 +60,34 @@ def timing_keys(entry):
     )
 
 
-def compare_reports(baseline, fresh, threshold, min_seconds=0.0):
+#: Suffixes marking a numeric field as an accuracy metric (lower is
+#: better, gated by --error-threshold / --min-error).
+ERROR_SUFFIXES = ("rae", "nre", "afe")
+
+
+def error_keys(entry):
+    """Numeric accuracy fields (``rae``/``nre``/``afe``-suffixed)."""
+    return sorted(
+        key
+        for key, value in entry.items()
+        if key.endswith(ERROR_SUFFIXES) and isinstance(value, (int, float))
+    )
+
+
+def compare_reports(
+    baseline,
+    fresh,
+    threshold,
+    min_seconds=0.0,
+    error_threshold=1.5,
+    min_error=0.02,
+):
     """Return (report lines, failure lines) for two benchmark reports.
 
     Timings whose baseline value is below ``min_seconds`` are reported
-    but exempt from the absolute gate (noise floor).
+    but exempt from the absolute gate (noise floor).  Accuracy fields
+    regress only when they grow past ``error_threshold`` times the
+    baseline and by more than ``min_error`` absolute.
     """
     lines = []
     failures = []
@@ -86,6 +117,28 @@ def compare_reports(baseline, fresh, threshold, min_seconds=0.0):
                 line += "  (below noise floor, not gated)"
             elif ratio > threshold:
                 line += f"  REGRESSION (> {threshold:.2f}x)"
+                failures.append(line)
+            lines.append(line)
+        for key in error_keys(base_cases[name]):
+            base_error = base_cases[name][key]
+            fresh_error = fresh_cases[name].get(key)
+            if not isinstance(fresh_error, (int, float)):
+                failures.append(
+                    f"{name}.{key}: in the baseline but missing from "
+                    f"the fresh run"
+                )
+                continue
+            ratio = fresh_error / max(base_error, 1e-12)
+            line = (
+                f"{name}.{key}: baseline {base_error:.4f}, "
+                f"fresh {fresh_error:.4f} ({ratio:.2f}x)"
+            )
+            grew = fresh_error - base_error
+            if ratio > error_threshold and grew > min_error:
+                line += (
+                    f"  ACCURACY REGRESSION (> {error_threshold:.2f}x "
+                    f"and +{grew:.4f} absolute)"
+                )
                 failures.append(line)
             lines.append(line)
         base_speedup = base_cases[name].get("speedup")
@@ -144,6 +197,22 @@ def main(argv=None):
         "(sub-ms best-of timings are runner-noise-dominated; "
         "default 0.005)",
     )
+    parser.add_argument(
+        "--error-threshold",
+        type=float,
+        default=1.5,
+        dest="error_threshold",
+        help="maximum allowed fresh/baseline growth per accuracy field "
+        "(rae/nre/afe; default 1.5)",
+    )
+    parser.add_argument(
+        "--min-error",
+        type=float,
+        default=0.02,
+        dest="min_error",
+        help="accuracy growth below this absolute amount is never a "
+        "regression, whatever the ratio (default 0.02)",
+    )
     args = parser.parse_args(argv)
     baselines = args.baseline or [DEFAULT_BASELINE]
     freshes = args.fresh or [DEFAULT_FRESH]
@@ -160,7 +229,12 @@ def main(argv=None):
         with open(fresh_path) as handle:
             fresh = json.load(handle)
         lines, failures = compare_reports(
-            baseline, fresh, args.threshold, args.min_seconds
+            baseline,
+            fresh,
+            args.threshold,
+            args.min_seconds,
+            args.error_threshold,
+            args.min_error,
         )
         print(f"== {baseline_path} vs {fresh_path} ==")
         for line in lines:

@@ -9,6 +9,8 @@ Usage::
     python -m repro.experiments fig6
     python -m repro.experiments fig7
     python -m repro.experiments ablation
+    python -m repro.experiments scenario --list
+    python -m repro.experiments scenario --name regime_shift --tiny
 
 Results print as the same ASCII tables the benches emit.
 """
@@ -105,6 +107,24 @@ def _cmd_fig7(args) -> str:
     )
 
 
+def _cmd_scenario(args) -> str:
+    from repro.scenarios import available_scenarios, get_scenario
+    from repro.scenarios.offline import format_scenario_report, run_scenario
+
+    if args.list or args.name is None:
+        rows = [
+            [name, get_scenario(name).summary]
+            for name in available_scenarios()
+        ]
+        return format_table(
+            ["Scenario", "Summary"],
+            rows,
+            title="Registered scenarios (run with scenario --name <name>)",
+        )
+    result = run_scenario(args.name, seed=args.seed, tiny=args.tiny)
+    return format_scenario_report(result)
+
+
 def _cmd_ablation(args) -> str:
     outcomes = run_ablation()
     return format_table(
@@ -122,6 +142,7 @@ _COMMANDS = {
     "fig6": _cmd_fig6,
     "fig7": _cmd_fig7,
     "ablation": _cmd_ablation,
+    "scenario": _cmd_scenario,
 }
 
 
@@ -136,6 +157,22 @@ def main(argv: Sequence[str] | None = None) -> str:
         "--tiny",
         action="store_true",
         help="use the tiny dataset preset (fast smoke runs)",
+    )
+    parser.add_argument(
+        "--name",
+        default=None,
+        help="scenario name for the scenario command (see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered scenarios instead of running one",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="corruption/generation seed for the scenario command",
     )
     parser.add_argument(
         "--iters",

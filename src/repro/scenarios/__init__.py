@@ -1,0 +1,94 @@
+"""Named stream scenarios: a registry of reproducible stress tests.
+
+Each scenario is a small declarative module bundling a synthetic
+stream recipe, a corruption schedule (random missingness, outliers,
+structured blackout windows), an arrival process for live traffic
+replay, and an expected-quality envelope.  The registry here makes
+them discoverable by name:
+
+    >>> from repro.scenarios import available_scenarios, get_scenario
+    >>> available_scenarios()  # doctest: +ELLIPSIS
+    ('blackout_windows', 'bursty_arrival', ...)
+    >>> get_scenario("regime_shift").summary  # doctest: +ELLIPSIS
+    'Regime shift: ...'
+
+Every scenario runs two ways: offline accuracy-under-stress via
+``repro-experiments scenario --name <n>`` (see
+:mod:`repro.scenarios.offline`) and live open-loop replay against a
+serving gateway via ``repro-serve-replay`` (see
+:mod:`repro.scenarios.replay`).  ``docs/scenarios.md`` is generated
+from the scenario module docstrings by ``tools/gen_scenario_docs.py``.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import (
+    blackout_windows,
+    bursty_arrival,
+    cold_start_flood,
+    heavy_tail_outburst,
+    regime_shift,
+    seasonality_change,
+)
+from repro.scenarios.arrival import (
+    ArrivalProcess,
+    BurstyArrival,
+    ConstantArrival,
+    RampArrival,
+)
+from repro.scenarios.base import (
+    GeneratorSpec,
+    QualityEnvelope,
+    Scenario,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrival",
+    "ConstantArrival",
+    "GeneratorSpec",
+    "QualityEnvelope",
+    "RampArrival",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+]
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (name collisions are an error)."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name; KeyError lists what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(available_scenarios())}"
+        ) from None
+
+
+for _module in (
+    blackout_windows,
+    bursty_arrival,
+    cold_start_flood,
+    heavy_tail_outburst,
+    regime_shift,
+    seasonality_change,
+):
+    register_scenario(_module.SCENARIO)
+del _module

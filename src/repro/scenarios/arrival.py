@@ -1,0 +1,120 @@
+"""Deterministic arrival processes for open-loop traffic replay.
+
+An arrival process turns (slice count, target mean rate) into absolute
+send offsets measured from the start of a replay run.  The replay
+harness sends each slice at its scheduled offset regardless of how
+fast the server responds (open-loop load generation), so queueing
+delay shows up in the measured latency instead of silently throttling
+the offered load (the coordinated-omission trap).  All processes are
+deterministic — the same scenario replays the same traffic every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrival",
+    "ConstantArrival",
+    "RampArrival",
+]
+
+
+class ArrivalProcess:
+    """Base class: maps (n, rate) to monotone absolute send offsets."""
+
+    def send_offsets(self, n: int, rate: float) -> list[float]:
+        """Offsets in seconds for ``n`` sends at mean ``rate``/sec."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantArrival(ArrivalProcess):
+    """Evenly spaced sends: slice ``i`` goes out at ``i / rate``."""
+
+    def send_offsets(self, n: int, rate: float) -> list[float]:
+        _validate(n, rate)
+        return [i / rate for i in range(n)]
+
+
+@dataclass(frozen=True)
+class BurstyArrival(ArrivalProcess):
+    """Bursts of back-to-back sends separated by silence.
+
+    Each cycle of ``cycle`` slices starts with ``burst`` slices sent
+    ``burst_factor`` times faster than the mean rate, then pauses so
+    the cycle still averages ``rate``.  This is the arrival pattern
+    micro-batching exists for — it probes tail latency under queueing.
+    """
+
+    burst: int = 8
+    cycle: int = 16
+    burst_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.burst <= self.cycle:
+            raise ConfigError(
+                f"need 0 < burst <= cycle, got {self.burst}, {self.cycle}"
+            )
+        if self.burst_factor <= 1.0:
+            raise ConfigError("burst_factor must be > 1")
+
+    def send_offsets(self, n: int, rate: float) -> list[float]:
+        _validate(n, rate)
+        cycle_seconds = self.cycle / rate
+        fast_gap = 1.0 / (rate * self.burst_factor)
+        offsets = []
+        for i in range(n):
+            cycle_index, position = divmod(i, self.cycle)
+            start = cycle_index * cycle_seconds
+            if position < self.burst:
+                offsets.append(start + position * fast_gap)
+            else:
+                # Spread the remainder over what's left of the cycle.
+                remaining = cycle_seconds - self.burst * fast_gap
+                gap = remaining / (self.cycle - self.burst)
+                offsets.append(
+                    start
+                    + self.burst * fast_gap
+                    + (position - self.burst) * gap
+                )
+        return offsets
+
+
+@dataclass(frozen=True)
+class RampArrival(ArrivalProcess):
+    """Rate ramps linearly from ``start_factor``x to ``end_factor``x.
+
+    With the defaults the run starts at 20% of the mean rate and ends
+    at 180%, modelling a cold start that heats up: early slices arrive
+    slowly (sessions warming), late slices flood in.
+    """
+
+    start_factor: float = 0.2
+    end_factor: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.start_factor <= 0 or self.end_factor <= 0:
+            raise ConfigError("ramp factors must be positive")
+
+    def send_offsets(self, n: int, rate: float) -> list[float]:
+        _validate(n, rate)
+        offsets = [0.0]
+        for i in range(1, n):
+            # Instantaneous rate interpolates across the run.
+            frac = i / max(n - 1, 1)
+            factor = self.start_factor + frac * (
+                self.end_factor - self.start_factor
+            )
+            offsets.append(offsets[-1] + 1.0 / (rate * factor))
+        return offsets
+
+
+def _validate(n: int, rate: float) -> None:
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if rate <= 0:
+        raise ConfigError(f"rate must be positive, got {rate}")

@@ -1,0 +1,271 @@
+"""Declarative building blocks for named stream scenarios.
+
+A :class:`Scenario` bundles everything needed to stress SOFIA one way:
+a :class:`GeneratorSpec` describing the clean synthetic stream (with
+optional mid-stream regime or seasonality changes), a
+:class:`~repro.streams.corruption.CorruptionSchedule` layering random
+missingness, outliers, and structured blackout windows on top, an
+arrival process shaping the live replay traffic, and a
+:class:`QualityEnvelope` stating the accuracy the run must stay inside.
+Scenario modules declare one ``SCENARIO`` constant each and the
+registry in :mod:`repro.scenarios` makes them discoverable by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.datasets.synthetic import seasonal_stream
+from repro.exceptions import ConfigError
+from repro.scenarios.arrival import ArrivalProcess, ConstantArrival
+from repro.streams.corruption import CorruptionSchedule
+
+__all__ = [
+    "GeneratorSpec",
+    "QualityEnvelope",
+    "Scenario",
+    "rescale_schedule",
+    "scenario_from_module",
+]
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Recipe for the clean stream a scenario corrupts.
+
+    The base stream is :func:`~repro.datasets.synthetic.seasonal_stream`
+    (low-rank, sinusoidal seasonal temporal factors).  Two optional
+    mid-stream events splice in a second independently drawn stream:
+
+    - ``regime_shift_at``: from that step on, the data comes from a
+      fresh draw of the non-temporal factors scaled by
+      ``regime_scale`` — an abrupt level/structure change.
+    - ``period_change_at``: from that step on, the temporal factors
+      oscillate with ``new_period`` instead of ``period`` while the
+      model keeps assuming ``period`` — a seasonality change.
+
+    At most one of the two may be set.
+    """
+
+    dims: tuple[int, ...]
+    rank: int
+    period: int
+    n_steps: int
+    trend: float = 0.0
+    noise: float = 0.02
+    regime_shift_at: int | None = None
+    regime_scale: float = 1.0
+    period_change_at: int | None = None
+    new_period: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.regime_shift_at is not None and self.period_change_at is not None:
+            raise ConfigError(
+                "set at most one of regime_shift_at / period_change_at"
+            )
+        for name in ("regime_shift_at", "period_change_at"):
+            at = getattr(self, name)
+            if at is not None and not 0 < at < self.n_steps:
+                raise ConfigError(
+                    f"{name} must be inside (0, n_steps), got {at}"
+                )
+        if self.period_change_at is not None and self.new_period is None:
+            raise ConfigError("period_change_at requires new_period")
+
+    @property
+    def changepoint(self) -> int | None:
+        """The splice step, whichever event defines it (None if none)."""
+        if self.regime_shift_at is not None:
+            return self.regime_shift_at
+        return self.period_change_at
+
+    def build(self, *, seed: int = 0) -> np.ndarray:
+        """Generate the clean data tensor (time on the last mode)."""
+        base = seasonal_stream(
+            self.dims,
+            self.rank,
+            self.period,
+            self.n_steps,
+            trend=self.trend,
+            noise=self.noise,
+            seed=seed,
+        )
+        changepoint = self.changepoint
+        if changepoint is None:
+            return base.data
+        tail_steps = self.n_steps - changepoint
+        second = seasonal_stream(
+            self.dims,
+            self.rank,
+            self.new_period if self.period_change_at is not None else self.period,
+            tail_steps,
+            trend=self.trend,
+            noise=self.noise,
+            seed=seed + 1,
+        )
+        tail = second.data
+        if self.regime_shift_at is not None:
+            tail = tail * self.regime_scale
+        return np.concatenate([base.data[..., :changepoint], tail], axis=-1)
+
+    def tiny(self) -> GeneratorSpec:
+        """A shrunken spec for quick CI runs; changepoints rescale."""
+        n_steps = min(self.n_steps, 8 * self.period)
+        ratio = n_steps / self.n_steps
+
+        def rescale(at: int | None) -> int | None:
+            if at is None:
+                return None
+            # Keep the event strictly inside the shrunken stream.
+            return min(max(int(round(at * ratio)), 1), n_steps - 1)
+
+        return replace(
+            self,
+            dims=tuple(min(d, 6) for d in self.dims),
+            n_steps=n_steps,
+            regime_shift_at=rescale(self.regime_shift_at),
+            period_change_at=rescale(self.period_change_at),
+        )
+
+
+def rescale_schedule(
+    schedule: CorruptionSchedule, old_n: int, new_n: int
+) -> CorruptionSchedule:
+    """Map a corruption schedule onto a stream of a different length.
+
+    Phase boundaries and blackout window extents scale proportionally
+    (rounded, kept non-empty), so a tiny scenario run still exercises
+    every phase and window of the full-size definition.
+    """
+    if new_n == old_n:
+        return schedule
+    ratio = new_n / old_n
+
+    def scale(step: int) -> int:
+        return min(int(round(step * ratio)), new_n)
+
+    phases = []
+    for phase in schedule.phases:
+        start = scale(phase.start)
+        stop = None if phase.stop is None else max(scale(phase.stop), start + 1)
+        phases.append(replace(phase, start=start, stop=stop))
+    windows = []
+    for window in schedule.windows:
+        start = min(scale(window.start), new_n - 1)
+        stop = max(scale(window.stop), start + 1)
+        windows.append(replace(window, start=start, stop=stop))
+    return CorruptionSchedule(phases=tuple(phases), windows=tuple(windows))
+
+
+@dataclass(frozen=True)
+class QualityEnvelope:
+    """Accuracy bounds a scenario run is expected to stay inside.
+
+    Any bound left ``None`` is not checked.  ``max_final_nre`` reads
+    the mean NRE over the last quarter of the stream — what matters
+    for a scenario is whether the model *recovers* after the stress,
+    not whether it wobbles during it.
+    """
+
+    max_rae: float | None = None
+    max_final_nre: float | None = None
+    max_afe: float | None = None
+
+    def check(
+        self,
+        *,
+        rae: float | None = None,
+        final_nre: float | None = None,
+        afe: float | None = None,
+    ) -> tuple[str, ...]:
+        """Return human-readable violations (empty means all inside)."""
+        violations: list[str] = []
+        for label, value, bound in (
+            ("rae", rae, self.max_rae),
+            ("final_nre", final_nre, self.max_final_nre),
+            ("afe", afe, self.max_afe),
+        ):
+            if bound is None or value is None:
+                continue
+            if not np.isfinite(value) or value > bound:
+                violations.append(
+                    f"{label}={value:.4f} exceeds bound {bound:.4f}"
+                )
+        return tuple(violations)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named stress scenario, runnable offline or as live replay.
+
+    ``description`` is the scenario module's docstring and feeds the
+    generated ``docs/scenarios.md`` catalog; ``summary`` is its first
+    line.  ``n_sessions`` is how many concurrent serving sessions the
+    replay harness drives.
+    """
+
+    name: str
+    summary: str
+    description: str
+    generator: GeneratorSpec
+    schedule: CorruptionSchedule
+    envelope: QualityEnvelope
+    arrival: ArrivalProcess = field(default_factory=ConstantArrival)
+    n_sessions: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ConfigError(f"scenario name must be a slug, got {self.name!r}")
+        if self.n_sessions < 1:
+            raise ConfigError("n_sessions must be >= 1")
+
+    def sized(
+        self, *, tiny: bool = False
+    ) -> tuple[GeneratorSpec, CorruptionSchedule]:
+        """Generator spec and corruption schedule at full or tiny scale.
+
+        In tiny mode the schedule's phases and windows are rescaled to
+        the shrunken stream length so every stress feature survives.
+        """
+        if not tiny:
+            return self.generator, self.schedule
+        generator = self.generator.tiny()
+        return generator, rescale_schedule(
+            self.schedule, self.generator.n_steps, generator.n_steps
+        )
+
+
+def _module_doc(doc: str | None) -> tuple[str, str]:
+    """Split a scenario module docstring into (summary, full text)."""
+    text = (doc or "").strip()
+    if not text:
+        raise ConfigError("scenario modules must have a docstring")
+    summary = text.splitlines()[0].strip()
+    return summary, text
+
+
+def scenario_from_module(
+    doc: str | None,
+    *,
+    name: str,
+    generator: GeneratorSpec,
+    schedule: CorruptionSchedule,
+    envelope: QualityEnvelope,
+    arrival: ArrivalProcess | None = None,
+    n_sessions: int = 2,
+) -> Scenario:
+    """Build a Scenario whose prose comes from the module docstring."""
+    summary, description = _module_doc(doc)
+    kwargs = {} if arrival is None else {"arrival": arrival}
+    return Scenario(
+        name=name,
+        summary=summary,
+        description=description,
+        generator=generator,
+        schedule=schedule,
+        envelope=envelope,
+        n_sessions=n_sessions,
+        **kwargs,
+    )

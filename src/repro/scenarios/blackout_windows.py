@@ -1,0 +1,49 @@
+"""Blackout windows: structured missing blocks on top of random dropout.
+
+Two contiguous blackout windows punch rectangular holes in the stream:
+one hides the first half of the spatial modes for a full season, the
+other hides *every* entry for three consecutive steps — a total
+outage.  Both sit on top of 20% uniform random missingness, so the
+mask composes structured and unstructured dropout the way real
+telemetry does (a rack goes dark while individual sensors also flake).
+Season-aware imputation should ride through the windows on the
+seasonal estimate; the envelope checks overall RAE, which includes
+the blacked-out entries.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    GeneratorSpec,
+    QualityEnvelope,
+    scenario_from_module,
+)
+from repro.streams.corruption import (
+    BlackoutWindow,
+    CorruptionSchedule,
+    CorruptionSpec,
+    SchedulePhase,
+)
+
+SCENARIO = scenario_from_module(
+    __doc__,
+    name="blackout_windows",
+    generator=GeneratorSpec(
+        dims=(8, 6),
+        rank=3,
+        period=10,
+        n_steps=200,
+        noise=0.02,
+    ),
+    schedule=CorruptionSchedule(
+        phases=(SchedulePhase(0, None, CorruptionSpec(20, 0, 0)),),
+        windows=(
+            # One season with the first half of mode 0 dark.
+            BlackoutWindow(start=80, stop=90, mode_ranges=((0, 4), None)),
+            # A short total outage later in the stream.
+            BlackoutWindow(start=140, stop=143),
+        ),
+    ),
+    envelope=QualityEnvelope(max_rae=0.45, max_final_nre=0.45, max_afe=0.80),
+    n_sessions=2,
+)

@@ -1,0 +1,46 @@
+"""Heavy-tail outburst: a window of dense, extreme outliers.
+
+The stream runs under the paper's mild (10, 5, 2) corruption until a
+three-season window where 30% of observed entries are hit with
+outliers at five times the clean maximum — a heavy-tailed error burst
+like a miscalibrated upstream pipeline flooding garbage.  This is the
+setting SOFIA's Huber/biweight robust losses exist for: the robust
+weights should clamp the burst's influence so the factors barely move,
+and accuracy should recover to pre-burst levels once it passes.  The
+envelope therefore bounds final NRE tightly relative to the burst's
+severity.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    GeneratorSpec,
+    QualityEnvelope,
+    scenario_from_module,
+)
+from repro.streams.corruption import (
+    CorruptionSchedule,
+    CorruptionSpec,
+    SchedulePhase,
+)
+
+SCENARIO = scenario_from_module(
+    __doc__,
+    name="heavy_tail_outburst",
+    generator=GeneratorSpec(
+        dims=(8, 6),
+        rank=3,
+        period=10,
+        n_steps=200,
+        noise=0.02,
+    ),
+    schedule=CorruptionSchedule(
+        phases=(
+            SchedulePhase(0, 100, CorruptionSpec(10, 5, 2)),
+            SchedulePhase(100, 130, CorruptionSpec(10, 30, 5)),
+            SchedulePhase(130, None, CorruptionSpec(10, 5, 2)),
+        )
+    ),
+    envelope=QualityEnvelope(max_rae=0.50, max_final_nre=0.50, max_afe=0.90),
+    n_sessions=2,
+)

@@ -1,0 +1,151 @@
+"""Offline scenario runs: accuracy under stress, gated by envelopes.
+
+:func:`run_scenario` takes a registered scenario through the standard
+streaming evaluation — generate the clean stream, apply the corruption
+schedule, run SOFIA slice by slice, score NRE/RAE/AFE against the
+clean truth — and checks the results against the scenario's
+expected-quality envelope.  This is the ``repro-experiments scenario``
+path and the accuracy half of ``benchmarks/bench_scenarios.py``; the
+latency half lives in :mod:`repro.scenarios.replay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import SofiaImputer
+from repro.core import SofiaConfig
+from repro.scenarios import get_scenario
+from repro.streams import TensorStream, run_forecasting, run_imputation
+from repro.streams.corruption import corrupt_schedule
+
+__all__ = ["ScenarioRunResult", "format_scenario_report", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioRunResult:
+    """Accuracy metrics of one offline scenario run.
+
+    ``final_nre`` is the mean NRE over the last quarter of the stream —
+    the recovery metric the envelopes bound.  ``violations`` is empty
+    when the run stayed inside its envelope.
+    """
+
+    scenario: str
+    tiny: bool
+    seed: int
+    rae: float
+    final_nre: float
+    afe: float
+    art_seconds: float
+    violations: tuple[str, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        """JSON-ready flat dict (the bench harness embeds this)."""
+        return {
+            "scenario": self.scenario,
+            "tiny": self.tiny,
+            "seed": self.seed,
+            "rae": self.rae,
+            "final_nre": self.final_nre,
+            "afe": self.afe,
+            "art_seconds": self.art_seconds,
+            "violations": list(self.violations),
+            "passed": self.passed,
+        }
+
+
+def _config_for(generator) -> SofiaConfig:
+    """A modest SOFIA config sized to the scenario's generator."""
+    return SofiaConfig(
+        rank=generator.rank,
+        period=generator.period,
+        lambda1=0.1,
+        lambda2=0.1,
+        init_seasons=2,
+        max_outer_iters=50,
+        tol=1e-5,
+    )
+
+
+def run_scenario(
+    name: str,
+    *,
+    seed: int = 0,
+    tiny: bool = False,
+    horizon: int | None = None,
+) -> ScenarioRunResult:
+    """Run one scenario offline and score it against its envelope."""
+    scenario = get_scenario(name)
+    generator, schedule = scenario.sized(tiny=tiny)
+    clean = generator.build(seed=seed)
+    corrupted = corrupt_schedule(clean, schedule, seed=seed)
+    truth = TensorStream.fully_observed(clean, period=generator.period)
+    observed = TensorStream(
+        data=corrupted.observed,
+        mask=corrupted.mask,
+        period=generator.period,
+    )
+    config = _config_for(generator)
+    startup = config.init_seasons * generator.period
+    imputation = run_imputation(
+        SofiaImputer(config),
+        observed,
+        truth,
+        startup_steps=startup,
+    )
+    series = np.asarray(imputation.nre_series, dtype=float)
+    tail = series[-max(len(series) // 4, 1):]
+    final_nre = float(np.mean(tail)) if tail.size else float("nan")
+    forecast = run_forecasting(
+        SofiaImputer(config),
+        observed,
+        truth,
+        startup_steps=startup,
+        horizon=horizon if horizon is not None else generator.period,
+    )
+    violations = scenario.envelope.check(
+        rae=imputation.rae, final_nre=final_nre, afe=forecast.afe
+    )
+    return ScenarioRunResult(
+        scenario=name,
+        tiny=tiny,
+        seed=seed,
+        rae=float(imputation.rae),
+        final_nre=final_nre,
+        afe=float(forecast.afe),
+        art_seconds=float(imputation.art_seconds),
+        violations=violations,
+    )
+
+
+def format_scenario_report(result: ScenarioRunResult) -> str:
+    """Human-readable single-run report for the CLI."""
+    scenario = get_scenario(result.scenario)
+    status = "PASS" if result.passed else "FAIL"
+    lines = [
+        f"scenario {result.scenario} "
+        f"({'tiny' if result.tiny else 'full'}, seed {result.seed}): "
+        f"{status}",
+        f"  {scenario.summary}",
+        f"  RAE          {result.rae:.4f}"
+        + _bound(scenario.envelope.max_rae),
+        f"  final NRE    {result.final_nre:.4f}"
+        + _bound(scenario.envelope.max_final_nre),
+        f"  AFE          {result.afe:.4f}"
+        + _bound(scenario.envelope.max_afe),
+        f"  ART          {result.art_seconds * 1e3:.3f} ms/slice",
+    ]
+    for violation in result.violations:
+        lines.append(f"  VIOLATION: {violation}")
+    return "\n".join(lines)
+
+
+def _bound(bound: float | None) -> str:
+    return "" if bound is None else f"  (bound {bound:.2f})"

@@ -1,0 +1,44 @@
+"""Regime shift: the data-generating process changes abruptly mid-stream.
+
+Halfway through the stream the non-temporal factors are redrawn and
+scaled up 1.6x — the kind of break a sensor fleet sees after a
+hardware swap or a re-calibration.  The first half teaches the model
+one regime; the second half contradicts it.  SOFIA's SGD factor
+updates should track the new regime within a few seasons, so the
+envelope bounds the *final* NRE (last quarter of the stream) rather
+than the transient spike right after the break.  Corruption stays at
+the paper's mild (20, 10, 2) setting throughout so the difficulty
+comes from the shift, not the noise.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    GeneratorSpec,
+    QualityEnvelope,
+    scenario_from_module,
+)
+from repro.streams.corruption import (
+    CorruptionSchedule,
+    CorruptionSpec,
+    SchedulePhase,
+)
+
+SCENARIO = scenario_from_module(
+    __doc__,
+    name="regime_shift",
+    generator=GeneratorSpec(
+        dims=(8, 6),
+        rank=3,
+        period=10,
+        n_steps=200,
+        noise=0.02,
+        regime_shift_at=100,
+        regime_scale=1.6,
+    ),
+    schedule=CorruptionSchedule(
+        phases=(SchedulePhase(0, None, CorruptionSpec(20, 10, 2)),)
+    ),
+    envelope=QualityEnvelope(max_rae=0.65, max_final_nre=0.80, max_afe=1.00),
+    n_sessions=2,
+)

@@ -1,0 +1,329 @@
+"""Open-loop traffic replay: drive a live gateway with a scenario.
+
+The replay harness turns a registered scenario into HTTP traffic
+against a ``repro-serve`` gateway: each serving session gets a sender
+thread that ships the scenario's corrupted slices at the absolute send
+times its arrival process scheduled, *regardless of how fast the
+server keeps up* (open-loop load, so queueing shows up as latency
+rather than silently throttling the offered rate).  After the send
+phase it waits for the server to drain, then reads
+p50/p95/p99 ingest latency from the server's ``/metrics`` histograms
+and reports them next to client-side round-trip percentiles.  With no
+``--url`` it self-hosts a gateway in-process, which is what the CI
+bench uses.  Entry point: ``repro-serve-replay``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.scenarios import available_scenarios, get_scenario
+from repro.serving import HTTPServingClient, LatencyHistogram, SessionManager
+from repro.streams.corruption import corrupt_schedule
+
+__all__ = ["ReplayReport", "format_replay_report", "main", "run_replay"]
+
+#: How long to wait for the server to flush everything after sending.
+_DRAIN_TIMEOUT_S = 60.0
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one replay run against a gateway."""
+
+    scenario: str
+    url: str
+    tiny: bool
+    n_sessions: int
+    slices_per_session: int
+    offered_rate: float
+    achieved_rate: float
+    send_seconds: float
+    drain_seconds: float
+    send_errors: int
+    drained: bool
+    server_metrics: dict = field(repr=False)
+    client_rtt: dict = field(repr=False)
+
+    @property
+    def ingest_latency(self) -> dict:
+        """The server-side ingest→commit latency summary."""
+        return self.server_metrics.get("ingest_latency", {})
+
+    def as_dict(self) -> dict:
+        """JSON-ready dict; latency keys are flat ``*_seconds`` floats
+        so the regression gate's ratio checks apply directly."""
+        ingest = self.ingest_latency
+        return {
+            "scenario": self.scenario,
+            "tiny": self.tiny,
+            "n_sessions": self.n_sessions,
+            "slices_per_session": self.slices_per_session,
+            "offered_rate": self.offered_rate,
+            "achieved_rate": self.achieved_rate,
+            "send_errors": self.send_errors,
+            "drained": self.drained,
+            "ingest_p50_seconds": ingest.get("p50_seconds", 0.0),
+            "ingest_p95_seconds": ingest.get("p95_seconds", 0.0),
+            "ingest_p99_seconds": ingest.get("p99_seconds", 0.0),
+            "rtt_p50_seconds": self.client_rtt.get("p50_seconds", 0.0),
+            "rtt_p95_seconds": self.client_rtt.get("p95_seconds", 0.0),
+            "rtt_p99_seconds": self.client_rtt.get("p99_seconds", 0.0),
+        }
+
+
+def _session_config(generator) -> dict:
+    """A lightweight SOFIA config for serving-path replay.
+
+    Iteration caps are modest: replay measures the serving path under
+    load, and the offline runner owns accuracy measurement.
+    """
+    return {
+        "rank": generator.rank,
+        "period": generator.period,
+        "init_seasons": 2,
+        "max_outer_iters": 5,
+        "tol": 1e-2,
+    }
+
+
+def run_replay(
+    name: str,
+    *,
+    url: str | None = None,
+    rate: float = 200.0,
+    slices: int | None = None,
+    tiny: bool = False,
+    seed: int = 0,
+) -> ReplayReport:
+    """Replay one scenario's traffic and collect latency percentiles.
+
+    ``rate`` is the *aggregate* offered load in slices/second across
+    all of the scenario's sessions.  With ``url=None`` a gateway is
+    self-hosted in-process for the duration of the run.
+    """
+    scenario = get_scenario(name)
+    generator, schedule = scenario.sized(tiny=tiny)
+    corrupted = corrupt_schedule(generator.build(seed=seed), schedule, seed=seed)
+    n_sessions = scenario.n_sessions
+    n_slices = min(slices or generator.n_steps, generator.n_steps)
+    per_session_rate = rate / n_sessions
+    offsets = scenario.arrival.send_offsets(n_slices, per_session_rate)
+
+    server = None
+    manager = None
+    if url is None:
+        manager = SessionManager(max_batch=8, max_latency_s=0.02)
+        from repro.serving.gateway import serve
+
+        server = serve(manager)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    try:
+        return _drive(
+            scenario_name=name,
+            url=url,
+            tiny=tiny,
+            corrupted=corrupted,
+            config=_session_config(generator),
+            n_sessions=n_sessions,
+            n_slices=n_slices,
+            offered_rate=rate,
+            offsets=offsets,
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if manager is not None:
+            manager.close()
+
+
+def _drive(
+    *,
+    scenario_name: str,
+    url: str,
+    tiny: bool,
+    corrupted,
+    config: dict,
+    n_sessions: int,
+    n_slices: int,
+    offered_rate: float,
+    offsets: Sequence[float],
+) -> ReplayReport:
+    client = HTTPServingClient(url)
+    session_ids = [f"{scenario_name}-{i}" for i in range(n_sessions)]
+    for session_id in session_ids:
+        client.create_session(session_id, config)
+
+    rtt = LatencyHistogram()
+    rtt_lock = threading.Lock()
+    errors = [0] * n_sessions
+    barrier = threading.Barrier(n_sessions + 1)
+
+    def sender(index: int, session_id: str) -> None:
+        # One urllib client per thread; urllib opens a connection per
+        # request so threads never share sockets.
+        local = HTTPServingClient(url)
+        barrier.wait()
+        start = time.monotonic()
+        for t in range(n_slices):
+            delay = start + offsets[t] - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            sent_at = time.monotonic()
+            try:
+                local.ingest(
+                    session_id,
+                    corrupted.observed[..., t],
+                    corrupted.mask[..., t],
+                )
+            except Exception:
+                errors[index] += 1
+                continue
+            elapsed = time.monotonic() - sent_at
+            with rtt_lock:
+                rtt.record(elapsed)
+
+    threads = [
+        threading.Thread(target=sender, args=(i, sid), daemon=True)
+        for i, sid in enumerate(session_ids)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    send_start = time.monotonic()
+    for thread in threads:
+        thread.join()
+    send_seconds = time.monotonic() - send_start
+
+    drained, drain_seconds = _wait_for_drain(client)
+    snapshot = client.metrics()
+    for session_id in session_ids:
+        client.close_session(session_id)
+
+    total_sent = n_sessions * n_slices - sum(errors)
+    achieved = total_sent / send_seconds if send_seconds > 0 else 0.0
+    return ReplayReport(
+        scenario=scenario_name,
+        url=url,
+        tiny=tiny,
+        n_sessions=n_sessions,
+        slices_per_session=n_slices,
+        offered_rate=offered_rate,
+        achieved_rate=achieved,
+        send_seconds=send_seconds,
+        drain_seconds=drain_seconds,
+        send_errors=sum(errors),
+        drained=drained,
+        server_metrics=snapshot,
+        client_rtt=rtt.summary(),
+    )
+
+
+def _wait_for_drain(client: HTTPServingClient) -> tuple[bool, float]:
+    """Poll ``/metrics`` until every ingested slice has flushed."""
+    start = time.monotonic()
+    while time.monotonic() - start < _DRAIN_TIMEOUT_S:
+        snapshot = client.metrics()
+        if snapshot["slices_flushed"] >= snapshot["slices_ingested"]:
+            return True, time.monotonic() - start
+        time.sleep(0.02)
+    return False, time.monotonic() - start
+
+
+def format_replay_report(report: ReplayReport) -> str:
+    """Human-readable replay summary for the CLI."""
+    ingest = report.ingest_latency
+    lines = [
+        f"replay {report.scenario} against {report.url}",
+        f"  sessions {report.n_sessions}  slices/session "
+        f"{report.slices_per_session}  errors {report.send_errors}",
+        f"  offered {report.offered_rate:.1f} slices/s, achieved "
+        f"{report.achieved_rate:.1f} (send {report.send_seconds:.2f}s, "
+        f"drain {report.drain_seconds:.2f}s"
+        f"{'' if report.drained else ', DID NOT DRAIN'})",
+        "  server ingest latency: "
+        f"p50 {ingest.get('p50_seconds', 0.0) * 1e3:.1f} ms  "
+        f"p95 {ingest.get('p95_seconds', 0.0) * 1e3:.1f} ms  "
+        f"p99 {ingest.get('p99_seconds', 0.0) * 1e3:.1f} ms",
+        "  client rtt:            "
+        f"p50 {report.client_rtt.get('p50_seconds', 0.0) * 1e3:.1f} ms  "
+        f"p95 {report.client_rtt.get('p95_seconds', 0.0) * 1e3:.1f} ms  "
+        f"p99 {report.client_rtt.get('p99_seconds', 0.0) * 1e3:.1f} ms",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``repro-serve-replay``: scenario traffic against a gateway."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-replay",
+        description="Open-loop scenario traffic replay against a "
+        "repro-serve gateway, reporting p50/p95/p99 ingest latency.",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="registered scenario name (see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered scenarios and exit",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="gateway base URL; omit to self-host one in-process",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="aggregate offered load in slices/second (default 200)",
+    )
+    parser.add_argument(
+        "--slices",
+        type=int,
+        default=None,
+        help="slices per session (default: the scenario's stream length)",
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="shrink the scenario for a fast smoke run",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    if args.list or args.scenario is None:
+        for name in available_scenarios():
+            print(f"{name}: {get_scenario(name).summary}")
+        return 0
+    report = run_replay(
+        args.scenario,
+        url=args.url,
+        rate=args.rate,
+        slices=args.slices,
+        tiny=args.tiny,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_replay_report(report))
+    return 0 if report.drained and report.send_errors == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

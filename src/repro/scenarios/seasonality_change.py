@@ -1,0 +1,44 @@
+"""Seasonality change: the period of the data shifts mid-stream.
+
+The stream oscillates with period 10 for the first half, then the
+temporal factors switch to period 15 while the model keeps assuming
+10 — the hardest structural break for a season-aware method, because
+the seasonal buffer itself becomes stale.  SOFIA's exponentially
+decayed seasonal smoothing should gradually re-learn the new cycle,
+but a residual mismatch is expected; the envelope is correspondingly
+looser than the other scenarios and mainly guards against divergence
+(unbounded NRE) rather than demanding full recovery.  Corruption is
+light (10% missing) so the signal change dominates.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    GeneratorSpec,
+    QualityEnvelope,
+    scenario_from_module,
+)
+from repro.streams.corruption import (
+    CorruptionSchedule,
+    CorruptionSpec,
+    SchedulePhase,
+)
+
+SCENARIO = scenario_from_module(
+    __doc__,
+    name="seasonality_change",
+    generator=GeneratorSpec(
+        dims=(8, 6),
+        rank=3,
+        period=10,
+        n_steps=200,
+        noise=0.02,
+        period_change_at=100,
+        new_period=15,
+    ),
+    schedule=CorruptionSchedule(
+        phases=(SchedulePhase(0, None, CorruptionSpec(10, 0, 0)),)
+    ),
+    envelope=QualityEnvelope(max_rae=0.80, max_final_nre=0.80, max_afe=1.20),
+    n_sessions=2,
+)

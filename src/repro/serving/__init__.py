@@ -37,7 +37,7 @@ from repro.serving.api import (
 )
 from repro.serving.client import HTTPServingClient, InProcessServingClient
 from repro.serving.manager import SessionManager, make_config
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
 from repro.serving.pool import (
     ProcessWorkerPool,
     ThreadWorkerPool,
@@ -57,6 +57,7 @@ __all__ = [
     "ImputeResult",
     "InProcessServingClient",
     "IngestAck",
+    "LatencyHistogram",
     "MicroBatchScheduler",
     "PendingSlice",
     "ProcessWorkerPool",

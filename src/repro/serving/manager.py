@@ -738,6 +738,15 @@ class SessionManager:
             self.metrics.observe_flush(
                 len(plan.items), result.seconds
             )
+            # End-to-end ingest latency: scheduler-clock arrival stamp
+            # to commit, per slice — the number an ingestion SLO is
+            # written against (and what GET /metrics reports as
+            # ingest_latency p50/p95/p99).
+            committed_at = self._scheduler.now()
+            for item in plan.items:
+                self.metrics.observe_latency(
+                    "ingest", committed_at - item.arrived_at
+                )
         finally:
             if plan.checked_out:
                 self._store.checkin(session.session_id)

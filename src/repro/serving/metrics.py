@@ -1,17 +1,23 @@
-"""Thread-safe counters for the serving runtime.
+"""Thread-safe counters and latency histograms for the serving runtime.
 
 One :class:`ServingMetrics` instance is shared by the session manager,
 the micro-batching scheduler, and the checkpoint store; the gateway
-exposes :meth:`ServingMetrics.snapshot` at ``GET /metrics``.  All
-updates take the instance lock, so worker threads can bump counters
-concurrently and a snapshot is always internally consistent.
+exposes :meth:`ServingMetrics.snapshot` at ``GET /metrics``.  Besides
+monotonic counters it keeps bounded log-bucketed
+:class:`LatencyHistogram` instances (ingest-to-commit per slice, flush
+execution time), so a snapshot reports p50/p95/p99 latency — the
+numbers the scenario replay harness gates in CI — not just counts and
+averages.  All updates take the instance lock, so worker threads can
+bump counters concurrently and a snapshot is always internally
+consistent.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 
-__all__ = ["ServingMetrics"]
+__all__ = ["LatencyHistogram", "ServingMetrics"]
 
 #: Counter names a ServingMetrics instance tracks.  ``increment`` with
 #: any other name raises — a typo'd metric would otherwise count into
@@ -38,14 +44,108 @@ _COUNTERS = (
     "fused_sessions_flushed",
 )
 
+#: Histogram names a ServingMetrics instance tracks.
+#: ``ingest`` is the end-to-end slice latency (ingest accepted ->
+#: result committed, the number a serving SLO is written against);
+#: ``flush`` is one worker flush's execution wall-clock.
+_HISTOGRAMS = ("ingest", "flush")
+
+
+class LatencyHistogram:
+    """Bounded log-bucketed histogram of seconds, percentile-queryable.
+
+    Buckets are geometric between ``lower`` and ``upper`` (fixed count,
+    so memory never grows with observations); a percentile is answered
+    as the upper bound of the bucket holding that rank, clamped to the
+    true observed maximum.  The relative error is bounded by the
+    bucket growth factor (~12% with the defaults) — plenty for SLO
+    gating, where regressions of interest are 1.5x and up.
+    """
+
+    def __init__(
+        self,
+        *,
+        lower: float = 1e-5,
+        upper: float = 120.0,
+        buckets_per_decade: int = 20,
+    ) -> None:
+        if not 0 < lower < upper:
+            raise ValueError(
+                f"need 0 < lower < upper, got {lower}, {upper}"
+            )
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        decades = math.log10(upper / lower)
+        n = max(int(math.ceil(decades * buckets_per_decade)), 1)
+        #: Upper bounds of the finite buckets; one overflow bucket
+        #: past the end catches anything above ``upper``.
+        self._bounds = [
+            lower * (upper / lower) ** ((i + 1) / n) for i in range(n)
+        ]
+        self._counts = [0] * (n + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Fold one observation in (negative values clamp to zero)."""
+        seconds = max(float(seconds), 0.0)
+        index = self._bucket_index(seconds)
+        self._counts[index] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def _bucket_index(self, seconds: float) -> int:
+        lo, hi = 0, len(self._bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds <= self._bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile in seconds (``q`` in [0, 1]); 0 if empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(int(math.ceil(q * self.count)), 1)
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= target:
+                if index >= len(self._bounds):
+                    return self.max_seconds
+                return min(self._bounds[index], self.max_seconds)
+        return self.max_seconds  # pragma: no cover - counts sum to count
+
+    def summary(self) -> dict:
+        """Count, mean/max, and the p50/p95/p99 the SLO gates read."""
+        mean = self.total_seconds / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_seconds": mean,
+            "max_seconds": self.max_seconds,
+            "p50_seconds": self.percentile(0.50),
+            "p95_seconds": self.percentile(0.95),
+            "p99_seconds": self.percentile(0.99),
+        }
+
 
 class ServingMetrics:
-    """Monotonic counters plus flush-latency accumulation."""
+    """Monotonic counters plus latency histograms, one lock."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counts = {name: 0 for name in _COUNTERS}
         self._flush_seconds = 0.0
+        self._histograms = {
+            name: LatencyHistogram() for name in _HISTOGRAMS
+        }
 
     def increment(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (must be a known name)."""
@@ -56,24 +156,48 @@ class ServingMetrics:
         with self._lock:
             self._counts[name] += amount
 
+    def observe_latency(self, name: str, seconds: float) -> None:
+        """Record one latency sample into histogram ``name``."""
+        if name not in self._histograms:
+            raise KeyError(
+                f"unknown latency histogram {name!r}; "
+                f"known: {_HISTOGRAMS}"
+            )
+        with self._lock:
+            self._histograms[name].record(seconds)
+
     def observe_flush(self, n_slices: int, seconds: float) -> None:
-        """Record one scheduler flush of ``n_slices`` slices."""
+        """Record one scheduler flush of ``n_slices`` slices.
+
+        ``seconds == 0.0`` marks a bookkeeping-only flush (warmup
+        absorption); it counts into the totals but not the flush
+        latency histogram, which tracks real executions.
+        """
         with self._lock:
             self._counts["batches_flushed"] += 1
             self._counts["slices_flushed"] += n_slices
             self._flush_seconds += seconds
+            if seconds > 0.0:
+                self._histograms["flush"].record(seconds)
 
     def snapshot(self) -> dict:
         """A consistent point-in-time copy of every counter.
 
-        Includes three derived values: ``mean_batch_size`` (flushed
+        Includes three derived values — ``mean_batch_size`` (flushed
         slices per flush), ``mean_fused_sessions`` (session flushes
         per scheduler dispatch — 1.0 means no cross-session fusion
-        happened), and ``flush_seconds_total``.
+        happened), and ``flush_seconds_total`` — plus one
+        ``<name>_latency`` dict per histogram carrying
+        ``count``/``mean_seconds``/``max_seconds`` and the
+        ``p50/p95/p99_seconds`` percentiles.
         """
         with self._lock:
             counts = dict(self._counts)
             flush_seconds = self._flush_seconds
+            summaries = {
+                name: histogram.summary()
+                for name, histogram in self._histograms.items()
+            }
         batches = counts["batches_flushed"]
         dispatches = counts["dispatches"]
         counts["flush_seconds_total"] = flush_seconds
@@ -92,4 +216,6 @@ class ServingMetrics:
         counts["mean_fused_sessions"] = (
             dispatched_flushes / dispatches if dispatches else 0.0
         )
+        for name, summary in summaries.items():
+            counts[f"{name}_latency"] = summary
         return counts

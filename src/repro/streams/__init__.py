@@ -7,9 +7,15 @@ and the NRE/RAE/AFE/ART metrics with timing that excludes initialization.
 
 from repro.streams.corruption import (
     PAPER_SETTINGS,
+    BlackoutWindow,
     CorruptedTensor,
+    CorruptionSchedule,
     CorruptionSpec,
+    SchedulePhase,
+    ScheduledCorruption,
+    blackout_windows_mask,
     corrupt,
+    corrupt_schedule,
 )
 from repro.streams.metrics import (
     RunningAverage,
@@ -29,17 +35,23 @@ from repro.streams.structured import blackout_mask, dropped_steps_mask
 
 __all__ = [
     "PAPER_SETTINGS",
+    "BlackoutWindow",
     "CorruptedTensor",
+    "CorruptionSchedule",
     "CorruptionSpec",
     "ForecastResult",
     "ImputationResult",
     "RunningAverage",
+    "SchedulePhase",
+    "ScheduledCorruption",
     "StreamingForecasterProtocol",
     "StreamingImputerProtocol",
     "TensorStream",
     "average_forecast_error",
     "blackout_mask",
+    "blackout_windows_mask",
     "corrupt",
+    "corrupt_schedule",
     "dropped_steps_mask",
     "normalized_residual_error",
     "run_forecasting",

@@ -6,6 +6,15 @@ outliers of magnitude ``±Z · max(|X|)`` (sign chosen uniformly), where
 ``max(|X|)`` is the maximum absolute entry of the whole ground-truth
 tensor.  Missing and outlier positions are drawn independently, so an
 entry can be both (an invisible outlier).
+
+Beyond the uniform model, this module also provides *time-varying*
+corruption for the scenario harness: a :class:`CorruptionSchedule`
+applies a different ``(X, Y, Z)`` spec per time window
+(:class:`SchedulePhase`) and composes structured missing blocks
+(:class:`BlackoutWindow` — a rectangular region of the spatial domain
+unobserved for a contiguous stretch of steps) on top of the random
+missingness.  :func:`corrupt_schedule` realizes a schedule over a
+ground-truth tensor, preserving its floating dtype.
 """
 
 from __future__ import annotations
@@ -16,8 +25,20 @@ import numpy as np
 
 from repro.exceptions import ConfigError
 from repro.tensor.random import as_generator
+from repro.tensor.validation import as_float
 
-__all__ = ["CorruptedTensor", "CorruptionSpec", "PAPER_SETTINGS", "corrupt"]
+__all__ = [
+    "BlackoutWindow",
+    "CorruptedTensor",
+    "CorruptionSchedule",
+    "CorruptionSpec",
+    "PAPER_SETTINGS",
+    "SchedulePhase",
+    "ScheduledCorruption",
+    "blackout_windows_mask",
+    "corrupt",
+    "corrupt_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -127,4 +148,217 @@ def corrupt(
         mask=mask,
         outlier_mask=outlier_mask,
         spec=spec,
+    )
+
+
+@dataclass(frozen=True)
+class BlackoutWindow:
+    """A structured missing block (time on the last mode).
+
+    Entries inside the block are unobserved for every step of
+    ``[start, stop)`` — a disconnected sensor array, a dark data
+    center, a dropped feed.  ``mode_ranges`` gives one ``(lo, hi)``
+    half-open range per *non-temporal* mode (``None`` for a mode means
+    the whole mode); ``mode_ranges=None`` blacks out the entire
+    subtensor.
+
+    Ranges may extend past the actual mode lengths — they are clipped
+    when the mask is built — so one window definition scales across
+    size presets.
+    """
+
+    start: int
+    stop: int
+    mode_ranges: tuple[tuple[int, int] | None, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError(
+                f"blackout start must be >= 0, got {self.start}"
+            )
+        if self.stop <= self.start:
+            raise ConfigError(
+                f"blackout window [{self.start}, {self.stop}) is empty"
+            )
+        if self.mode_ranges is not None:
+            for bounds in self.mode_ranges:
+                if bounds is None:
+                    continue
+                lo, hi = bounds
+                if lo < 0 or hi <= lo:
+                    raise ConfigError(
+                        f"blackout mode range ({lo}, {hi}) is not a "
+                        "non-empty half-open range"
+                    )
+
+
+@dataclass(frozen=True)
+class SchedulePhase:
+    """One contiguous stretch of steps under a single ``(X, Y, Z)`` spec.
+
+    ``stop=None`` means "to the end of the stream".  Steps not covered
+    by any phase stay fully observed and clean.
+    """
+
+    start: int
+    stop: int | None
+    spec: CorruptionSpec
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError(
+                f"phase start must be >= 0, got {self.start}"
+            )
+        if self.stop is not None and self.stop <= self.start:
+            raise ConfigError(
+                f"phase [{self.start}, {self.stop}) is empty"
+            )
+
+    def resolve_stop(self, n_steps: int) -> int:
+        """The phase's exclusive end, clipped to the stream length."""
+        stop = n_steps if self.stop is None else min(self.stop, n_steps)
+        return max(stop, self.start)
+
+
+@dataclass(frozen=True)
+class CorruptionSchedule:
+    """Time-varying corruption: per-window specs + structured blackouts.
+
+    ``phases`` must be sorted by ``start`` and non-overlapping (loudly
+    checked); ``windows`` compose with the phases' random missingness
+    by intersection — an entry is observed only if *both* the random
+    draw and every blackout window leave it observed.
+    """
+
+    phases: tuple[SchedulePhase, ...]
+    windows: tuple[BlackoutWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        previous: SchedulePhase | None = None
+        for phase in self.phases:
+            if previous is not None:
+                if previous.stop is None:
+                    raise ConfigError(
+                        "only the last phase may have stop=None"
+                    )
+                if phase.start < previous.stop:
+                    raise ConfigError(
+                        f"phases overlap: [{previous.start}, "
+                        f"{previous.stop}) then [{phase.start}, ...)"
+                    )
+            previous = phase
+
+
+@dataclass(frozen=True)
+class ScheduledCorruption:
+    """A ground truth plus its schedule-corrupted observation.
+
+    Like :class:`CorruptedTensor` but carrying the whole
+    :class:`CorruptionSchedule` instead of a single spec.  The
+    ``observed``/``clean`` arrays keep the input's floating dtype.
+    """
+
+    clean: np.ndarray = field(repr=False)
+    observed: np.ndarray = field(repr=False)
+    mask: np.ndarray = field(repr=False)
+    outlier_mask: np.ndarray = field(repr=False)
+    schedule: CorruptionSchedule
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.clean.shape
+
+
+def blackout_windows_mask(
+    shape: tuple[int, ...],
+    windows: tuple[BlackoutWindow, ...] | list[BlackoutWindow],
+) -> np.ndarray:
+    """Boolean mask (True = observed) hiding every blackout window.
+
+    ``shape`` follows the stream convention — time on the last mode;
+    each window's ``mode_ranges`` addresses the leading (spatial)
+    modes.  Window ranges are clipped to the actual mode lengths;
+    windows entirely past the end of the stream contribute nothing.
+    """
+    if len(shape) < 2:
+        raise ConfigError("need at least one non-temporal mode plus time")
+    mask = np.ones(shape, dtype=bool)
+    spatial = shape[:-1]
+    n_steps = shape[-1]
+    for window in windows:
+        if window.start >= n_steps:
+            continue
+        if window.mode_ranges is None:
+            index: tuple = tuple(slice(None) for _ in spatial)
+        else:
+            if len(window.mode_ranges) != len(spatial):
+                raise ConfigError(
+                    f"window has {len(window.mode_ranges)} mode ranges "
+                    f"but the stream has {len(spatial)} spatial modes"
+                )
+            index = tuple(
+                slice(None)
+                if bounds is None
+                else slice(bounds[0], min(bounds[1], dim))
+                for bounds, dim in zip(window.mode_ranges, spatial)
+            )
+        mask[index + (slice(window.start, min(window.stop, n_steps)),)] = (
+            False
+        )
+    return mask
+
+
+def corrupt_schedule(
+    tensor: np.ndarray,
+    schedule: CorruptionSchedule,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> ScheduledCorruption:
+    """Apply a time-varying corruption schedule to a ground truth.
+
+    Each phase draws its random missingness and outliers independently
+    over its own step range (outlier magnitudes stay relative to
+    ``max(|clean|)`` of the *whole* tensor, so phases are comparable);
+    blackout windows are then intersected into the mask.  Unlike
+    :func:`corrupt`, the input's floating dtype is preserved —
+    float32 in, float32 out — so scenario streams can feed the
+    float32 serving path without a round-trip through float64.
+    """
+    clean = as_float(tensor)
+    if clean.ndim < 2:
+        raise ConfigError("need at least one non-temporal mode plus time")
+    rng = as_generator(seed)
+    n_steps = clean.shape[-1]
+    mask = np.ones(clean.shape, dtype=bool)
+    outlier_mask = np.zeros(clean.shape, dtype=bool)
+    observed = clean.copy()
+    scale = float(np.abs(clean).max())
+    for phase in schedule.phases:
+        start = min(phase.start, n_steps)
+        stop = phase.resolve_stop(n_steps)
+        if stop <= start:
+            continue
+        shape = clean.shape[:-1] + (stop - start,)
+        spec = phase.spec
+        window = (Ellipsis, slice(start, stop))
+        mask[window] &= rng.random(shape) >= spec.missing_pct / 100.0
+        hits = rng.random(shape) < spec.outlier_pct / 100.0
+        outlier_mask[window] |= hits
+        n_hits = int(hits.sum())
+        if n_hits and spec.magnitude > 0:
+            signs = np.where(
+                rng.random(n_hits) < 0.5, -1.0, 1.0
+            ).astype(clean.dtype)
+            # observed[window] is a basic-slice view, so the fancy
+            # in-place add lands in the full array.
+            observed[window][hits] += signs * clean.dtype.type(
+                spec.magnitude * scale
+            )
+    mask &= blackout_windows_mask(clean.shape, schedule.windows)
+    return ScheduledCorruption(
+        clean=clean,
+        observed=observed,
+        mask=mask,
+        outlier_mask=outlier_mask,
+        schedule=schedule,
     )

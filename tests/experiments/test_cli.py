@@ -49,4 +49,5 @@ class TestCli:
 
         assert set(_COMMANDS) == {
             "table1", "table3", "fig2", "fig4", "fig6", "fig7", "ablation",
+            "scenario",
         }

@@ -1,0 +1,62 @@
+"""Tests for offline scenario runs and the CLI surface."""
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.scenarios import available_scenarios
+from repro.scenarios.offline import (
+    ScenarioRunResult,
+    format_scenario_report,
+    run_scenario,
+)
+
+
+class TestRunScenario:
+    def test_tiny_run_produces_metrics(self):
+        result = run_scenario("bursty_arrival", tiny=True)
+        assert isinstance(result, ScenarioRunResult)
+        assert 0.0 <= result.rae < 1.0
+        assert 0.0 <= result.final_nre < 1.0
+        assert result.afe >= 0.0
+        assert result.art_seconds > 0.0
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            run_scenario("nope", tiny=True)
+
+    @pytest.mark.parametrize("name", available_scenarios())
+    def test_every_scenario_passes_its_envelope_tiny(self, name):
+        result = run_scenario(name, tiny=True)
+        assert result.passed, result.violations
+
+    def test_as_dict_is_json_flat(self):
+        result = run_scenario("cold_start_flood", tiny=True)
+        payload = result.as_dict()
+        assert payload["scenario"] == "cold_start_flood"
+        assert payload["passed"] is True
+        assert isinstance(payload["violations"], list)
+
+    def test_report_mentions_status_and_bounds(self):
+        result = run_scenario("blackout_windows", tiny=True)
+        report = format_scenario_report(result)
+        assert "blackout_windows" in report
+        assert "PASS" in report or "FAIL" in report
+        assert "bound" in report
+
+
+class TestScenarioCommand:
+    def test_list(self, capsys):
+        output = experiments_main(["scenario", "--list"])
+        assert "regime_shift" in output
+        assert "Registered scenarios" in output
+
+    def test_no_name_lists(self):
+        output = experiments_main(["scenario"])
+        assert "bursty_arrival" in output
+
+    def test_run_by_name(self):
+        output = experiments_main(
+            ["scenario", "--name", "cold_start_flood", "--tiny"]
+        )
+        assert "cold_start_flood" in output
+        assert "RAE" in output

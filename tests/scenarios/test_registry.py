@@ -1,0 +1,236 @@
+"""Tests for the scenario registry and its declarative building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.scenarios import (
+    BurstyArrival,
+    ConstantArrival,
+    GeneratorSpec,
+    QualityEnvelope,
+    RampArrival,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from repro.scenarios.base import rescale_schedule
+from repro.streams.corruption import (
+    BlackoutWindow,
+    CorruptionSchedule,
+    CorruptionSpec,
+    SchedulePhase,
+)
+
+EXPECTED_NAMES = (
+    "blackout_windows",
+    "bursty_arrival",
+    "cold_start_flood",
+    "heavy_tail_outburst",
+    "regime_shift",
+    "seasonality_change",
+)
+
+
+class TestRegistry:
+    def test_all_scenarios_registered(self):
+        assert available_scenarios() == EXPECTED_NAMES
+
+    def test_get_scenario_roundtrip(self):
+        for name in EXPECTED_NAMES:
+            scenario = get_scenario(name)
+            assert scenario.name == name
+            assert scenario.summary
+            assert scenario.summary in scenario.description
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="regime_shift"):
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scenario(get_scenario("regime_shift"))
+
+
+class TestGeneratorSpec:
+    def test_plain_build_shape(self):
+        spec = GeneratorSpec(dims=(4, 5), rank=2, period=6, n_steps=30)
+        data = spec.build(seed=0)
+        assert data.shape == (4, 5, 30)
+
+    def test_regime_shift_changes_tail(self):
+        spec = GeneratorSpec(
+            dims=(4, 5),
+            rank=2,
+            period=6,
+            n_steps=30,
+            noise=0.0,
+            regime_shift_at=15,
+            regime_scale=2.0,
+        )
+        shifted = spec.build(seed=0)
+        plain = GeneratorSpec(
+            dims=(4, 5), rank=2, period=6, n_steps=30, noise=0.0
+        ).build(seed=0)
+        np.testing.assert_array_equal(shifted[..., :15], plain[..., :15])
+        assert not np.allclose(shifted[..., 15:], plain[..., 15:])
+
+    def test_at_most_one_event(self):
+        with pytest.raises(ConfigError):
+            GeneratorSpec(
+                dims=(4,),
+                rank=2,
+                period=6,
+                n_steps=30,
+                regime_shift_at=10,
+                period_change_at=20,
+                new_period=9,
+            )
+
+    def test_period_change_requires_new_period(self):
+        with pytest.raises(ConfigError):
+            GeneratorSpec(
+                dims=(4,), rank=2, period=6, n_steps=30, period_change_at=10
+            )
+
+    def test_changepoint_must_be_interior(self):
+        with pytest.raises(ConfigError):
+            GeneratorSpec(
+                dims=(4,), rank=2, period=6, n_steps=30, regime_shift_at=30
+            )
+
+    def test_tiny_shrinks_and_rescales(self):
+        spec = GeneratorSpec(
+            dims=(20, 30),
+            rank=3,
+            period=10,
+            n_steps=400,
+            regime_shift_at=200,
+        )
+        tiny = spec.tiny()
+        assert tiny.n_steps == 80
+        assert tiny.dims == (6, 6)
+        assert tiny.regime_shift_at == 40
+        tiny.build(seed=0)  # still generates
+
+
+class TestRescaleSchedule:
+    def test_phases_and_windows_scale(self):
+        schedule = CorruptionSchedule(
+            phases=(
+                SchedulePhase(0, 100, CorruptionSpec(10, 0, 0)),
+                SchedulePhase(100, None, CorruptionSpec(50, 0, 0)),
+            ),
+            windows=(BlackoutWindow(start=120, stop=160),),
+        )
+        scaled = rescale_schedule(schedule, 200, 80)
+        assert scaled.phases[0].stop == 40
+        assert scaled.phases[1].start == 40
+        assert (scaled.windows[0].start, scaled.windows[0].stop) == (48, 64)
+
+    def test_identity_when_same_length(self):
+        schedule = CorruptionSchedule(
+            phases=(SchedulePhase(0, None, CorruptionSpec(10, 0, 0)),)
+        )
+        assert rescale_schedule(schedule, 50, 50) is schedule
+
+    def test_every_scenario_tiny_schedule_valid(self):
+        for name in EXPECTED_NAMES:
+            generator, schedule = get_scenario(name).sized(tiny=True)
+            for phase in schedule.phases:
+                assert phase.resolve_stop(generator.n_steps) <= generator.n_steps
+            for window in schedule.windows:
+                assert window.start < generator.n_steps
+
+
+class TestQualityEnvelope:
+    def test_inside_envelope_no_violations(self):
+        envelope = QualityEnvelope(max_rae=0.5, max_final_nre=0.5)
+        assert envelope.check(rae=0.3, final_nre=0.4, afe=99.0) == ()
+
+    def test_violations_reported(self):
+        envelope = QualityEnvelope(max_rae=0.5, max_afe=0.5)
+        violations = envelope.check(rae=0.7, afe=0.6)
+        assert len(violations) == 2
+        assert "rae=" in violations[0]
+
+    def test_nan_is_a_violation(self):
+        envelope = QualityEnvelope(max_rae=0.5)
+        assert len(envelope.check(rae=float("nan"))) == 1
+
+    def test_none_bounds_skip(self):
+        assert QualityEnvelope().check(rae=100.0, afe=100.0) == ()
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize(
+        "process",
+        [ConstantArrival(), BurstyArrival(), RampArrival()],
+        ids=["constant", "bursty", "ramp"],
+    )
+    def test_offsets_monotone_and_start_at_zero(self, process):
+        offsets = process.send_offsets(64, 10.0)
+        assert len(offsets) == 64
+        assert offsets[0] == 0.0
+        assert all(a < b for a, b in zip(offsets, offsets[1:]))
+
+    def test_constant_mean_rate(self):
+        offsets = ConstantArrival().send_offsets(51, 10.0)
+        assert offsets[-1] == pytest.approx(5.0)
+
+    def test_bursty_preserves_mean_rate_per_cycle(self):
+        process = BurstyArrival(burst=4, cycle=8, burst_factor=10.0)
+        offsets = process.send_offsets(24, 8.0)
+        # Cycle boundaries land exactly on cycle/rate.
+        assert offsets[8] == pytest.approx(1.0)
+        assert offsets[16] == pytest.approx(2.0)
+        # Inside the burst the gap is 10x tighter than the mean gap.
+        assert offsets[1] - offsets[0] == pytest.approx(1 / 80.0)
+
+    def test_bursty_validation(self):
+        with pytest.raises(ConfigError):
+            BurstyArrival(burst=0)
+        with pytest.raises(ConfigError):
+            BurstyArrival(burst=9, cycle=8)
+        with pytest.raises(ConfigError):
+            BurstyArrival(burst_factor=1.0)
+
+    def test_ramp_accelerates(self):
+        offsets = RampArrival().send_offsets(100, 10.0)
+        first_gap = offsets[1] - offsets[0]
+        last_gap = offsets[-1] - offsets[-2]
+        assert last_gap < first_gap
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigError):
+            ConstantArrival().send_offsets(10, 0.0)
+        with pytest.raises(ConfigError):
+            ConstantArrival().send_offsets(0, 1.0)
+
+
+class TestScenarioValidation:
+    def test_bad_name_rejected(self):
+        scenario = get_scenario("regime_shift")
+        with pytest.raises(ConfigError):
+            Scenario(
+                name="not a slug!",
+                summary=scenario.summary,
+                description=scenario.description,
+                generator=scenario.generator,
+                schedule=scenario.schedule,
+                envelope=scenario.envelope,
+            )
+
+    def test_n_sessions_positive(self):
+        scenario = get_scenario("regime_shift")
+        with pytest.raises(ConfigError):
+            Scenario(
+                name="ok_name",
+                summary=scenario.summary,
+                description=scenario.description,
+                generator=scenario.generator,
+                schedule=scenario.schedule,
+                envelope=scenario.envelope,
+                n_sessions=0,
+            )

@@ -1,0 +1,107 @@
+"""Tests for the open-loop replay harness against a live gateway."""
+
+import json
+import threading
+
+import pytest
+
+from repro.scenarios.replay import (
+    format_replay_report,
+    main as replay_main,
+    run_replay,
+)
+from repro.serving import SessionManager
+from repro.serving.gateway import serve
+
+
+@pytest.fixture
+def gateway():
+    manager = SessionManager(max_batch=8, max_latency_s=0.02)
+    server = serve(manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.close()
+        thread.join(timeout=5)
+
+
+class TestRunReplay:
+    def test_replay_against_existing_gateway(self, gateway):
+        report = run_replay(
+            "cold_start_flood",
+            url=gateway,
+            rate=400.0,
+            slices=20,
+            tiny=True,
+        )
+        assert report.drained
+        assert report.send_errors == 0
+        assert report.slices_per_session == 20
+        assert report.n_sessions == 6
+        snapshot = report.server_metrics
+        assert (
+            snapshot["slices_ingested"]
+            == report.n_sessions * report.slices_per_session
+        )
+        assert report.ingest_latency["count"] > 0
+        assert report.client_rtt["count"] == snapshot["slices_ingested"]
+
+    def test_self_hosted_replay(self):
+        report = run_replay(
+            "bursty_arrival", rate=400.0, slices=16, tiny=True
+        )
+        assert report.drained
+        assert report.send_errors == 0
+        assert report.url.startswith("http://")
+
+    def test_as_dict_has_gateable_latency_keys(self, gateway):
+        report = run_replay(
+            "regime_shift", url=gateway, rate=400.0, slices=12, tiny=True
+        )
+        payload = report.as_dict()
+        for key in (
+            "ingest_p50_seconds",
+            "ingest_p95_seconds",
+            "ingest_p99_seconds",
+            "rtt_p95_seconds",
+        ):
+            assert isinstance(payload[key], float)
+        assert payload["ingest_p99_seconds"] >= payload["ingest_p50_seconds"]
+
+    def test_format_report(self, gateway):
+        report = run_replay(
+            "blackout_windows", url=gateway, rate=400.0, slices=10, tiny=True
+        )
+        text = format_replay_report(report)
+        assert "blackout_windows" in text
+        assert "p95" in text
+
+
+class TestReplayCli:
+    def test_list(self, capsys):
+        assert replay_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "regime_shift" in out
+
+    def test_json_output(self, capsys):
+        code = replay_main(
+            [
+                "--scenario",
+                "cold_start_flood",
+                "--tiny",
+                "--slices",
+                "10",
+                "--rate",
+                "400",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "cold_start_flood"
+        assert payload["drained"] is True

@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConfigError
-from repro.streams import PAPER_SETTINGS, CorruptionSpec, corrupt
+from repro.streams import (
+    PAPER_SETTINGS,
+    BlackoutWindow,
+    CorruptionSchedule,
+    CorruptionSpec,
+    SchedulePhase,
+    blackout_windows_mask,
+    corrupt,
+    corrupt_schedule,
+)
 
 
 @pytest.fixture
@@ -101,3 +110,176 @@ class TestCorrupt:
     def test_shape_property(self, clean):
         result = corrupt(clean, CorruptionSpec(10, 10, 2), seed=11)
         assert result.shape == clean.shape
+
+
+class TestBlackoutWindowsMask:
+    def test_window_edges_exact(self):
+        # [start, stop) semantics: step start-1 observed, start..stop-1
+        # hidden, stop observed again.
+        window = BlackoutWindow(start=5, stop=9, mode_ranges=((2, 4), None))
+        mask = blackout_windows_mask((6, 3, 20), (window,))
+        assert mask[2:4, :, 4].all()
+        assert not mask[2:4, :, 5].any()
+        assert not mask[2:4, :, 8].any()
+        assert mask[2:4, :, 9].all()
+        # Outside the spatial block nothing is hidden.
+        assert mask[:2].all() and mask[4:].all()
+
+    def test_full_subtensor_blackout(self):
+        window = BlackoutWindow(start=0, stop=2)
+        mask = blackout_windows_mask((4, 4, 10), (window,))
+        assert not mask[..., :2].any()
+        assert mask[..., 2:].all()
+
+    def test_ranges_clipped_to_shape(self):
+        window = BlackoutWindow(start=8, stop=99, mode_ranges=((0, 99),))
+        mask = blackout_windows_mask((5, 10), (window,))
+        assert not mask[:, 8:].any()
+        assert mask[:, :8].all()
+
+    def test_window_past_stream_end_is_noop(self):
+        window = BlackoutWindow(start=50, stop=60)
+        mask = blackout_windows_mask((4, 10), (window,))
+        assert mask.all()
+
+    def test_overlapping_windows_union(self):
+        windows = (
+            BlackoutWindow(start=2, stop=6, mode_ranges=((0, 2),)),
+            BlackoutWindow(start=4, stop=8, mode_ranges=((1, 3),)),
+        )
+        mask = blackout_windows_mask((4, 12), windows)
+        assert not mask[0, 2:6].any()
+        assert not mask[1, 2:8].any()  # covered by both
+        assert not mask[2, 4:8].any()
+        assert mask[3].all()
+
+    def test_wrong_rank_of_mode_ranges(self):
+        window = BlackoutWindow(start=0, stop=1, mode_ranges=((0, 1),))
+        with pytest.raises(ConfigError):
+            blackout_windows_mask((4, 4, 10), (window,))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": -1, "stop": 3},
+            {"start": 3, "stop": 3},
+            {"start": 0, "stop": 2, "mode_ranges": ((2, 2),)},
+            {"start": 0, "stop": 2, "mode_ranges": ((-1, 2),)},
+        ],
+    )
+    def test_window_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            BlackoutWindow(**kwargs)
+
+
+class TestCorruptionSchedule:
+    def test_phases_must_not_overlap(self):
+        with pytest.raises(ConfigError):
+            CorruptionSchedule(
+                phases=(
+                    SchedulePhase(0, 10, CorruptionSpec(10, 0, 0)),
+                    SchedulePhase(5, 15, CorruptionSpec(10, 0, 0)),
+                )
+            )
+
+    def test_open_ended_phase_must_be_last(self):
+        with pytest.raises(ConfigError):
+            CorruptionSchedule(
+                phases=(
+                    SchedulePhase(0, None, CorruptionSpec(10, 0, 0)),
+                    SchedulePhase(20, 30, CorruptionSpec(10, 0, 0)),
+                )
+            )
+
+    def test_per_phase_rates(self, clean):
+        schedule = CorruptionSchedule(
+            phases=(
+                SchedulePhase(0, 20, CorruptionSpec(10, 0, 0)),
+                SchedulePhase(20, None, CorruptionSpec(70, 0, 0)),
+            )
+        )
+        result = corrupt_schedule(clean, schedule, seed=0)
+        early = (~result.mask[..., :20]).mean()
+        late = (~result.mask[..., 20:]).mean()
+        assert early == pytest.approx(0.10, abs=0.03)
+        assert late == pytest.approx(0.70, abs=0.03)
+
+    def test_uncovered_steps_stay_clean(self, clean):
+        schedule = CorruptionSchedule(
+            phases=(SchedulePhase(10, 20, CorruptionSpec(50, 20, 4)),)
+        )
+        result = corrupt_schedule(clean, schedule, seed=1)
+        assert result.mask[..., :10].all()
+        assert result.mask[..., 20:].all()
+        np.testing.assert_array_equal(
+            result.observed[..., :10], clean[..., :10]
+        )
+        np.testing.assert_array_equal(
+            result.observed[..., 20:], clean[..., 20:]
+        )
+
+    def test_outlier_magnitude_uses_global_scale(self, clean):
+        schedule = CorruptionSchedule(
+            phases=(SchedulePhase(0, 10, CorruptionSpec(0, 20, 3)),)
+        )
+        result = corrupt_schedule(clean, schedule, seed=2)
+        deviation = result.observed - result.clean
+        hit = result.outlier_mask
+        np.testing.assert_allclose(
+            np.abs(deviation[hit]), 3 * np.abs(clean).max(), rtol=1e-6
+        )
+        np.testing.assert_array_equal(deviation[~hit], 0.0)
+
+    def test_blackouts_compose_with_random_missingness(self, clean):
+        window = BlackoutWindow(start=5, stop=15, mode_ranges=((0, 8), None))
+        schedule = CorruptionSchedule(
+            phases=(SchedulePhase(0, None, CorruptionSpec(30, 0, 0)),),
+            windows=(window,),
+        )
+        result = corrupt_schedule(clean, schedule, seed=3)
+        # Window region fully hidden regardless of the random draw.
+        assert not result.mask[:8, :, 5:15].any()
+        # Outside the window the random rate still holds.
+        outside = result.mask[8:, :, :]
+        assert (~outside).mean() == pytest.approx(0.30, abs=0.03)
+        # Composition is an intersection: the window cannot *reveal*
+        # entries the random draw hid.
+        rerun = corrupt_schedule(
+            clean,
+            CorruptionSchedule(phases=schedule.phases),
+            seed=3,
+        )
+        assert (result.mask <= rerun.mask).all()
+
+    def test_float32_dtype_preserved(self, clean):
+        schedule = CorruptionSchedule(
+            phases=(SchedulePhase(0, None, CorruptionSpec(30, 10, 2)),),
+            windows=(BlackoutWindow(start=0, stop=3),),
+        )
+        result = corrupt_schedule(
+            clean.astype(np.float32), schedule, seed=4
+        )
+        assert result.clean.dtype == np.float32
+        assert result.observed.dtype == np.float32
+        assert result.mask.dtype == bool
+
+    def test_reproducible(self, clean):
+        schedule = CorruptionSchedule(
+            phases=(
+                SchedulePhase(0, 15, CorruptionSpec(20, 10, 2)),
+                SchedulePhase(15, None, CorruptionSpec(70, 20, 5)),
+            ),
+            windows=(BlackoutWindow(start=3, stop=6, mode_ranges=((0, 4), None)),),
+        )
+        r1 = corrupt_schedule(clean, schedule, seed=5)
+        r2 = corrupt_schedule(clean, schedule, seed=5)
+        np.testing.assert_array_equal(r1.observed, r2.observed)
+        np.testing.assert_array_equal(r1.mask, r2.mask)
+
+    def test_clean_input_untouched(self, clean):
+        snapshot = clean.copy()
+        schedule = CorruptionSchedule(
+            phases=(SchedulePhase(0, None, CorruptionSpec(50, 20, 4)),)
+        )
+        corrupt_schedule(clean, schedule, seed=6)
+        np.testing.assert_array_equal(clean, snapshot)

@@ -224,6 +224,92 @@ def test_main_rejects_mismatched_pair_counts(gate, tmp_path):
         )
 
 
+def _scenario_report(**cases):
+    return {
+        "benchmark": "scenarios",
+        "results": [
+            {
+                "case": name,
+                "rae": rae,
+                "final_nre": nre,
+                "afe": afe,
+                "ingest_p95_seconds": p95,
+            }
+            for name, (rae, nre, afe, p95) in cases.items()
+        ],
+    }
+
+
+def test_accuracy_fields_are_auto_detected_and_gated(gate):
+    baseline = _scenario_report(s=(0.10, 0.10, 0.10, 0.2))
+    fresh = _scenario_report(s=(0.30, 0.10, 0.10, 0.2))  # rae 3x, +0.2
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert len(failures) == 1
+    assert "s.rae" in failures[0]
+    assert "ACCURACY REGRESSION" in failures[0]
+
+
+def test_accuracy_growth_below_absolute_floor_passes(gate):
+    # 0.001 -> 0.005 is a 5x ratio but +0.004 absolute: noise, not a
+    # regression worth paging for.
+    baseline = _scenario_report(s=(0.001, 0.10, 0.10, 0.2))
+    fresh = _scenario_report(s=(0.005, 0.10, 0.10, 0.2))
+    _, failures = gate.compare_reports(
+        baseline, fresh, threshold=1.5, min_error=0.02
+    )
+    assert failures == []
+
+
+def test_accuracy_growth_below_ratio_threshold_passes(gate):
+    # +0.1 absolute but only 1.25x: within the ratio headroom.
+    baseline = _scenario_report(s=(0.40, 0.10, 0.10, 0.2))
+    fresh = _scenario_report(s=(0.50, 0.10, 0.10, 0.2))
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert failures == []
+
+
+def test_accuracy_improvement_passes(gate):
+    baseline = _scenario_report(s=(0.50, 0.50, 0.50, 0.2))
+    fresh = _scenario_report(s=(0.05, 0.05, 0.05, 0.2))
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert failures == []
+
+
+def test_missing_accuracy_field_fails(gate):
+    baseline = _scenario_report(s=(0.10, 0.10, 0.10, 0.2))
+    fresh = _scenario_report(s=(0.10, 0.10, 0.10, 0.2))
+    del fresh["results"][0]["final_nre"]
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert len(failures) == 1
+    assert "final_nre" in failures[0] and "missing" in failures[0]
+
+
+def test_accuracy_and_latency_gate_independently(gate):
+    baseline = _scenario_report(s=(0.10, 0.10, 0.10, 0.2))
+    fresh = _scenario_report(s=(0.40, 0.10, 0.10, 0.5))
+    _, failures = gate.compare_reports(baseline, fresh, threshold=1.5)
+    assert len(failures) == 2
+    assert any("ingest_p95_seconds" in f for f in failures)
+    assert any("s.rae" in f for f in failures)
+
+
+def test_committed_scenarios_baseline_is_valid(gate):
+    baseline_path = (
+        _MODULE_PATH.parent / "baseline" / "BENCH_scenarios.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    _, failures = gate.compare_reports(baseline, baseline, threshold=1.5)
+    assert failures == []
+    cases = {e["case"]: e for e in baseline["results"]}
+    assert len(cases) == 6
+    for entry in cases.values():
+        # Each case carries both gated halves: accuracy + latency.
+        assert {"rae", "final_nre", "afe"} <= set(entry)
+        assert {"ingest_p95_seconds", "ingest_p99_seconds"} <= set(entry)
+        assert entry["envelope_violations"] == 0
+        assert entry["drained"] is True
+
+
 def test_committed_baseline_is_valid(gate):
     baseline_path = (
         _MODULE_PATH.parent / "baseline" / "BENCH_kernels.json"

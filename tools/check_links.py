@@ -1,0 +1,109 @@
+"""Check that relative links and path references in the docs resolve.
+
+Scans markdown files (``docs/`` and the top-level ``README.md`` by
+default) for two kinds of references:
+
+* markdown links ``[text](target)`` — external schemes (http, https,
+  mailto) are skipped, ``#anchors`` are stripped, and the remaining
+  path must exist relative to the file containing the link;
+* backticked repo paths like ``benchmarks/bench_scenarios.py`` or
+  ``src/repro/serving/`` — anything that looks like a multi-segment
+  path with a known source suffix (or trailing slash) must exist
+  relative to the repository root, so prose that names a file keeps
+  pace with renames.
+
+Exit status is non-zero if anything dangles.  Run::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK_RE = re.compile(r"`([^`\s]+)`")
+
+#: Backticked tokens must look like repo paths to be checked: at least
+#: one slash plus a recognised suffix (or a trailing slash for
+#: directories).  Everything else in backticks is code, not a path.
+PATH_SUFFIXES = (".py", ".md", ".json", ".yml", ".yaml", ".toml", ".txt")
+
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(paths: list[pathlib.Path]):
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md":
+            yield path
+
+
+def check_file(markdown: pathlib.Path) -> list[str]:
+    """Dangling references in one file, as report lines."""
+    problems = []
+    text = markdown.read_text()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_SCHEMES) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        resolved = (markdown.parent / path).resolve()
+        if not resolved.exists():
+            problems.append(f"{markdown}: broken link -> {target}")
+    for match in BACKTICK_RE.finditer(text):
+        token = match.group(1)
+        if "/" not in token or token.startswith(EXTERNAL_SCHEMES):
+            continue
+        if token.startswith("/"):
+            continue  # absolute paths are URL routes, not repo files
+        is_dir_ref = token.endswith("/")
+        if not is_dir_ref and not token.endswith(PATH_SUFFIXES):
+            continue
+        cleaned = token.rstrip("/:")
+        if cleaned.startswith("./"):
+            cleaned = cleaned[2:]
+        if not (REPO_ROOT / cleaned).exists():
+            problems.append(f"{markdown}: path reference -> {token}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when docs contain dangling relative links or "
+        "references to repo paths that don't exist."
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to scan (default: docs/ and README.md)",
+    )
+    args = parser.parse_args(argv)
+    if args.paths:
+        roots = [pathlib.Path(p) for p in args.paths]
+    else:
+        roots = [REPO_ROOT / "docs", REPO_ROOT / "README.md"]
+
+    problems = []
+    scanned = 0
+    for markdown in iter_markdown_files(roots):
+        scanned += 1
+        problems.extend(check_file(markdown))
+    if problems:
+        print(f"{len(problems)} dangling reference(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"checked {scanned} markdown file(s): all references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
