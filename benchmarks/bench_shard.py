@@ -1,0 +1,259 @@
+"""Shard bench: router fleet throughput + a sharded replay, gated.
+
+Two measurements, three gated cases:
+
+* ``shard_throughput_1`` / ``shard_throughput_2`` — the same
+  many-session ingest load (64 sessions full-size, 16 with
+  ``--quick``) pushed through a self-hosted router fronting one vs two
+  gateway shards.  Both runs go through the router so the comparison
+  isolates the effect of sharding, not router overhead.  The gated
+  field is ``total_wall_seconds`` (``check_regression.py``'s
+  ``*_seconds`` ratio rules); the ingest/drain split rides along in
+  ms, ungated, because where the boundary lands between them is
+  backpressure-timing noise.  The 2-shard entry also carries
+  ``two_shard_ratio``
+  (1-shard wall over 2-shard wall) *outside* the gated ``speedup`` key
+  on purpose — in-process shards share the CPU budget, so the ratio is
+  an informational signal, not a machine-independent invariant worth
+  paging on.
+* ``shard_replay_bursty`` — the ``bursty_arrival`` scenario replayed
+  through a self-hosted two-shard router
+  (:func:`repro.scenarios.replay.run_replay` with ``shards=2``):
+  ``ingest_p95_seconds``/``ingest_p99_seconds`` fleet-aggregated
+  percentiles, gated by the same ratio rules.  A replay that fails to
+  drain, errors, or stalls fails this bench directly, before the
+  regression gate even runs.
+
+``--quick`` shrinks the load for CI; the committed baseline in
+``benchmarks/baseline/BENCH_shard.json`` is a ``--quick`` run so the
+gate compares like with like.
+
+Run::
+
+    python benchmarks/bench_shard.py --quick --json BENCH_shard.json
+"""
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.scenarios.replay import run_replay
+from repro.serving import HTTPServingClient
+from repro.serving.shard import start_local_cluster
+
+#: Slice shape of the synthetic throughput sessions.
+DIMS = (5, 4)
+
+#: Serving-path config: modest iteration caps, same spirit as the
+#: replay harness — this bench measures the serving path, the offline
+#: runner owns accuracy.
+SESSION_CONFIG = {
+    "rank": 2,
+    "period": 4,
+    "init_seasons": 2,
+    "max_outer_iters": 5,
+    "tol": 1e-2,
+}
+
+
+def _session_streams(n_sessions, n_slices, seed):
+    """One (slices, masks) stream per session, deterministic."""
+    rng = np.random.default_rng(seed)
+    streams = []
+    for _ in range(n_sessions):
+        slices = rng.normal(size=(n_slices, *DIMS))
+        masks = rng.random((n_slices, *DIMS)) > 0.2
+        streams.append((slices, masks))
+    return streams
+
+
+def run_throughput(
+    n_shards, *, n_sessions, n_slices, seed, client_threads=8
+):
+    """Wall-clock of one many-session load through an N-shard fleet."""
+    streams = _session_streams(n_sessions, n_slices, seed)
+    cluster = start_local_cluster(
+        n_shards, max_batch=8, max_latency_s=0.02
+    )
+    try:
+        admin = HTTPServingClient(cluster.url)
+        session_ids = [f"tp-{i}" for i in range(n_sessions)]
+        for session_id in session_ids:
+            admin.create_session(session_id, dict(SESSION_CONFIG))
+
+        # A small pool of client threads, each driving its stripe of
+        # sessions round-robin: enough concurrency to keep every shard
+        # busy without 64 sender threads of scheduler noise.
+        def worker(stripe):
+            client = HTTPServingClient(cluster.url)
+            for t in range(n_slices):
+                for index in stripe:
+                    slices, masks = streams[index]
+                    client.ingest(
+                        session_ids[index], slices[t], masks[t]
+                    )
+
+        stripes = [
+            list(range(start, n_sessions, client_threads))
+            for start in range(min(client_threads, n_sessions))
+        ]
+        threads = [
+            threading.Thread(target=worker, args=(stripe,), daemon=True)
+            for stripe in stripes
+            if stripe
+        ]
+        ingest_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ingest_wall = time.perf_counter() - ingest_start
+
+        drain_start = time.perf_counter()
+        while True:
+            snapshot = admin.metrics()
+            if snapshot["slices_flushed"] >= snapshot["slices_ingested"]:
+                break
+            time.sleep(0.01)
+        drain_wall = time.perf_counter() - drain_start
+
+        total_wall = ingest_wall + drain_wall
+        total_slices = n_sessions * n_slices
+        for session_id in session_ids:
+            admin.close_session(session_id)
+        return {
+            "case": f"shard_throughput_{n_shards}",
+            "shards": n_shards,
+            "n_sessions": n_sessions,
+            "slices_per_session": n_slices,
+            # The ingest/drain split rides along in ms, outside the
+            # gated *_seconds suffix: where the boundary lands depends
+            # on whether server backpressure surfaces during the sends
+            # or after them, which swings 2-10x run to run while the
+            # sum stays stable.  Only the sum is gated.
+            "ingest_wall_ms": ingest_wall * 1e3,
+            "drain_wall_ms": drain_wall * 1e3,
+            "total_wall_seconds": total_wall,
+            "slices_per_second": total_slices / total_wall,
+        }
+    finally:
+        cluster.close()
+
+
+def run_shard_report(*, quick=False, seed=0):
+    """Throughput at 1 vs 2 shards plus a sharded replay; gated."""
+    n_sessions = 16 if quick else 64
+    n_slices = 12 if quick else 24
+    violations = []
+
+    one = run_throughput(
+        1, n_sessions=n_sessions, n_slices=n_slices, seed=seed
+    )
+    two = run_throughput(
+        2, n_sessions=n_sessions, n_slices=n_slices, seed=seed
+    )
+    two["two_shard_ratio"] = (
+        one["total_wall_seconds"] / max(two["total_wall_seconds"], 1e-9)
+    )
+
+    replay = run_replay(
+        "bursty_arrival",
+        rate=300.0,
+        slices=24 if quick else None,
+        tiny=quick,
+        seed=seed,
+        shards=2,
+    )
+    replay_payload = replay.as_dict()
+    replay_entry = {
+        "case": "shard_replay_bursty",
+        "shards": replay.shards,
+        "n_sessions": replay.n_sessions,
+        "slices_per_session": replay.slices_per_session,
+        "achieved_rate": replay.achieved_rate,
+        "drained": replay.drained,
+        "send_errors": replay.send_errors,
+        "ingest_p95_seconds": replay_payload["ingest_p95_seconds"],
+        "ingest_p99_seconds": replay_payload["ingest_p99_seconds"],
+        "rtt_p95_ms": replay_payload["rtt_p95_seconds"] * 1e3,
+    }
+    if not replay.drained:
+        violations.append("sharded replay did not drain")
+    if replay.send_errors:
+        violations.append(
+            f"sharded replay hit {replay.send_errors} send errors"
+        )
+    if replay.stalled_sessions:
+        violations.append(
+            "sharded replay stalled sessions: "
+            f"{list(replay.stalled_sessions)}"
+        )
+
+    payload = {
+        "benchmark": "shard",
+        "quick": quick,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": [one, two, replay_entry],
+    }
+    return payload, violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Router fleet throughput (1 vs 2 shards) and a "
+        "2-shard scenario replay."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run (16 sessions, 12 slices, tiny replay)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="also write the report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    payload, violations = run_shard_report(
+        quick=args.quick, seed=args.seed
+    )
+    for entry in payload["results"]:
+        if entry["case"].startswith("shard_throughput"):
+            ratio = entry.get("two_shard_ratio")
+            print(
+                f"{entry['case']}: {entry['n_sessions']} sessions x "
+                f"{entry['slices_per_session']} slices in "
+                f"{entry['total_wall_seconds']:.2f}s "
+                f"({entry['slices_per_second']:.0f} sl/s"
+                + (f", {ratio:.2f}x vs 1 shard)" if ratio else ")")
+            )
+        else:
+            print(
+                f"{entry['case']}: ingest p95/p99 "
+                f"{entry['ingest_p95_seconds'] * 1e3:.0f}/"
+                f"{entry['ingest_p99_seconds'] * 1e3:.0f} ms "
+                f"({entry['achieved_rate']:.0f} sl/s achieved)"
+            )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if violations:
+        print(f"\n{len(violations)} shard violation(s):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

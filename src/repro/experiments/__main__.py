@@ -121,6 +121,16 @@ def _cmd_scenario(args) -> str:
             rows,
             title="Registered scenarios (run with scenario --name <name>)",
         )
+    if args.replay:
+        from repro.scenarios.replay import format_replay_report, run_replay
+
+        report = run_replay(
+            args.name,
+            tiny=args.tiny,
+            seed=args.seed,
+            shards=args.shards,
+        )
+        return format_replay_report(report)
     result = run_scenario(args.name, seed=args.seed, tiny=args.tiny)
     return format_scenario_report(result)
 
@@ -173,6 +183,20 @@ def main(argv: Sequence[str] | None = None) -> str:
         type=int,
         default=0,
         help="corruption/generation seed for the scenario command",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="for the scenario command: replay the scenario's live "
+        "traffic against a self-hosted gateway instead of running "
+        "the offline accuracy protocol",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="with --replay: self-host this many gateways behind a "
+        "consistent-hash shard router (default 1: a bare gateway)",
     )
     parser.add_argument(
         "--iters",

@@ -10,7 +10,15 @@ phase it waits for the server to drain, then reads
 p50/p95/p99 ingest latency from the server's ``/metrics`` histograms
 and reports them next to client-side round-trip percentiles.  With no
 ``--url`` it self-hosts a gateway in-process, which is what the CI
-bench uses.  Entry point: ``repro-serve-replay``.
+bench uses — and with ``--shards N`` it self-hosts N gateways behind a
+consistent-hash :mod:`repro.serving.shard` router and drives the whole
+fleet through the router URL.  Entry point: ``repro-serve-replay``.
+
+Failure accounting is explicit: sender threads are joined against a
+deadline derived from the arrival schedule (a wedged server can no
+longer hang the harness forever), stalled sessions are named in the
+report and fail the run, and every send error is recorded with its
+exception type and message per session instead of being a bare count.
 """
 
 from __future__ import annotations
@@ -31,6 +39,12 @@ __all__ = ["ReplayReport", "format_replay_report", "main", "run_replay"]
 #: How long to wait for the server to flush everything after sending.
 _DRAIN_TIMEOUT_S = 60.0
 
+#: Grace added to the schedule's last send offset when joining sender
+#: threads.  Covers the worst case of one final request riding out the
+#: client's full HTTP timeout plus scheduler jitter; past the deadline
+#: a sender is declared stalled rather than joined forever.
+_JOIN_GRACE_S = 60.0
+
 
 @dataclass(frozen=True)
 class ReplayReport:
@@ -49,6 +63,14 @@ class ReplayReport:
     drained: bool
     server_metrics: dict = field(repr=False)
     client_rtt: dict = field(repr=False)
+    #: Gateways behind the URL: 1 for a bare gateway, N when the
+    #: harness self-hosted an N-shard router fleet.
+    shards: int = 1
+    #: Session ids whose sender thread missed the join deadline.
+    stalled_sessions: tuple = ()
+    #: Per-session send failures: id -> {"count", "type", "message"}
+    #: (type/message are from the session's first error).
+    session_errors: dict = field(default_factory=dict, repr=False)
 
     @property
     def ingest_latency(self) -> dict:
@@ -68,6 +90,9 @@ class ReplayReport:
             "achieved_rate": self.achieved_rate,
             "send_errors": self.send_errors,
             "drained": self.drained,
+            "shards": self.shards,
+            "stalled_sessions": list(self.stalled_sessions),
+            "session_errors": self.session_errors,
             "ingest_p50_seconds": ingest.get("p50_seconds", 0.0),
             "ingest_p95_seconds": ingest.get("p95_seconds", 0.0),
             "ingest_p99_seconds": ingest.get("p99_seconds", 0.0),
@@ -100,13 +125,20 @@ def run_replay(
     slices: int | None = None,
     tiny: bool = False,
     seed: int = 0,
+    shards: int = 1,
 ) -> ReplayReport:
     """Replay one scenario's traffic and collect latency percentiles.
 
     ``rate`` is the *aggregate* offered load in slices/second across
     all of the scenario's sessions.  With ``url=None`` a gateway is
-    self-hosted in-process for the duration of the run.
+    self-hosted in-process for the duration of the run — or, with
+    ``shards > 1``, a fleet of that many gateways behind a
+    consistent-hash shard router, with the traffic driven through the
+    router URL.  ``shards`` is only about self-hosting; against an
+    external ``url`` the server's own topology is whatever it is.
     """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     scenario = get_scenario(name)
     generator, schedule = scenario.sized(tiny=tiny)
     corrupted = corrupt_schedule(generator.build(seed=seed), schedule, seed=seed)
@@ -117,13 +149,24 @@ def run_replay(
 
     server = None
     manager = None
+    cluster = None
     if url is None:
-        manager = SessionManager(max_batch=8, max_latency_s=0.02)
-        from repro.serving.gateway import serve
+        if shards > 1:
+            from repro.serving.shard import start_local_cluster
 
-        server = serve(manager)
-        threading.Thread(target=server.serve_forever, daemon=True).start()
-        url = f"http://{server.server_address[0]}:{server.server_address[1]}"
+            cluster = start_local_cluster(
+                shards, max_batch=8, max_latency_s=0.02
+            )
+            url = cluster.url
+        else:
+            manager = SessionManager(max_batch=8, max_latency_s=0.02)
+            from repro.serving.gateway import serve
+
+            server = serve(manager)
+            threading.Thread(
+                target=server.serve_forever, daemon=True
+            ).start()
+            url = f"http://{server.server_address[0]}:{server.server_address[1]}"
     try:
         return _drive(
             scenario_name=name,
@@ -135,13 +178,20 @@ def run_replay(
             n_slices=n_slices,
             offered_rate=rate,
             offsets=offsets,
+            shards=shards,
         )
     finally:
+        # Every self-hosted server must die with the run: shutdown()
+        # stops the accept loop, server_close() releases the socket.
+        # The router cluster owns its backends and managers and closes
+        # them all in one call.
         if server is not None:
             server.shutdown()
             server.server_close()
         if manager is not None:
             manager.close()
+        if cluster is not None:
+            cluster.close()
 
 
 def _drive(
@@ -155,6 +205,7 @@ def _drive(
     n_slices: int,
     offered_rate: float,
     offsets: Sequence[float],
+    shards: int = 1,
 ) -> ReplayReport:
     client = HTTPServingClient(url)
     session_ids = [f"{scenario_name}-{i}" for i in range(n_sessions)]
@@ -164,6 +215,9 @@ def _drive(
     rtt = LatencyHistogram()
     rtt_lock = threading.Lock()
     errors = [0] * n_sessions
+    # First failure per sender, by index; slots are thread-private so
+    # senders write without a lock.
+    first_errors: list[tuple[str, str] | None] = [None] * n_sessions
     barrier = threading.Barrier(n_sessions + 1)
 
     def sender(index: int, session_id: str) -> None:
@@ -183,8 +237,13 @@ def _drive(
                     corrupted.observed[..., t],
                     corrupted.mask[..., t],
                 )
-            except Exception:
+            except Exception as exc:  # noqa: BLE001 - open-loop sender
+                # Open-loop senders keep offering load past a failure,
+                # but the failure itself must not vanish: count it and
+                # keep the first one's type/message for the report.
                 errors[index] += 1
+                if first_errors[index] is None:
+                    first_errors[index] = (type(exc).__name__, str(exc))
                 continue
             elapsed = time.monotonic() - sent_at
             with rtt_lock:
@@ -198,13 +257,33 @@ def _drive(
         thread.start()
     barrier.wait()
     send_start = time.monotonic()
-    for thread in threads:
-        thread.join()
+    # The schedule bounds how long a healthy sender can possibly run:
+    # the last send fires at offsets[-1], so past that plus grace a
+    # thread still alive is wedged (server hung mid-request, deadlock)
+    # and waiting longer only hangs the harness with it.
+    join_deadline = send_start + (offsets[-1] if len(offsets) else 0.0) + _JOIN_GRACE_S
+    stalled = []
+    for thread, session_id in zip(threads, session_ids):
+        thread.join(timeout=max(0.0, join_deadline - time.monotonic()))
+        if thread.is_alive():
+            stalled.append(session_id)
     send_seconds = time.monotonic() - send_start
+
+    session_errors = {
+        session_id: {
+            "count": errors[index],
+            "type": first_errors[index][0],
+            "message": first_errors[index][1],
+        }
+        for index, session_id in enumerate(session_ids)
+        if errors[index]
+    }
 
     drained, drain_seconds = _wait_for_drain(client)
     snapshot = client.metrics()
     for session_id in session_ids:
+        if session_id in stalled:
+            continue  # its sender may still be mid-request
         client.close_session(session_id)
 
     total_sent = n_sessions * n_slices - sum(errors)
@@ -223,6 +302,9 @@ def _drive(
         drained=drained,
         server_metrics=snapshot,
         client_rtt=rtt.summary(),
+        shards=shards,
+        stalled_sessions=tuple(stalled),
+        session_errors=session_errors,
     )
 
 
@@ -240,8 +322,13 @@ def _wait_for_drain(client: HTTPServingClient) -> tuple[bool, float]:
 def format_replay_report(report: ReplayReport) -> str:
     """Human-readable replay summary for the CLI."""
     ingest = report.ingest_latency
+    via = (
+        f" (self-hosted {report.shards}-shard router)"
+        if report.shards > 1
+        else ""
+    )
     lines = [
-        f"replay {report.scenario} against {report.url}",
+        f"replay {report.scenario} against {report.url}{via}",
         f"  sessions {report.n_sessions}  slices/session "
         f"{report.slices_per_session}  errors {report.send_errors}",
         f"  offered {report.offered_rate:.1f} slices/s, achieved "
@@ -257,6 +344,16 @@ def format_replay_report(report: ReplayReport) -> str:
         f"p95 {report.client_rtt.get('p95_seconds', 0.0) * 1e3:.1f} ms  "
         f"p99 {report.client_rtt.get('p99_seconds', 0.0) * 1e3:.1f} ms",
     ]
+    for session_id, detail in sorted(report.session_errors.items()):
+        lines.append(
+            f"  error {session_id}: {detail['count']}x "
+            f"{detail['type']}: {detail['message']}"
+        )
+    for session_id in report.stalled_sessions:
+        lines.append(
+            f"  STALLED {session_id}: sender missed the join deadline "
+            f"({_JOIN_GRACE_S:.0f}s past the schedule's last send)"
+        )
     return "\n".join(lines)
 
 
@@ -281,6 +378,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--url",
         default=None,
         help="gateway base URL; omit to self-host one in-process",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="when self-hosting (no --url), run this many gateways "
+        "behind a consistent-hash shard router and replay through "
+        "the router (default 1: a bare gateway)",
     )
     parser.add_argument(
         "--rate",
@@ -310,6 +415,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name in available_scenarios():
             print(f"{name}: {get_scenario(name).summary}")
         return 0
+    if args.url is not None and args.shards != 1:
+        parser.error("--shards only applies when self-hosting (no --url)")
     report = run_replay(
         args.scenario,
         url=args.url,
@@ -317,12 +424,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         slices=args.slices,
         tiny=args.tiny,
         seed=args.seed,
+        shards=args.shards,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
         print(format_replay_report(report))
-    return 0 if report.drained and report.send_errors == 0 else 1
+    healthy = (
+        report.drained
+        and report.send_errors == 0
+        and not report.stalled_sessions
+    )
+    return 0 if healthy else 1
 
 
 if __name__ == "__main__":

@@ -45,6 +45,12 @@ from repro.serving.pool import (
     make_worker_pool,
 )
 from repro.serving.scheduler import MicroBatchScheduler, PendingSlice
+from repro.serving.shard import (
+    HashRing,
+    LocalCluster,
+    ShardRouterServer,
+    start_local_cluster,
+)
 from repro.serving.store import CheckpointStore
 from repro.serving.worker import FlushRequest, FlushResult
 
@@ -54,19 +60,23 @@ __all__ = [
     "FlushResult",
     "ForecastResult",
     "HTTPServingClient",
+    "HashRing",
     "ImputeResult",
     "InProcessServingClient",
     "IngestAck",
     "LatencyHistogram",
+    "LocalCluster",
     "MicroBatchScheduler",
     "PendingSlice",
     "ProcessWorkerPool",
     "ServingClient",
     "ServingMetrics",
     "SessionManager",
+    "ShardRouterServer",
     "SliceResult",
     "ThreadWorkerPool",
     "WorkerPool",
     "make_config",
     "make_worker_pool",
+    "start_local_cluster",
 ]

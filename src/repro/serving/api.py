@@ -213,3 +213,15 @@ class ServingClient(Protocol):
     def close_session(
         self, session_id: str, *, checkpoint_path: str | None = None
     ) -> str | None: ...
+
+    def export_session(self, session_id: str) -> dict: ...
+
+    def import_session(
+        self,
+        session_id: str,
+        state: bytes,
+        *,
+        next_seq: int | None = None,
+        consumed: int | None = None,
+        kernel_backend: str | None = None,
+    ) -> dict: ...

@@ -17,6 +17,7 @@ Arrays come back as :class:`numpy.ndarray` fields from both.
 
 from __future__ import annotations
 
+import base64
 import json
 import urllib.error
 import urllib.parse
@@ -123,6 +124,26 @@ class InProcessServingClient:
             session_id, checkpoint_path=checkpoint_path
         )
 
+    def export_session(self, session_id: str) -> dict:
+        return self._manager.export_session(session_id)
+
+    def import_session(
+        self,
+        session_id: str,
+        state: bytes,
+        *,
+        next_seq: int | None = None,
+        consumed: int | None = None,
+        kernel_backend: str | None = None,
+    ) -> dict:
+        return self._manager.import_session(
+            session_id,
+            state,
+            next_seq=next_seq,
+            consumed=consumed,
+            kernel_backend=kernel_backend,
+        )
+
 
 #: Server error types -> client-side exception classes.
 _ERROR_TYPES = {
@@ -136,15 +157,29 @@ _ERROR_TYPES = {
 
 
 class HTTPServingClient:
-    """Talk to a running ``repro-serve`` gateway (stdlib urllib).
+    """Talk to a ``repro-serve`` gateway or a shard router (urllib).
 
     Targets the versioned ``/v1`` surface; pass the bare base URL
-    (``http://host:port``) without the version prefix.
+    (``http://host:port``) without the version prefix.  The client is
+    shard-aware: pointed at a ``repro-serve-router`` it drives the
+    whole fleet through the one URL (the router proxies and the error
+    envelope survives the extra hop unchanged), and any ``307``/``308``
+    redirect a gateway or router answers — including redirects that
+    relocate a session onto its owning shard — is followed
+    transparently, re-issuing the original method and body, up to
+    ``max_redirects`` hops.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        max_redirects: int = 4,
+    ) -> None:
         self._base = base_url.rstrip("/") + "/v1"
         self._timeout = timeout
+        self._max_redirects = max_redirects
 
     # ------------------------------------------------------------------
     # Transport
@@ -157,16 +192,31 @@ class HTTPServingClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self._base + path, data=body, headers=headers, method=method
+        url = self._base + path
+        for _ in range(self._max_redirects + 1):
+            request = urllib.request.Request(
+                url, data=body, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self._timeout
+                ) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # urllib's own redirect handler refuses to re-send a
+                # body on 307/308, so sharded placement redirects land
+                # here; follow them ourselves, method and body intact.
+                if exc.code in (307, 308):
+                    location = exc.headers.get("Location")
+                    if location:
+                        exc.close()
+                        url = urllib.parse.urljoin(url, location)
+                        continue
+                raise self._map_error(exc) from None
+        raise SessionError(
+            f"{method} {path}: more than {self._max_redirects} "
+            "redirects; the gateway topology is looping"
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self._timeout
-            ) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raise self._map_error(exc) from None
 
     @staticmethod
     def _map_error(exc: urllib.error.HTTPError) -> Exception:
@@ -273,3 +323,58 @@ class HTTPServingClient:
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
+
+    # ------------------------------------------------------------------
+    # Migration and sharding
+    # ------------------------------------------------------------------
+    def export_session(self, session_id: str) -> dict:
+        """Drain and export one session's portable state.
+
+        Mirrors :meth:`SessionManager.export_session`: the ``state``
+        field comes back as real bytes (decoded from the wire base64),
+        ready to feed :meth:`import_session` on another gateway.
+        """
+        response = self._request(
+            "POST", f"/sessions/{session_id}/export"
+        )
+        response["state"] = base64.b64decode(response["state"])
+        return response
+
+    def import_session(
+        self,
+        session_id: str,
+        state: bytes,
+        *,
+        next_seq: int | None = None,
+        consumed: int | None = None,
+        kernel_backend: str | None = None,
+    ) -> dict:
+        """Adopt an exported session on this gateway; returns its info."""
+        payload: dict = {
+            "state": base64.b64encode(state).decode("ascii")
+        }
+        if next_seq is not None:
+            payload["next_seq"] = int(next_seq)
+        if consumed is not None:
+            payload["consumed"] = int(consumed)
+        if kernel_backend is not None:
+            payload["kernel_backend"] = kernel_backend
+        return self._request(
+            "POST", f"/sessions/{session_id}/import", payload
+        )
+
+    def migrate_session(self, session_id: str, target: str) -> dict:
+        """Ask a shard router to move a live session to ``target``.
+
+        Only meaningful against ``repro-serve-router``; a plain
+        gateway answers with its usual no-route error envelope.
+        """
+        return self._request(
+            "POST",
+            f"/sessions/{session_id}/migrate",
+            {"target": target},
+        )
+
+    def shards(self) -> dict:
+        """The router's shard topology (``GET /v1/shards``)."""
+        return self._request("GET", "/shards")

@@ -19,7 +19,18 @@ POST     ``/v1/sessions/<id>/slices``        ``{"values", "mask"?}`` -> ``seq``
 GET      ``/v1/sessions/<id>/results``       ``?since=<seq>``
 POST     ``/v1/sessions/<id>/impute``        ``{"values", "mask"?}``
 GET      ``/v1/sessions/<id>/forecast``      ``?horizon=<h>``
+POST     ``/v1/sessions/<id>/export``        -- (drains; returns the
+                                             portable session state)
+POST     ``/v1/sessions/<id>/import``        ``{"state": <base64>,
+                                             "next_seq"?, "consumed"?,
+                                             "kernel_backend"?}``
 =======  ==================================  =================================
+
+``export``/``import`` are the live-migration handoff the shard router
+(:mod:`repro.serving.shard`) drives: export drains the session and
+returns its versioned checkpoint bytes (base64 in JSON) plus sequence
+bookkeeping; import adopts that state on another gateway, ready to
+step, with sequence numbering continuing where the source left off.
 
 Arrays travel as (nested) JSON lists; ``impute`` and ``forecast``
 responses carry ``lower``/``upper`` fields (``null`` until the runtime
@@ -47,6 +58,8 @@ configs/shapes/JSON 400, everything else 500.
 from __future__ import annotations
 
 import argparse
+import base64
+import binascii
 import json
 import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -72,7 +85,8 @@ __all__ = ["ServingHTTPServer", "main", "serve"]
 API_PREFIX = "/v1"
 
 _SESSION_PATH = re.compile(
-    r"^/sessions/(?P<sid>[^/]+)(?P<tail>/(?:slices|results|impute|forecast))?$"
+    r"^/sessions/(?P<sid>[^/]+)"
+    r"(?P<tail>/(?:slices|results|impute|forecast|export|import))?$"
 )
 
 
@@ -268,6 +282,43 @@ class _Handler(BaseHTTPRequestHandler):
                     "upper": None,
                 }
             )
+            return True
+        if tail == "/export" and method == "POST":
+            exported = manager.export_session(sid)
+            self._send_json(
+                {
+                    "session_id": sid,
+                    "state": base64.b64encode(
+                        exported["state"]
+                    ).decode("ascii"),
+                    "next_seq": exported["next_seq"],
+                    "consumed": exported["consumed"],
+                    "kernel_backend": exported["kernel_backend"],
+                }
+            )
+            return True
+        if tail == "/import" and method == "POST":
+            payload = self._read_json()
+            if "state" not in payload:
+                raise ValueError("body needs a base64 'state'")
+            try:
+                state = base64.b64decode(
+                    str(payload["state"]), validate=True
+                )
+            except (binascii.Error, ValueError) as exc:
+                raise ValueError(
+                    f"'state' is not valid base64: {exc}"
+                ) from None
+            next_seq = payload.get("next_seq")
+            consumed = payload.get("consumed")
+            info = manager.import_session(
+                sid,
+                state,
+                next_seq=None if next_seq is None else int(next_seq),
+                consumed=None if consumed is None else int(consumed),
+                kernel_backend=payload.get("kernel_backend"),
+            )
+            self._send_json(info, status=201)
             return True
         if tail == "/forecast" and method == "GET":
             horizon = int(query.get("horizon", ["1"])[0])

@@ -72,7 +72,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import SofiaConfig
-from repro.core.serialization import load_sofia
+from repro.core.serialization import load_sofia, loads_sofia
 from repro.core.sofia import Sofia
 from repro.exceptions import (
     ConfigError,
@@ -320,6 +320,104 @@ class SessionManager:
             self._sessions.pop(session_id, None)
         self.metrics.increment("sessions_closed")
         return saved
+
+    # ------------------------------------------------------------------
+    # Live migration (the shard router's handoff medium)
+    # ------------------------------------------------------------------
+    def export_session(self, session_id: str) -> dict:
+        """Drain a session and return its portable state for handoff.
+
+        The returned dict carries the model as versioned
+        checkpoint-format bytes (``state``, via
+        :meth:`~repro.serving.store.CheckpointStore.export_state`) plus
+        the serving-side bookkeeping a receiving runtime needs to
+        continue the stream seamlessly: ``next_seq`` (so later ingests
+        keep numbering where this runtime left off), ``consumed``, and
+        the session's ``kernel_backend`` pin.  Pending slices are
+        applied first, so the exported state reflects everything ever
+        ingested — feed the dict to :meth:`import_session` on another
+        manager and the trajectory continues bit-identically.
+
+        The session stays registered here; the caller decides whether
+        to :meth:`close_session` it after a successful import elsewhere.
+        """
+        session = self._get_session(session_id)
+        self._scheduler.drain(session_id)
+        with session.lock:
+            self._raise_on_failure(session)
+            self._require_initialized(session, "export")
+            state = self._store.export_state(session_id)
+            payload = {
+                "session_id": session_id,
+                "state": state,
+                "next_seq": session.next_seq,
+                "consumed": session.consumed,
+                "kernel_backend": session.kernel_backend,
+            }
+        self.metrics.increment("session_exports")
+        return payload
+
+    def import_session(
+        self,
+        session_id: str,
+        state: bytes,
+        *,
+        next_seq: int | None = None,
+        consumed: int | None = None,
+        kernel_backend: str | None = None,
+    ) -> dict:
+        """Adopt a session exported from another runtime; returns info.
+
+        ``state`` is the checkpoint-format bytes of
+        :meth:`export_session` (or
+        :meth:`~repro.serving.store.CheckpointStore.export_state`); the
+        config travels inside them.  The session is ready immediately —
+        no warmup — and its sequence numbering continues from
+        ``next_seq`` so clients polling ``results`` see no gap or
+        reuse.  ``consumed`` defaults to the model's own step count.
+        """
+        if not session_id or "/" in session_id:
+            raise ConfigError(
+                f"session id must be a non-empty string without '/', "
+                f"got {session_id!r}"
+            )
+        if kernel_backend is not None and (
+            kernel_backend not in kernels.available_backends()
+        ):
+            raise ConfigError(
+                f"unknown kernel backend {kernel_backend!r}; "
+                f"available: {kernels.available_backends()}"
+            )
+        if next_seq is not None and next_seq < 0:
+            raise ConfigError(
+                f"next_seq must be >= 0, got {next_seq}"
+            )
+        sofia = loads_sofia(state)
+        session = _Session(
+            session_id,
+            sofia.config,
+            kernel_backend=kernel_backend,
+            keep_results=self._keep_results,
+        )
+        session.initialized = True
+        session.subtensor_shape = sofia.state.subtensor_shape
+        session.consumed = (
+            int(sofia.state.t) if consumed is None else int(consumed)
+        )
+        if next_seq is not None:
+            session.next_seq = int(next_seq)
+        with self._registry_lock:
+            if self._closed:
+                raise SessionError("the session manager is closed")
+            if session_id in self._sessions:
+                raise SessionExistsError(
+                    f"session {session_id!r} already exists"
+                )
+            self._sessions[session_id] = session
+        self._store.put(session_id, sofia)
+        self.metrics.increment("sessions_created")
+        self.metrics.increment("session_imports")
+        return self.session_info(session_id)
 
     def close(self) -> None:
         """Drain every session and shut the worker pool down."""

@@ -42,6 +42,10 @@ _COUNTERS = (
     "dispatches",
     "fused_dispatches",
     "fused_sessions_flushed",
+    # Live-migration handoffs: one export per drained state shipped
+    # off this runtime, one import per state adopted from elsewhere.
+    "session_exports",
+    "session_imports",
 )
 
 #: Histogram names a ServingMetrics instance tracks.

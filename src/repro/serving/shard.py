@@ -1,0 +1,856 @@
+"""Shard router: consistent-hash session placement across gateways.
+
+One ``repro-serve`` gateway scales with cores; a fleet of them scales
+with machines.  This module puts a routing tier in front of N backend
+gateways so clients keep one URL while sessions spread across the
+fleet:
+
+* :class:`HashRing` — consistent hashing with virtual nodes.  The
+  ring is a pure function of the shard URL list (stable
+  ``blake2b``-based hashing, never Python's salted ``hash``), so every
+  router instance built from the same shard list places every session
+  identically, and adding a shard moves only ~1/N of the keyspace.
+* :class:`ShardRouterServer` — a stdlib ``ThreadingHTTPServer`` that
+  proxies the full ``/v1`` surface: session-scoped requests forward to
+  the owning shard with status and body relayed verbatim (the
+  structured error envelope survives the hop, so
+  :class:`~repro.serving.client.HTTPServingClient` raises the same
+  exception types through the router as against a bare gateway);
+  ``/v1/sessions`` merges the fleet's listings; ``/v1/metrics``
+  aggregates per-shard snapshots (:func:`aggregate_snapshots`);
+  ``/v1/shards`` exposes the topology.
+* **Live migration** — ``POST /v1/sessions/<id>/migrate`` with
+  ``{"target": <shard-url>}`` drains the session's pending slices and
+  exports its state on the source shard (the gateway's ``export``
+  endpoint, backed by
+  :meth:`~repro.serving.store.CheckpointStore.export_state`), imports
+  it on the target (``import`` /
+  :meth:`~repro.serving.store.CheckpointStore.import_state`),
+  atomically repoints the session's ring entry, and closes the source
+  copy.  The handoff medium is the same versioned checkpoint bytes the
+  eviction tier spills, so a migrated session's trajectory is
+  bit-identical to an unmigrated one (pinned by
+  ``tests/serving/test_shard.py``).  A per-session lock serializes
+  proxied requests against the migration, so no request ever lands on
+  the source mid-handoff.
+* :func:`start_local_cluster` — self-host N backend gateways plus a
+  router in one process (what the replay harness's ``--shards`` mode
+  and the shard bench use).
+
+``main`` is the ``repro-serve-router`` console entry point::
+
+    repro-serve-router --shard http://10.0.0.1:8349 \\
+        --shard http://10.0.0.2:8349 --port 8350
+
+    repro-serve-router --local-shards 2 --port 8350   # demo/CI cluster
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import hashlib
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ConfigError
+from repro.serving.gateway import API_PREFIX, ServingHTTPServer, serve
+from repro.serving.manager import SessionManager
+from repro.serving.pool import WORKER_KINDS
+
+__all__ = [
+    "HashRing",
+    "LocalCluster",
+    "ShardRouterServer",
+    "aggregate_snapshots",
+    "main",
+    "serve_router",
+    "start_local_cluster",
+]
+
+_SESSION_PATH = re.compile(r"^/sessions/(?P<sid>[^/]+)(?:/|$)")
+
+#: Derived metric keys recomputed from the summed counters instead of
+#: being summed themselves (a sum of per-shard means is meaningless).
+_DERIVED_METRICS = ("mean_batch_size", "mean_fused_sessions")
+
+
+class HashRing:
+    """Consistent-hash ring over shard URLs, with virtual nodes.
+
+    Deterministic given the shard list: placement uses
+    :func:`hashlib.blake2b` (Python's builtin ``hash`` is salted per
+    process and would scatter sessions differently on every restart).
+    Each shard contributes ``replicas`` virtual nodes, which evens out
+    the keyspace split; shard list order does not matter.
+    """
+
+    def __init__(self, shards, *, replicas: int = 64) -> None:
+        cleaned = []
+        for shard in shards:
+            url = str(shard).rstrip("/")
+            if not url.startswith(("http://", "https://")):
+                raise ConfigError(
+                    f"shard must be an http(s) base URL, got {shard!r}"
+                )
+            if url not in cleaned:
+                cleaned.append(url)
+        if not cleaned:
+            raise ConfigError("a hash ring needs at least one shard")
+        if replicas < 1:
+            raise ConfigError(
+                f"replicas must be >= 1, got {replicas}"
+            )
+        self._shards = tuple(cleaned)
+        self._replicas = replicas
+        points = sorted(
+            (self._hash(f"{shard}#{replica}"), shard)
+            for shard in self._shards
+            for replica in range(replicas)
+        )
+        self._points = points
+        self._keys = [key for key, _ in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(
+            key.encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return self._shards
+
+    @property
+    def replicas(self) -> int:
+        return self._replicas
+
+    def shard_for(self, session_id: str) -> str:
+        """The shard owning ``session_id`` (first point clockwise)."""
+        index = bisect.bisect_right(
+            self._keys, self._hash(str(session_id))
+        ) % len(self._keys)
+        return self._points[index][1]
+
+
+def aggregate_snapshots(per_shard: dict[str, dict]) -> dict:
+    """Fold per-shard ``/v1/metrics`` snapshots into one fleet view.
+
+    Plain numeric counters sum; the derived means are recomputed from
+    the summed counters; each ``*_latency`` summary merges with exact
+    ``count``/``mean_seconds``/``max_seconds`` and *conservative*
+    percentiles (the max across shards — an upper bound, which is the
+    safe direction for SLO gating).  The raw per-shard snapshots ride
+    along under ``"shards"``.
+    """
+    merged: dict = {}
+    latency_keys: set[str] = set()
+    for snapshot in per_shard.values():
+        for key, value in snapshot.items():
+            if isinstance(value, dict):
+                if key.endswith("_latency"):
+                    latency_keys.add(key)
+                continue
+            if key in _DERIVED_METRICS:
+                continue
+            if isinstance(value, (int, float)):
+                merged[key] = merged.get(key, 0) + value
+    batches = merged.get("batches_flushed", 0)
+    merged["mean_batch_size"] = (
+        merged.get("slices_flushed", 0) / batches if batches else 0.0
+    )
+    dispatches = merged.get("dispatches", 0)
+    dispatched_flushes = (
+        dispatches
+        - merged.get("fused_dispatches", 0)
+        + merged.get("fused_sessions_flushed", 0)
+    )
+    merged["mean_fused_sessions"] = (
+        dispatched_flushes / dispatches if dispatches else 0.0
+    )
+    for key in sorted(latency_keys):
+        summaries = [
+            snapshot[key]
+            for snapshot in per_shard.values()
+            if isinstance(snapshot.get(key), dict)
+        ]
+        count = sum(s.get("count", 0) for s in summaries)
+        total = sum(
+            s.get("mean_seconds", 0.0) * s.get("count", 0)
+            for s in summaries
+        )
+        merged[key] = {
+            "count": count,
+            "mean_seconds": total / count if count else 0.0,
+            "max_seconds": max(
+                (s.get("max_seconds", 0.0) for s in summaries),
+                default=0.0,
+            ),
+            **{
+                quantile: max(
+                    (s.get(quantile, 0.0) for s in summaries),
+                    default=0.0,
+                )
+                for quantile in (
+                    "p50_seconds",
+                    "p95_seconds",
+                    "p99_seconds",
+                )
+            },
+        }
+    merged["shards"] = dict(per_shard)
+    return merged
+
+
+class _ShardReply(Exception):
+    """An upstream (or router-made) response to relay as-is."""
+
+    def __init__(self, status: int, body: bytes) -> None:
+        super().__init__(f"HTTP {status}")
+        self.status = status
+        self.body = body
+
+
+def _error_body(
+    error_type: str, message: str, session_id: str | None
+) -> bytes:
+    return json.dumps(
+        {
+            "error": {
+                "type": error_type,
+                "message": message,
+                "session": session_id,
+            }
+        }
+    ).encode("utf-8")
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Routes one request; placement state lives on the server."""
+
+    server: "ShardRouterServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        self._send(status, json.dumps(payload).encode("utf-8"))
+
+    def _send_redirect(self, location: str) -> None:
+        body = json.dumps({"location": location}).encode("utf-8")
+        self.send_response(308)
+        self.send_header("Location", location)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        path, _, query = self.path.partition("?")
+        if path != API_PREFIX and not path.startswith(API_PREFIX + "/"):
+            target = API_PREFIX + path + (f"?{query}" if query else "")
+            self._send_redirect(target)
+            return
+        path = path[len(API_PREFIX):]
+        try:
+            self._route(method, path, query)
+        except _ShardReply as reply:
+            self._send(reply.status, reply.body)
+        except Exception as exc:  # noqa: BLE001 - HTTP boundary
+            match = _SESSION_PATH.match(path)
+            self._send(
+                500,
+                _error_body(
+                    type(exc).__name__,
+                    str(exc),
+                    match.group("sid") if match else None,
+                ),
+            )
+
+    def _route(self, method: str, path: str, query: str) -> None:
+        router = self.server
+        body = self._read_body()
+        if method == "GET" and path == "/healthz":
+            self._send_json(router.fleet_health())
+            return
+        if method == "GET" and path == "/metrics":
+            self._send_json(router.fleet_metrics())
+            return
+        if method == "GET" and path == "/shards":
+            self._send_json(router.describe())
+            return
+        if path == "/sessions":
+            if method == "GET":
+                self._send_json(
+                    {"sessions": router.merged_sessions()}
+                )
+                return
+            if method == "POST":
+                session_id = router.session_id_of(body)
+                with router.session_lock(session_id):
+                    shard = router.placement(session_id)
+                    status, payload = router.forward(
+                        shard, method, path, body=body, query=query
+                    )
+                self._send(status, payload)
+                return
+        match = _SESSION_PATH.match(path)
+        if match:
+            session_id = match.group("sid")
+            if path.endswith("/migrate") and method == "POST":
+                self._send_json(
+                    router.migrate(session_id, body)
+                )
+                return
+            with router.session_lock(session_id):
+                shard = router.placement(session_id)
+                status, payload = router.forward(
+                    shard, method, path, body=body, query=query
+                )
+                if method == "DELETE" and status < 400:
+                    router.forget_placement(session_id)
+            self._send(status, payload)
+            return
+        self._send(
+            404,
+            _error_body(
+                "SessionNotFoundError",
+                f"no route {method} {API_PREFIX}{path}",
+                None,
+            ),
+        )
+
+    # BaseHTTPRequestHandler hooks
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class ShardRouterServer(ThreadingHTTPServer):
+    """Consistent-hash routing front for N ``repro-serve`` gateways."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        shards,
+        *,
+        replicas: int = 64,
+        proxy_timeout: float = 30.0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _RouterHandler)
+        self.ring = HashRing(shards, replicas=replicas)
+        self.proxy_timeout = proxy_timeout
+        self.verbose = verbose
+        self._state_lock = threading.Lock()
+        #: Migrated sessions: id -> the shard now owning them.  The
+        #: ring itself is immutable; this overlay is what "repointing
+        #: the ring entry" mutates, atomically under the state lock.
+        self._overrides: dict[str, str] = {}
+        self._session_locks: dict[str, threading.Lock] = {}
+        self._migrations = 0
+        self._proxied = 0
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def placement(self, session_id: str) -> str:
+        """The shard serving ``session_id`` (override, else the ring)."""
+        with self._state_lock:
+            override = self._overrides.get(session_id)
+        return override or self.ring.shard_for(session_id)
+
+    def forget_placement(self, session_id: str) -> None:
+        """Drop a closed session's override and its lock entry."""
+        with self._state_lock:
+            self._overrides.pop(session_id, None)
+            self._session_locks.pop(session_id, None)
+
+    def session_lock(self, session_id: str) -> threading.Lock:
+        """Per-session serialization (requests vs live migration)."""
+        with self._state_lock:
+            lock = self._session_locks.get(session_id)
+            if lock is None:
+                lock = self._session_locks[session_id] = threading.Lock()
+            return lock
+
+    @staticmethod
+    def session_id_of(body: bytes) -> str:
+        """The session id named by a ``POST /sessions`` body."""
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _ShardReply(
+                400,
+                _error_body(
+                    "ValueError",
+                    f"request body is not valid JSON: {exc}",
+                    None,
+                ),
+            ) from None
+        if not isinstance(payload, dict) or "session_id" not in payload:
+            raise _ShardReply(
+                400,
+                _error_body(
+                    "ValueError", "body needs a 'session_id'", None
+                ),
+            )
+        return str(payload["session_id"])
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        shard: str,
+        method: str,
+        path: str,
+        *,
+        body: bytes = b"",
+        query: str = "",
+    ) -> tuple[int, bytes]:
+        """One request to one shard; (status, body) relayed verbatim.
+
+        Upstream error envelopes pass through untouched — the typed
+        client re-raises the same exception types it would against the
+        shard directly.  An unreachable shard becomes a 502 with the
+        standard envelope.
+        """
+        url = shard + API_PREFIX + path + (f"?{query}" if query else "")
+        request = urllib.request.Request(
+            url,
+            data=body if body else None,
+            method=method,
+            headers={
+                "Accept": "application/json",
+                "Content-Type": "application/json",
+            },
+        )
+        with self._state_lock:
+            self._proxied += 1
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.proxy_timeout
+            ) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            data = exc.read()
+            exc.close()
+            return exc.code, data
+        except (urllib.error.URLError, OSError) as exc:
+            match = _SESSION_PATH.match(path)
+            return 502, _error_body(
+                "SessionError",
+                f"shard {shard} unreachable: {exc}",
+                match.group("sid") if match else None,
+            )
+
+    def _forward_ok(
+        self, shard: str, method: str, path: str, *, body: bytes = b""
+    ) -> dict:
+        """Forward and parse, raising :class:`_ShardReply` on >= 400."""
+        status, payload = self.forward(shard, method, path, body=body)
+        if status >= 400:
+            raise _ShardReply(status, payload)
+        return json.loads(payload.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Fleet views
+    # ------------------------------------------------------------------
+    def fleet_health(self) -> dict:
+        """Aggregate ``/healthz``: ok only when every shard answers."""
+        per_shard: dict[str, dict] = {}
+        healthy = True
+        sessions = 0
+        for shard in self.ring.shards:
+            status, payload = self.forward(shard, "GET", "/healthz")
+            try:
+                health = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                health = {"status": "error"}
+            ok = status == 200 and health.get("status") == "ok"
+            healthy = healthy and ok
+            sessions += int(health.get("sessions") or 0)
+            per_shard[shard] = health
+        return {
+            "status": "ok" if healthy else "degraded",
+            "sessions": sessions,
+            "shards": per_shard,
+        }
+
+    def fleet_metrics(self) -> dict:
+        """Aggregate ``/metrics`` across the fleet (plus the raw views)."""
+        per_shard = {
+            shard: self._forward_ok(shard, "GET", "/metrics")
+            for shard in self.ring.shards
+        }
+        merged = aggregate_snapshots(per_shard)
+        with self._state_lock:
+            merged["router"] = {
+                "shards": len(self.ring.shards),
+                "migrations": self._migrations,
+                "proxied_requests": self._proxied,
+                "placement_overrides": len(self._overrides),
+            }
+        return merged
+
+    def merged_sessions(self) -> list[str]:
+        """The union of every shard's session listing, sorted."""
+        merged: set[str] = set()
+        for shard in self.ring.shards:
+            listing = self._forward_ok(shard, "GET", "/sessions")
+            merged.update(listing.get("sessions", ()))
+        return sorted(merged)
+
+    def describe(self) -> dict:
+        """The ``GET /v1/shards`` topology snapshot."""
+        with self._state_lock:
+            overrides = dict(self._overrides)
+            migrations = self._migrations
+        return {
+            "shards": list(self.ring.shards),
+            "replicas": self.ring.replicas,
+            "overrides": overrides,
+            "migrations": migrations,
+        }
+
+    # ------------------------------------------------------------------
+    # Live migration
+    # ------------------------------------------------------------------
+    def migrate(self, session_id: str, body: bytes) -> dict:
+        """Move a live session to the shard named in the request body.
+
+        Under the session's lock (no request can land mid-handoff):
+        export on the source (which drains pending slices), import on
+        the target, atomically repoint the placement override, close
+        the source copy.  A failed import leaves the session exactly
+        where it was; the upstream error envelope is relayed.
+        """
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _ShardReply(
+                400,
+                _error_body(
+                    "ValueError",
+                    f"request body is not valid JSON: {exc}",
+                    session_id,
+                ),
+            ) from None
+        target = str(payload.get("target") or "").rstrip("/")
+        if target not in self.ring.shards:
+            raise _ShardReply(
+                400,
+                _error_body(
+                    "ConfigError",
+                    f"migration target must be one of {self.ring.shards},"
+                    f" got {target!r}",
+                    session_id,
+                ),
+            )
+        with self.session_lock(session_id):
+            source = self.placement(session_id)
+            if source == target:
+                return {
+                    "session_id": session_id,
+                    "from": source,
+                    "to": target,
+                    "migrated": False,
+                }
+            exported = self._forward_ok(
+                source, "POST", f"/sessions/{session_id}/export"
+            )
+            handoff = {
+                key: exported[key]
+                for key in (
+                    "state",
+                    "next_seq",
+                    "consumed",
+                    "kernel_backend",
+                )
+                if exported.get(key) is not None
+            }
+            self._forward_ok(
+                target,
+                "POST",
+                f"/sessions/{session_id}/import",
+                body=json.dumps(handoff).encode("utf-8"),
+            )
+            with self._state_lock:
+                self._overrides[session_id] = target
+                self._migrations += 1
+            # Best-effort close of the drained source copy; the
+            # placement already points at the target, so a failure
+            # here only leaks an idle model on the source.
+            close_status, _ = self.forward(
+                source, "DELETE", f"/sessions/{session_id}"
+            )
+        return {
+            "session_id": session_id,
+            "from": source,
+            "to": target,
+            "migrated": True,
+            "source_closed": close_status < 400,
+        }
+
+
+def serve_router(
+    shards,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    replicas: int = 64,
+    proxy_timeout: float = 30.0,
+    verbose: bool = False,
+) -> ShardRouterServer:
+    """Bind a router (``port=0`` picks a free port); caller runs it."""
+    return ShardRouterServer(
+        (host, port),
+        shards,
+        replicas=replicas,
+        proxy_timeout=proxy_timeout,
+        verbose=verbose,
+    )
+
+
+@dataclass
+class LocalCluster:
+    """A self-hosted router + N backend gateways, one ``close()``."""
+
+    router: ShardRouterServer
+    backends: tuple[ServingHTTPServer, ...]
+    managers: tuple[SessionManager, ...]
+    threads: tuple[threading.Thread, ...]
+
+    @property
+    def url(self) -> str:
+        return self.router.url
+
+    @property
+    def shard_urls(self) -> tuple[str, ...]:
+        return self.router.ring.shards
+
+    def close(self) -> None:
+        """Stop the router, then every backend, then the managers."""
+        for server in (self.router, *self.backends):
+            server.shutdown()
+            server.server_close()
+        for thread in self.threads:
+            thread.join(timeout=10)
+        for manager in self.managers:
+            manager.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def start_local_cluster(
+    n_shards: int,
+    *,
+    host: str = "127.0.0.1",
+    replicas: int = 64,
+    verbose: bool = False,
+    **manager_kwargs,
+) -> LocalCluster:
+    """Spin up N in-process gateways behind one router, all started.
+
+    ``manager_kwargs`` go to each backend's
+    :class:`~repro.serving.manager.SessionManager` verbatim.  Callers
+    own the result and must :meth:`LocalCluster.close` it (it is a
+    context manager).
+    """
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    managers: list[SessionManager] = []
+    backends: list[ServingHTTPServer] = []
+    threads: list[threading.Thread] = []
+    try:
+        for _ in range(n_shards):
+            manager = SessionManager(**manager_kwargs)
+            managers.append(manager)
+            server = serve(manager, host, 0, verbose=verbose)
+            backends.append(server)
+        router = serve_router(
+            [
+                f"http://{server.server_address[0]}:{server.port}"
+                for server in backends
+            ],
+            host,
+            0,
+            replicas=replicas,
+            verbose=verbose,
+        )
+    except BaseException:
+        for server in backends:
+            server.server_close()
+        for manager in managers:
+            manager.close()
+        raise
+    for server in (*backends, router):
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    return LocalCluster(
+        router=router,
+        backends=tuple(backends),
+        managers=tuple(managers),
+        threads=tuple(threads),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro-serve-router``: route sessions across a gateway fleet."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-router",
+        description="Consistent-hash shard router in front of N "
+        "repro-serve gateways, with live session migration.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8350)
+    parser.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="backend gateway base URL (repeat per shard)",
+    )
+    parser.add_argument(
+        "--local-shards",
+        type=int,
+        default=None,
+        dest="local_shards",
+        help="instead of --shard, self-host this many backend "
+        "gateways in-process (demo/CI clusters)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the hash ring (default 64)",
+    )
+    parser.add_argument(
+        "--proxy-timeout",
+        type=float,
+        default=30.0,
+        dest="proxy_timeout",
+        help="per-forwarded-request timeout in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="micro-batch flush size of --local-shards backends",
+    )
+    parser.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=50.0,
+        help="flush deadline of --local-shards backends (default 50)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="flush worker lanes per --local-shards backend",
+    )
+    parser.add_argument(
+        "--worker-kind",
+        choices=WORKER_KINDS,
+        default="thread",
+        help="worker tier of --local-shards backends (default thread)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    if (args.shard is None) == (args.local_shards is None):
+        parser.error(
+            "give exactly one of --shard (repeatable) or --local-shards"
+        )
+
+    cluster: LocalCluster | None = None
+    if args.local_shards is not None:
+        cluster = start_local_cluster(
+            args.local_shards,
+            host=args.host,
+            replicas=args.replicas,
+            verbose=args.verbose,
+            max_batch=args.max_batch,
+            max_latency_s=args.max_latency_ms / 1000.0,
+            workers=args.workers,
+            worker_kind=args.worker_kind,
+        )
+        shards = cluster.shard_urls
+    else:
+        shards = args.shard
+    router = serve_router(
+        shards,
+        args.host,
+        args.port,
+        replicas=args.replicas,
+        proxy_timeout=args.proxy_timeout,
+        verbose=args.verbose,
+    )
+    print(
+        f"repro-serve-router listening on http://{args.host}:"
+        f"{router.port}{API_PREFIX} fronting {len(router.ring.shards)} "
+        f"shard(s): {', '.join(router.ring.shards)}"
+    )
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.shutdown()
+        router.server_close()
+        if cluster is not None:
+            cluster.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

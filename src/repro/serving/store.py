@@ -189,8 +189,16 @@ class CheckpointStore:
 
         The loaded model becomes the authoritative resident copy
         (most-recently-used; any stale spill file of the session is
-        dropped by :meth:`put`).
+        dropped by :meth:`put`).  Refuses while the session is checked
+        out: replacing a pinned model would silently discard whatever
+        the holder of the pin is still computing on.
         """
+        with self._lock:
+            if self._pins[session_id] > 0:
+                raise RuntimeError(
+                    f"cannot import state over session {session_id!r} "
+                    "while it is checked out"
+                )
         self.put(session_id, loads_sofia(data))
 
     # ------------------------------------------------------------------

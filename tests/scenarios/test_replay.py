@@ -2,15 +2,18 @@
 
 import json
 import threading
+import time
 
 import pytest
 
+import repro.scenarios.replay as replay_module
+from repro.exceptions import SessionNotFoundError
 from repro.scenarios.replay import (
     format_replay_report,
     main as replay_main,
     run_replay,
 )
-from repro.serving import SessionManager
+from repro.serving import HTTPServingClient, SessionManager
 from repro.serving.gateway import serve
 
 
@@ -58,6 +61,30 @@ class TestRunReplay:
         assert report.drained
         assert report.send_errors == 0
         assert report.url.startswith("http://")
+        assert report.shards == 1
+        assert report.stalled_sessions == ()
+        assert report.session_errors == {}
+
+    def test_self_hosted_sharded_replay(self):
+        report = run_replay(
+            "bursty_arrival", rate=400.0, slices=16, tiny=True, shards=2
+        )
+        assert report.drained
+        assert report.send_errors == 0
+        assert report.shards == 2
+        # The aggregated fleet snapshot saw every slice, and the
+        # router actually fronted two gateways.
+        snapshot = report.server_metrics
+        assert (
+            snapshot["slices_ingested"]
+            == report.n_sessions * report.slices_per_session
+        )
+        assert snapshot["router"]["shards"] == 2
+        assert len(snapshot["shards"]) == 2
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="shards"):
+            run_replay("bursty_arrival", tiny=True, shards=0)
 
     def test_as_dict_has_gateable_latency_keys(self, gateway):
         report = run_replay(
@@ -80,6 +107,66 @@ class TestRunReplay:
         text = format_replay_report(report)
         assert "blackout_windows" in text
         assert "p95" in text
+
+
+class TestFailureAccounting:
+    def test_send_errors_recorded_per_session(self, gateway, monkeypatch):
+        # A sender that always fails for one session: the report names
+        # the session and keeps the first error's type and message
+        # instead of reducing everything to a bare count.
+        class FlakyClient(HTTPServingClient):
+            def ingest(self, session_id, values, mask=None):
+                if session_id.endswith("-0"):
+                    raise SessionNotFoundError("injected ingest failure")
+                return super().ingest(session_id, values, mask)
+
+        monkeypatch.setattr(
+            replay_module, "HTTPServingClient", FlakyClient
+        )
+        report = run_replay(
+            "bursty_arrival", url=gateway, rate=400.0, slices=6, tiny=True
+        )
+        assert report.send_errors == 6
+        assert set(report.session_errors) == {"bursty_arrival-0"}
+        detail = report.session_errors["bursty_arrival-0"]
+        assert detail["count"] == 6
+        assert detail["type"] == "SessionNotFoundError"
+        assert "injected ingest failure" in detail["message"]
+        assert (
+            report.as_dict()["session_errors"] == report.session_errors
+        )
+        text = format_replay_report(report)
+        assert "SessionNotFoundError" in text
+        assert "bursty_arrival-0" in text
+
+    def test_stalled_sender_hits_join_deadline(self, gateway, monkeypatch):
+        # One sender wedges (sleeps through the schedule): the join
+        # deadline derived from the schedule fires, the session is
+        # reported as stalled, and the harness returns instead of
+        # hanging forever on thread.join().
+        monkeypatch.setattr(replay_module, "_JOIN_GRACE_S", 0.5)
+
+        class WedgedClient(HTTPServingClient):
+            def ingest(self, session_id, values, mask=None):
+                if session_id.endswith("-1"):
+                    time.sleep(0.8)
+                return super().ingest(session_id, values, mask)
+
+        monkeypatch.setattr(
+            replay_module, "HTTPServingClient", WedgedClient
+        )
+        started = time.monotonic()
+        report = run_replay(
+            "bursty_arrival", url=gateway, rate=400.0, slices=4, tiny=True
+        )
+        assert report.stalled_sessions == ("bursty_arrival-1",)
+        assert "STALLED" in format_replay_report(report)
+        assert report.as_dict()["stalled_sessions"] == [
+            "bursty_arrival-1"
+        ]
+        # Returned promptly — well before the ~3.2s the wedged sender
+        # would take to finish on its own.
+        assert time.monotonic() - started < 3.0
 
 
 class TestReplayCli:
