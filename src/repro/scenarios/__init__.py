@@ -29,6 +29,7 @@ from repro.scenarios import (
     heavy_tail_outburst,
     regime_shift,
     seasonality_change,
+    session_churn,
 )
 from repro.scenarios.arrival import (
     ArrivalProcess,
@@ -89,6 +90,7 @@ for _module in (
     heavy_tail_outburst,
     regime_shift,
     seasonality_change,
+    session_churn,
 ):
     register_scenario(_module.SCENARIO)
 del _module

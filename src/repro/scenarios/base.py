@@ -203,7 +203,12 @@ class Scenario:
     ``description`` is the scenario module's docstring and feeds the
     generated ``docs/scenarios.md`` catalog; ``summary`` is its first
     line.  ``n_sessions`` is how many concurrent serving sessions the
-    replay harness drives.
+    replay harness drives.  ``serving`` holds keyword overrides for
+    the harness's self-hosted
+    :class:`~repro.serving.manager.SessionManager` (e.g. a
+    ``max_resident`` below ``n_sessions`` makes the replay churn the
+    spill/rehydrate path); it is advisory — ignored when replaying
+    against an external URL.
     """
 
     name: str
@@ -214,12 +219,15 @@ class Scenario:
     envelope: QualityEnvelope
     arrival: ArrivalProcess = field(default_factory=ConstantArrival)
     n_sessions: int = 2
+    serving: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.replace("_", "").isalnum():
             raise ConfigError(f"scenario name must be a slug, got {self.name!r}")
         if self.n_sessions < 1:
             raise ConfigError("n_sessions must be >= 1")
+        if not isinstance(self.serving, dict):
+            raise ConfigError("serving must be a dict of manager kwargs")
 
     def sized(
         self, *, tiny: bool = False
@@ -255,10 +263,13 @@ def scenario_from_module(
     envelope: QualityEnvelope,
     arrival: ArrivalProcess | None = None,
     n_sessions: int = 2,
+    serving: dict | None = None,
 ) -> Scenario:
     """Build a Scenario whose prose comes from the module docstring."""
     summary, description = _module_doc(doc)
     kwargs = {} if arrival is None else {"arrival": arrival}
+    if serving is not None:
+        kwargs["serving"] = serving
     return Scenario(
         name=name,
         summary=summary,

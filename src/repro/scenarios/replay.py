@@ -18,12 +18,18 @@ Failure accounting is explicit: sender threads are joined against a
 deadline derived from the arrival schedule (a wedged server can no
 longer hang the harness forever), stalled sessions are named in the
 report and fail the run, and every send error is recorded with its
-exception type and message per session instead of being a bare count.
+exception type, message, and *kind* per session instead of being a
+bare count.  The kind separates ``"connection"`` failures (refused or
+severed transport — what a crashed shard looks like mid-failover,
+retryable) from ``"application"`` errors the server actually
+answered; ``connect_retry_s`` optionally rides out a failover window
+by retrying connection-kind failures in place.
 """
 
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
 import threading
 import time
@@ -35,6 +41,36 @@ from repro.serving import HTTPServingClient, LatencyHistogram, SessionManager
 from repro.streams.corruption import corrupt_schedule
 
 __all__ = ["ReplayReport", "format_replay_report", "main", "run_replay"]
+
+
+def _is_connection_error(exc: Exception) -> bool:
+    """Whether a send failure is transport-level (no server answer).
+
+    A refused/severed connection means the shard is down or mid-kill:
+    retryable during a failover window.  A router answering 502/503/504
+    for an unreachable upstream shard is the same outage seen through
+    one extra hop, so those count too (the typed client stamps
+    ``http_status`` on the exceptions it raises).  Anything else the
+    server answered (the typed envelope exceptions, HTTP errors) is an
+    application error and never retried — it would fail again
+    identically.
+    """
+    import urllib.error
+
+    if getattr(exc, "http_status", None) in (502, 503, 504):
+        return True
+    if isinstance(exc, urllib.error.HTTPError):
+        return exc.code in (502, 503, 504)
+    return isinstance(
+        exc,
+        (
+            urllib.error.URLError,
+            ConnectionError,
+            http.client.HTTPException,
+            TimeoutError,
+            OSError,
+        ),
+    )
 
 #: How long to wait for the server to flush everything after sending.
 _DRAIN_TIMEOUT_S = 60.0
@@ -68,9 +104,14 @@ class ReplayReport:
     shards: int = 1
     #: Session ids whose sender thread missed the join deadline.
     stalled_sessions: tuple = ()
-    #: Per-session send failures: id -> {"count", "type", "message"}
-    #: (type/message are from the session's first error).
+    #: Per-session send failures: id -> {"count", "type", "message",
+    #: "kind"} (type/message/kind are from the session's first error;
+    #: kind is "connection" or "application").
     session_errors: dict = field(default_factory=dict, repr=False)
+    #: Sends retried after a connection-kind failure (and eventually
+    #: delivered) inside the ``connect_retry_s`` window.  Non-zero
+    #: with zero ``send_errors`` is a ridden-out failover.
+    retried_sends: int = 0
 
     @property
     def ingest_latency(self) -> dict:
@@ -89,6 +130,7 @@ class ReplayReport:
             "offered_rate": self.offered_rate,
             "achieved_rate": self.achieved_rate,
             "send_errors": self.send_errors,
+            "retried_sends": self.retried_sends,
             "drained": self.drained,
             "shards": self.shards,
             "stalled_sessions": list(self.stalled_sessions),
@@ -126,6 +168,8 @@ def run_replay(
     tiny: bool = False,
     seed: int = 0,
     shards: int = 1,
+    serving: dict | None = None,
+    connect_retry_s: float = 0.0,
 ) -> ReplayReport:
     """Replay one scenario's traffic and collect latency percentiles.
 
@@ -136,6 +180,13 @@ def run_replay(
     consistent-hash shard router, with the traffic driven through the
     router URL.  ``shards`` is only about self-hosting; against an
     external ``url`` the server's own topology is whatever it is.
+
+    ``serving`` overrides the self-hosted manager's kwargs on top of
+    the scenario's own ``serving`` dict (e.g. ``max_resident`` for
+    eviction-churn runs); it is ignored with an external ``url``.
+    ``connect_retry_s > 0`` makes senders retry connection-kind
+    failures in place for up to that long per slice — the knob a
+    chaos run uses to ride out a shard failover window.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -146,6 +197,12 @@ def run_replay(
     n_slices = min(slices or generator.n_steps, generator.n_steps)
     per_session_rate = rate / n_sessions
     offsets = scenario.arrival.send_offsets(n_slices, per_session_rate)
+    manager_kwargs = {
+        "max_batch": 8,
+        "max_latency_s": 0.02,
+        **scenario.serving,
+        **(serving or {}),
+    }
 
     server = None
     manager = None
@@ -154,12 +211,10 @@ def run_replay(
         if shards > 1:
             from repro.serving.shard import start_local_cluster
 
-            cluster = start_local_cluster(
-                shards, max_batch=8, max_latency_s=0.02
-            )
+            cluster = start_local_cluster(shards, **manager_kwargs)
             url = cluster.url
         else:
-            manager = SessionManager(max_batch=8, max_latency_s=0.02)
+            manager = SessionManager(**manager_kwargs)
             from repro.serving.gateway import serve
 
             server = serve(manager)
@@ -179,6 +234,7 @@ def run_replay(
             offered_rate=rate,
             offsets=offsets,
             shards=shards,
+            connect_retry_s=connect_retry_s,
         )
     finally:
         # Every self-hosted server must die with the run: shutdown()
@@ -206,6 +262,7 @@ def _drive(
     offered_rate: float,
     offsets: Sequence[float],
     shards: int = 1,
+    connect_retry_s: float = 0.0,
 ) -> ReplayReport:
     client = HTTPServingClient(url)
     session_ids = [f"{scenario_name}-{i}" for i in range(n_sessions)]
@@ -215,9 +272,10 @@ def _drive(
     rtt = LatencyHistogram()
     rtt_lock = threading.Lock()
     errors = [0] * n_sessions
+    retried = [0] * n_sessions
     # First failure per sender, by index; slots are thread-private so
     # senders write without a lock.
-    first_errors: list[tuple[str, str] | None] = [None] * n_sessions
+    first_errors: list[tuple[str, str, str] | None] = [None] * n_sessions
     barrier = threading.Barrier(n_sessions + 1)
 
     def sender(index: int, session_id: str) -> None:
@@ -230,24 +288,48 @@ def _drive(
             delay = start + offsets[t] - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
-            sent_at = time.monotonic()
-            try:
-                local.ingest(
-                    session_id,
-                    corrupted.observed[..., t],
-                    corrupted.mask[..., t],
-                )
-            except Exception as exc:  # noqa: BLE001 - open-loop sender
-                # Open-loop senders keep offering load past a failure,
-                # but the failure itself must not vanish: count it and
-                # keep the first one's type/message for the report.
-                errors[index] += 1
-                if first_errors[index] is None:
-                    first_errors[index] = (type(exc).__name__, str(exc))
-                continue
-            elapsed = time.monotonic() - sent_at
-            with rtt_lock:
-                rtt.record(elapsed)
+            first_failure = None
+            while True:
+                sent_at = time.monotonic()
+                try:
+                    local.ingest(
+                        session_id,
+                        corrupted.observed[..., t],
+                        corrupted.mask[..., t],
+                    )
+                except Exception as exc:  # noqa: BLE001 - open-loop
+                    kind = (
+                        "connection"
+                        if _is_connection_error(exc)
+                        else "application"
+                    )
+                    now = time.monotonic()
+                    if kind == "connection" and connect_retry_s > 0:
+                        # The shard may be mid-failover: keep retrying
+                        # this slice for the window instead of counting
+                        # a transient outage as data loss.
+                        if first_failure is None:
+                            first_failure = now
+                        if now - first_failure < connect_retry_s:
+                            retried[index] += 1
+                            time.sleep(0.1)
+                            continue
+                    # Open-loop senders keep offering load past a
+                    # failure, but the failure itself must not vanish:
+                    # count it and keep the first one's
+                    # type/message/kind for the report.
+                    errors[index] += 1
+                    if first_errors[index] is None:
+                        first_errors[index] = (
+                            type(exc).__name__,
+                            str(exc),
+                            kind,
+                        )
+                    break
+                elapsed = time.monotonic() - sent_at
+                with rtt_lock:
+                    rtt.record(elapsed)
+                break
 
     threads = [
         threading.Thread(target=sender, args=(i, sid), daemon=True)
@@ -261,7 +343,12 @@ def _drive(
     # the last send fires at offsets[-1], so past that plus grace a
     # thread still alive is wedged (server hung mid-request, deadlock)
     # and waiting longer only hangs the harness with it.
-    join_deadline = send_start + (offsets[-1] if len(offsets) else 0.0) + _JOIN_GRACE_S
+    join_deadline = (
+        send_start
+        + (offsets[-1] if len(offsets) else 0.0)
+        + connect_retry_s
+        + _JOIN_GRACE_S
+    )
     stalled = []
     for thread, session_id in zip(threads, session_ids):
         thread.join(timeout=max(0.0, join_deadline - time.monotonic()))
@@ -274,6 +361,7 @@ def _drive(
             "count": errors[index],
             "type": first_errors[index][0],
             "message": first_errors[index][1],
+            "kind": first_errors[index][2],
         }
         for index, session_id in enumerate(session_ids)
         if errors[index]
@@ -305,6 +393,7 @@ def _drive(
         shards=shards,
         stalled_sessions=tuple(stalled),
         session_errors=session_errors,
+        retried_sends=sum(retried),
     )
 
 
@@ -330,7 +419,8 @@ def format_replay_report(report: ReplayReport) -> str:
     lines = [
         f"replay {report.scenario} against {report.url}{via}",
         f"  sessions {report.n_sessions}  slices/session "
-        f"{report.slices_per_session}  errors {report.send_errors}",
+        f"{report.slices_per_session}  errors {report.send_errors}"
+        f"  retried {report.retried_sends}",
         f"  offered {report.offered_rate:.1f} slices/s, achieved "
         f"{report.achieved_rate:.1f} (send {report.send_seconds:.2f}s, "
         f"drain {report.drain_seconds:.2f}s"
@@ -345,8 +435,9 @@ def format_replay_report(report: ReplayReport) -> str:
         f"p99 {report.client_rtt.get('p99_seconds', 0.0) * 1e3:.1f} ms",
     ]
     for session_id, detail in sorted(report.session_errors.items()):
+        kind = detail.get("kind", "application")
         lines.append(
-            f"  error {session_id}: {detail['count']}x "
+            f"  error {session_id}: {detail['count']}x [{kind}] "
             f"{detail['type']}: {detail['message']}"
         )
     for session_id in report.stalled_sessions:
@@ -404,6 +495,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="shrink the scenario for a fast smoke run",
     )
+    parser.add_argument(
+        "--max-resident",
+        type=int,
+        default=None,
+        dest="max_resident",
+        help="residency cap of self-hosted gateways (spill/rehydrate "
+        "churn when the scenario runs more sessions than this)",
+    )
+    parser.add_argument(
+        "--connect-retry",
+        type=float,
+        default=0.0,
+        dest="connect_retry",
+        metavar="SECONDS",
+        help="retry connection-kind send failures in place for up to "
+        "this long per slice (ride out a shard failover window; "
+        "default 0: no retry)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--json",
@@ -417,6 +526,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.url is not None and args.shards != 1:
         parser.error("--shards only applies when self-hosting (no --url)")
+    serving = (
+        {"max_resident": args.max_resident}
+        if args.max_resident is not None
+        else None
+    )
     report = run_replay(
         args.scenario,
         url=args.url,
@@ -425,6 +539,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         tiny=args.tiny,
         seed=args.seed,
         shards=args.shards,
+        serving=serving,
+        connect_retry_s=args.connect_retry,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))

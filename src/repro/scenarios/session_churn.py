@@ -1,0 +1,45 @@
+"""Session churn: more concurrent sessions than the residency cap.
+
+The data is benign — a well-behaved seasonal stream with light random
+missingness — because this scenario stresses the *eviction tier*, not
+the model.  Six sessions stream concurrently into a serving runtime
+capped at two resident models, so every flush cycle spills cold
+sessions to disk and rehydrates them on their next batch.  The
+``.npz`` round-trip is bit-exact, so the quality envelope must hold
+exactly as it would uncapped; the replay harness watches whether
+p95/p99 ingest latency stays bounded while the checkpoint store
+thrashes.  This is the same spill/rehydrate path shard failover
+rebuilds dead sessions from, so keeping it hot under load is what
+makes the self-healing tier trustworthy.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    GeneratorSpec,
+    QualityEnvelope,
+    scenario_from_module,
+)
+from repro.streams.corruption import (
+    CorruptionSchedule,
+    CorruptionSpec,
+    SchedulePhase,
+)
+
+SCENARIO = scenario_from_module(
+    __doc__,
+    name="session_churn",
+    generator=GeneratorSpec(
+        dims=(8, 6),
+        rank=3,
+        period=10,
+        n_steps=200,
+        noise=0.02,
+    ),
+    schedule=CorruptionSchedule(
+        phases=(SchedulePhase(0, None, CorruptionSpec(10, 0, 0)),)
+    ),
+    envelope=QualityEnvelope(max_rae=0.30, max_final_nre=0.30, max_afe=0.60),
+    n_sessions=6,
+    serving={"max_resident": 2},
+)

@@ -48,10 +48,11 @@ from repro.serving.scheduler import MicroBatchScheduler, PendingSlice
 from repro.serving.shard import (
     HashRing,
     LocalCluster,
+    ShardHealth,
     ShardRouterServer,
     start_local_cluster,
 )
-from repro.serving.store import CheckpointStore
+from repro.serving.store import CheckpointStore, checkpoint_meta_path
 from repro.serving.worker import FlushRequest, FlushResult
 
 __all__ = [
@@ -72,10 +73,12 @@ __all__ = [
     "ServingClient",
     "ServingMetrics",
     "SessionManager",
+    "ShardHealth",
     "ShardRouterServer",
     "SliceResult",
     "ThreadWorkerPool",
     "WorkerPool",
+    "checkpoint_meta_path",
     "make_config",
     "make_worker_pool",
     "start_local_cluster",

@@ -135,6 +135,7 @@ class InProcessServingClient:
         next_seq: int | None = None,
         consumed: int | None = None,
         kernel_backend: str | None = None,
+        degraded: int = 0,
     ) -> dict:
         return self._manager.import_session(
             session_id,
@@ -142,6 +143,7 @@ class InProcessServingClient:
             next_seq=next_seq,
             consumed=consumed,
             kernel_backend=kernel_backend,
+            degraded=degraded,
         )
 
 
@@ -229,7 +231,12 @@ class HTTPServingClient:
         if not isinstance(envelope, dict):
             envelope = {"type": "SessionError", "message": detail}
         error_cls = _ERROR_TYPES.get(envelope.get("type"), SessionError)
-        return error_cls(envelope.get("message") or f"HTTP {exc.code}")
+        error = error_cls(envelope.get("message") or f"HTTP {exc.code}")
+        # The status rides along so callers can tell a router's
+        # upstream-unreachable 502 (a connection-class failure worth
+        # retrying) from a true application rejection.
+        error.http_status = exc.code
+        return error
 
     # ------------------------------------------------------------------
     # Surface (the ServingClient protocol)
@@ -348,6 +355,7 @@ class HTTPServingClient:
         next_seq: int | None = None,
         consumed: int | None = None,
         kernel_backend: str | None = None,
+        degraded: int = 0,
     ) -> dict:
         """Adopt an exported session on this gateway; returns its info."""
         payload: dict = {
@@ -359,6 +367,8 @@ class HTTPServingClient:
             payload["consumed"] = int(consumed)
         if kernel_backend is not None:
             payload["kernel_backend"] = kernel_backend
+        if degraded:
+            payload["degraded"] = int(degraded)
         return self._request(
             "POST", f"/sessions/{session_id}/import", payload
         )
@@ -378,3 +388,15 @@ class HTTPServingClient:
     def shards(self) -> dict:
         """The router's shard topology (``GET /v1/shards``)."""
         return self._request("GET", "/shards")
+
+    def join_shard(self, url: str, *, weight: float = 1.0) -> dict:
+        """Add a shard to a router's ring and rebalance onto it."""
+        return self._request(
+            "POST",
+            "/shards/join",
+            {"url": url, "weight": float(weight)},
+        )
+
+    def drain_shard(self, url: str) -> dict:
+        """Migrate everything off a shard and drop it from the ring."""
+        return self._request("POST", "/shards/drain", {"url": url})

@@ -23,7 +23,8 @@ POST     ``/v1/sessions/<id>/export``        -- (drains; returns the
                                              portable session state)
 POST     ``/v1/sessions/<id>/import``        ``{"state": <base64>,
                                              "next_seq"?, "consumed"?,
-                                             "kernel_backend"?}``
+                                             "kernel_backend"?,
+                                             "degraded"?}``
 =======  ==================================  =================================
 
 ``export``/``import`` are the live-migration handoff the shard router
@@ -294,6 +295,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "next_seq": exported["next_seq"],
                     "consumed": exported["consumed"],
                     "kernel_backend": exported["kernel_backend"],
+                    "degraded": exported["degraded"],
                 }
             )
             return True
@@ -317,6 +319,7 @@ class _Handler(BaseHTTPRequestHandler):
                 next_seq=None if next_seq is None else int(next_seq),
                 consumed=None if consumed is None else int(consumed),
                 kernel_backend=payload.get("kernel_backend"),
+                degraded=int(payload.get("degraded") or 0),
             )
             self._send_json(info, status=201)
             return True
@@ -393,6 +396,14 @@ def main(argv: list[str] | None = None) -> int:
         help="where evicted sessions spill (default: a temp directory)",
     )
     parser.add_argument(
+        "--durable",
+        action="store_true",
+        help="rewrite each session's checkpoint (plus a bookkeeping "
+        "sidecar) after every committed flush, so a shard router can "
+        "fail this gateway's sessions over from --checkpoint-dir if "
+        "the process dies",
+    )
+    parser.add_argument(
         "--max-resident",
         type=int,
         default=None,
@@ -443,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
 
     manager = SessionManager(
         checkpoint_dir=args.checkpoint_dir,
+        durable=args.durable,
         max_resident=args.max_resident,
         max_batch=args.max_batch,
         max_latency_s=args.max_latency_ms / 1000.0,

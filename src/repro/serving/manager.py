@@ -61,6 +61,7 @@ pin inside its own interpreter.
 
 from __future__ import annotations
 
+import json
 import tempfile
 import threading
 from collections import deque
@@ -84,7 +85,7 @@ from repro.exceptions import (
 from repro.serving.metrics import ServingMetrics
 from repro.serving.pool import WorkerPool, make_worker_pool
 from repro.serving.scheduler import MicroBatchScheduler, PendingSlice
-from repro.serving.store import CheckpointStore
+from repro.serving.store import CheckpointStore, checkpoint_meta_path
 from repro.serving.worker import FlushRequest, FlushResult
 from repro.tensor import kernels
 from repro.tensor.validation import check_mask
@@ -132,6 +133,15 @@ class _Session:
         self.warmup: list[tuple[np.ndarray, np.ndarray]] = []
         self.next_seq = 0
         self.consumed = 0
+        #: Sequence watermark of the committed model: every slice with
+        #: ``seq < applied_seq`` is reflected in the model state (and,
+        #: in durable mode, in the on-disk checkpoint).  The gap up to
+        #: ``next_seq`` is what a crash would lose.
+        self.applied_seq = 0
+        #: Slices acknowledged upstream but missing from the checkpoint
+        #: this session was rebuilt from (failover data loss; 0 for a
+        #: session that never failed over).
+        self.degraded = 0
         self.subtensor_shape: tuple[int, ...] | None = None
         #: (seq, completed) pairs of the most recent flushed slices.
         self.results: deque[tuple[int, np.ndarray]] = deque(
@@ -178,6 +188,15 @@ class SessionManager:
     identical ``(shape, rank, dtype, backend)`` into one dispatch, at
     most ``max_fused_sessions`` per group); per-session results are
     bit-identical either way.
+
+    ``durable=True`` turns the checkpoint directory into crash-safe
+    state: after every committed flush the session's checkpoint is
+    rewritten in place with a JSON bookkeeping sidecar next to it
+    (see :func:`~repro.serving.store.checkpoint_meta_path`), so an
+    external failover tier — the shard router — can rebuild this
+    manager's sessions on a survivor if the process dies.  Give it an
+    explicit ``checkpoint_dir`` on shared storage for that to mean
+    anything across machines.
     """
 
     def __init__(
@@ -193,6 +212,7 @@ class SessionManager:
         fuse_sessions: bool = True,
         max_fused_sessions: int = 8,
         keep_results: int = 64,
+        durable: bool = False,
     ) -> None:
         if keep_results < 1:
             raise ValueError(
@@ -207,8 +227,12 @@ class SessionManager:
             )
             checkpoint_dir = self._tempdir.name
         self.metrics = ServingMetrics()
+        self._durable = durable
         self._store = CheckpointStore(
-            checkpoint_dir, max_resident=max_resident, metrics=self.metrics
+            checkpoint_dir,
+            max_resident=max_resident,
+            metrics=self.metrics,
+            durable=durable,
         )
         self._keep_results = keep_results
         if worker_pool is None:
@@ -292,6 +316,9 @@ class SessionManager:
             session.subtensor_shape = sofia.state.subtensor_shape
             session.consumed = int(sofia.state.t)
             self._store.put(session_id, sofia)
+            if self._durable:
+                with session.lock:
+                    self._persist_session_locked(session)
         self.metrics.increment("sessions_created")
         return self.session_info(session_id)
 
@@ -316,6 +343,10 @@ class SessionManager:
                     self._store.save_to(session_id, checkpoint_path)
                 )
             self._store.remove(session_id)
+            if self._durable:
+                checkpoint_meta_path(
+                    self._store.checkpoint_path(session_id)
+                ).unlink(missing_ok=True)
         with self._registry_lock:
             self._sessions.pop(session_id, None)
         self.metrics.increment("sessions_closed")
@@ -353,6 +384,9 @@ class SessionManager:
                 "next_seq": session.next_seq,
                 "consumed": session.consumed,
                 "kernel_backend": session.kernel_backend,
+                # The degraded mark is permanent and must follow the
+                # session across migrations, not reset to zero.
+                "degraded": session.degraded,
             }
         self.metrics.increment("session_exports")
         return payload
@@ -365,6 +399,7 @@ class SessionManager:
         next_seq: int | None = None,
         consumed: int | None = None,
         kernel_backend: str | None = None,
+        degraded: int = 0,
     ) -> dict:
         """Adopt a session exported from another runtime; returns info.
 
@@ -375,6 +410,13 @@ class SessionManager:
         no warmup — and its sequence numbering continues from
         ``next_seq`` so clients polling ``results`` see no gap or
         reuse.  ``consumed`` defaults to the model's own step count.
+
+        ``degraded`` is the failover path's honesty marker: the number
+        of slices that were acknowledged upstream but are missing from
+        ``state`` because the source died before flushing them.  A
+        non-zero count turns the session's status to ``"degraded"``
+        (permanently — the data is gone) instead of dropping the loss
+        silently.
         """
         if not session_id or "/" in session_id:
             raise ConfigError(
@@ -392,6 +434,10 @@ class SessionManager:
             raise ConfigError(
                 f"next_seq must be >= 0, got {next_seq}"
             )
+        if degraded < 0:
+            raise ConfigError(
+                f"degraded must be >= 0, got {degraded}"
+            )
         sofia = loads_sofia(state)
         session = _Session(
             session_id,
@@ -406,6 +452,10 @@ class SessionManager:
         )
         if next_seq is not None:
             session.next_seq = int(next_seq)
+        # Everything the source acknowledged is either in the model or
+        # counted as degraded loss; later flushes only move it forward.
+        session.applied_seq = session.next_seq
+        session.degraded = int(degraded)
         with self._registry_lock:
             if self._closed:
                 raise SessionError("the session manager is closed")
@@ -415,8 +465,13 @@ class SessionManager:
                 )
             self._sessions[session_id] = session
         self._store.put(session_id, sofia)
+        if self._durable:
+            with session.lock:
+                self._persist_session_locked(session)
         self.metrics.increment("sessions_created")
         self.metrics.increment("session_imports")
+        if session.degraded:
+            self.metrics.increment("degraded_imports")
         return self.session_info(session_id)
 
     def close(self) -> None:
@@ -589,6 +644,10 @@ class SessionManager:
         with session.lock:
             if not session.initialized:
                 status = "warming"
+            elif session.degraded:
+                # Failover lost acknowledged slices for this session;
+                # the mark is permanent and outranks ready/evicted.
+                status = "degraded"
             elif self._store.is_resident(session_id):
                 status = "ready"
             else:
@@ -598,6 +657,7 @@ class SessionManager:
                 "status": status,
                 "failure": session.failure,
                 "consumed": session.consumed,
+                "degraded": session.degraded,
                 "pending": self._scheduler.pending_count(session_id),
                 "warmup_ingested": len(session.warmup),
                 "warmup_needed": (
@@ -695,6 +755,32 @@ class SessionManager:
             session.kernel_backend,
         )
 
+    def _persist_session_locked(self, session: _Session) -> None:
+        """Write the durable checkpoint + bookkeeping sidecar.
+
+        Called with the session's lock held, right after a commit (or
+        at adoption time), so the ``.npz`` and the ``.meta.json`` next
+        to it describe one consistent state.  ``next_seq`` in the meta
+        is the highest sequence this runtime acknowledged; anything
+        between ``applied_seq`` and it was still buffered — the gap a
+        failover must report as degraded.
+        """
+        try:
+            path = self._store.persist(session.session_id)
+        except SessionNotFoundError:  # pragma: no cover - close race
+            return
+        meta = {
+            "session_id": session.session_id,
+            "next_seq": session.next_seq,
+            "applied_seq": session.applied_seq,
+            "consumed": session.consumed,
+            "kernel_backend": session.kernel_backend,
+            "degraded": session.degraded,
+        }
+        checkpoint_meta_path(path).write_text(
+            json.dumps(meta), encoding="utf-8"
+        )
+
     def _run_flush_jobs(
         self, jobs: list[tuple[str, list[PendingSlice]]]
     ) -> None:
@@ -741,6 +827,16 @@ class SessionManager:
                     self._commit_locked(
                         plan, by_session.get(plan.request.session_id)
                     )
+                    if (
+                        self._durable
+                        and plan.session.failure is None
+                        and plan.session.initialized
+                    ):
+                        # Member locks are still held, so the persisted
+                        # checkpoint + sidecar are exactly the committed
+                        # state — the failover tier never reads a torn
+                        # snapshot.
+                        self._persist_session_locked(plan.session)
 
     def _prepare_locked(
         self, session: _Session, items: list[PendingSlice]
@@ -833,6 +929,18 @@ class SessionManager:
             for seq, completed in result.results:
                 session.results.append((seq, completed))
             session.consumed += result.consumed
+            applied = [
+                seqs[-1]
+                for seqs in (
+                    plan.request.warmup_seqs,
+                    plan.request.step_seqs,
+                )
+                if seqs
+            ]
+            if applied:
+                session.applied_seq = max(
+                    session.applied_seq, max(applied) + 1
+                )
             self.metrics.observe_flush(
                 len(plan.items), result.seconds
             )

@@ -46,6 +46,13 @@ _COUNTERS = (
     # off this runtime, one import per state adopted from elsewhere.
     "session_exports",
     "session_imports",
+    # Durable mode: one per post-commit checkpoint written so a dead
+    # process's sessions can be failed over from disk.
+    "checkpoint_persists",
+    # Sessions adopted with a non-zero degraded count (slices that were
+    # acked upstream but missing from the checkpoint they were rebuilt
+    # from — the failover data-loss window, reported, never silent).
+    "degraded_imports",
 )
 
 #: Histogram names a ServingMetrics instance tracks.

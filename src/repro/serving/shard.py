@@ -36,6 +36,17 @@ fleet:
 * :func:`start_local_cluster` — self-host N backend gateways plus a
   router in one process (what the replay harness's ``--shards`` mode
   and the shard bench use).
+* **Self-healing** — an optional background prober polls each shard's
+  ``GET /v1/metrics``; per-shard liveness and load (resident sessions,
+  p95 flush latency) feed load-aware placement of *new* sessions
+  (existing placements stay sticky), ``POST /v1/shards/join|drain``
+  rebalance the fleet through the migrate path with bounded
+  concurrency, and a shard declared dead has its sessions re-homed
+  onto survivors from their durable checkpoints (written by
+  ``--durable`` managers), with any acked-but-unflushed slices
+  surfaced as the session's ``degraded`` count instead of silently
+  dropped.  Idempotent GET forwards retry with capped exponential
+  backoff before declaring a shard unreachable.
 
 ``main`` is the ``repro-serve-router`` console entry point::
 
@@ -48,24 +59,31 @@ fleet:
 from __future__ import annotations
 
 import argparse
+import base64
 import bisect
 import hashlib
 import json
 import re
+import tempfile
 import threading
+import time
 import urllib.error
 import urllib.request
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 
-from repro.exceptions import ConfigError
+from repro.exceptions import ConfigError, SessionNotFoundError
 from repro.serving.gateway import API_PREFIX, ServingHTTPServer, serve
 from repro.serving.manager import SessionManager
 from repro.serving.pool import WORKER_KINDS
+from repro.serving.store import checkpoint_meta_path
 
 __all__ = [
     "HashRing",
     "LocalCluster",
+    "ShardHealth",
     "ShardRouterServer",
     "aggregate_snapshots",
     "main",
@@ -87,10 +105,13 @@ class HashRing:
     :func:`hashlib.blake2b` (Python's builtin ``hash`` is salted per
     process and would scatter sessions differently on every restart).
     Each shard contributes ``replicas`` virtual nodes, which evens out
-    the keyspace split; shard list order does not matter.
+    the keyspace split; shard list order does not matter.  A shard's
+    capacity weight scales its virtual-node count — weight 2.0 owns
+    ~2x the keyspace of weight 1.0 — while weight 1.0 for everyone
+    reproduces the unweighted ring bit-for-bit.
     """
 
-    def __init__(self, shards, *, replicas: int = 64) -> None:
+    def __init__(self, shards, *, replicas: int = 64, weights=None) -> None:
         cleaned = []
         for shard in shards:
             url = str(shard).rstrip("/")
@@ -106,12 +127,31 @@ class HashRing:
             raise ConfigError(
                 f"replicas must be >= 1, got {replicas}"
             )
+        weight_map: dict[str, float] = {}
+        for shard, weight in (weights or {}).items():
+            url = str(shard).rstrip("/")
+            value = float(weight)
+            if value <= 0:
+                raise ConfigError(
+                    f"shard weight must be > 0, got {shard}={weight!r}"
+                )
+            weight_map[url] = value
+        unknown = sorted(set(weight_map) - set(cleaned))
+        if unknown:
+            raise ConfigError(
+                f"weights name shards not in the ring: {unknown}"
+            )
         self._shards = tuple(cleaned)
         self._replicas = replicas
+        self._weights = {
+            url: weight_map.get(url, 1.0) for url in cleaned
+        }
         points = sorted(
             (self._hash(f"{shard}#{replica}"), shard)
             for shard in self._shards
-            for replica in range(replicas)
+            for replica in range(
+                max(1, round(replicas * self._weights[shard]))
+            )
         )
         self._points = points
         self._keys = [key for key, _ in points]
@@ -131,6 +171,10 @@ class HashRing:
     def replicas(self) -> int:
         return self._replicas
 
+    @property
+    def weights(self) -> dict[str, float]:
+        return dict(self._weights)
+
     def shard_for(self, session_id: str) -> str:
         """The shard owning ``session_id`` (first point clockwise)."""
         index = bisect.bisect_right(
@@ -148,10 +192,20 @@ def aggregate_snapshots(per_shard: dict[str, dict]) -> dict:
     percentiles (the max across shards — an upper bound, which is the
     safe direction for SLO gating).  The raw per-shard snapshots ride
     along under ``"shards"``.
+
+    A shard whose snapshot is missing (``None`` or any non-dict — an
+    unreachable or mid-crash shard) is skipped rather than raising;
+    its URL is reported under ``"unreachable_shards"`` so a fleet
+    view during failover stays a fleet view instead of a 500.
     """
     merged: dict = {}
+    snapshots = {
+        shard: snapshot
+        for shard, snapshot in per_shard.items()
+        if isinstance(snapshot, dict)
+    }
     latency_keys: set[str] = set()
-    for snapshot in per_shard.values():
+    for snapshot in snapshots.values():
         for key, value in snapshot.items():
             if isinstance(value, dict):
                 if key.endswith("_latency"):
@@ -177,7 +231,7 @@ def aggregate_snapshots(per_shard: dict[str, dict]) -> dict:
     for key in sorted(latency_keys):
         summaries = [
             snapshot[key]
-            for snapshot in per_shard.values()
+            for snapshot in snapshots.values()
             if isinstance(snapshot.get(key), dict)
         ]
         count = sum(s.get("count", 0) for s in summaries)
@@ -204,6 +258,9 @@ def aggregate_snapshots(per_shard: dict[str, dict]) -> dict:
                 )
             },
         }
+    merged["unreachable_shards"] = sorted(
+        set(per_shard) - set(snapshots)
+    )
     merged["shards"] = dict(per_shard)
     return merged
 
@@ -229,6 +286,73 @@ def _error_body(
             }
         }
     ).encode("utf-8")
+
+
+def _parse_json_body(body: bytes, session_id: str | None) -> dict:
+    """Decode a request body as a JSON object or raise a 400 reply."""
+    try:
+        payload = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _ShardReply(
+            400,
+            _error_body(
+                "ValueError",
+                f"request body is not valid JSON: {exc}",
+                session_id,
+            ),
+        ) from None
+    if not isinstance(payload, dict):
+        raise _ShardReply(
+            400,
+            _error_body(
+                "ValueError",
+                "request body must be a JSON object",
+                session_id,
+            ),
+        )
+    return payload
+
+
+@dataclass
+class ShardHealth:
+    """The prober's last-known view of one shard.
+
+    ``probes == 0`` means the shard has never been probed — the
+    router then has no load signal and placement falls back to the
+    pure ring.  ``sessions`` is the shard's last successfully fetched
+    session listing; on failover it seeds the set of sessions to
+    re-home (unioned with the router's own ingest bookkeeping).
+    ``placed_since_probe`` is an optimistic load boost: each new
+    session placed on the shard counts until the next successful
+    probe refreshes ``resident_sessions``, so a burst of creates
+    between probes still spreads across the fleet.
+    """
+
+    url: str
+    alive: bool = True
+    probes: int = 0
+    consecutive_failures: int = 0
+    last_error: str | None = None
+    resident_sessions: int = 0
+    flush_p95_seconds: float = 0.0
+    sessions: tuple[str, ...] = ()
+    placed_since_probe: int = 0
+
+    def load(self) -> int:
+        """The placement load signal (known + optimistic sessions)."""
+        return self.resident_sessions + self.placed_since_probe
+
+    def as_dict(self) -> dict:
+        return {
+            "url": self.url,
+            "alive": self.alive,
+            "probes": self.probes,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+            "resident_sessions": self.resident_sessions,
+            "flush_p95_seconds": self.flush_p95_seconds,
+            "sessions": list(self.sessions),
+        }
 
 
 class _RouterHandler(BaseHTTPRequestHandler):
@@ -283,8 +407,9 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self._send(reply.status, reply.body)
         except Exception as exc:  # noqa: BLE001 - HTTP boundary
             match = _SESSION_PATH.match(path)
+            status = 400 if isinstance(exc, ConfigError) else 500
             self._send(
-                500,
+                status,
                 _error_body(
                     type(exc).__name__,
                     str(exc),
@@ -304,6 +429,17 @@ class _RouterHandler(BaseHTTPRequestHandler):
         if method == "GET" and path == "/shards":
             self._send_json(router.describe())
             return
+        if method == "POST" and path in ("/shards/join", "/shards/drain"):
+            payload = _parse_json_body(body, None)
+            url = str(payload.get("url") or payload.get("shard") or "")
+            if path.endswith("/join"):
+                result = router.join_shard(
+                    url, weight=float(payload.get("weight") or 1.0)
+                )
+            else:
+                result = router.drain_shard(url)
+            self._send_json(result)
+            return
         if path == "/sessions":
             if method == "GET":
                 self._send_json(
@@ -313,10 +449,12 @@ class _RouterHandler(BaseHTTPRequestHandler):
             if method == "POST":
                 session_id = router.session_id_of(body)
                 with router.session_lock(session_id):
-                    shard = router.placement(session_id)
+                    shard = router.place_new(session_id)
                     status, payload = router.forward(
                         shard, method, path, body=body, query=query
                     )
+                    if status < 400:
+                        router.note_session_created(session_id, shard)
                 self._send(status, payload)
                 return
         match = _SESSION_PATH.match(path)
@@ -334,6 +472,11 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 )
                 if method == "DELETE" and status < 400:
                     router.forget_placement(session_id)
+                elif method == "POST" and status < 400:
+                    if path.endswith("/import"):
+                        router.note_session_created(session_id, shard)
+                    if path.endswith(("/slices", "/import")):
+                        router.note_ingest(session_id, payload)
             self._send(status, payload)
             return
         self._send(
@@ -367,21 +510,87 @@ class ShardRouterServer(ThreadingHTTPServer):
         shards,
         *,
         replicas: int = 64,
+        weights=None,
         proxy_timeout: float = 30.0,
+        probe_interval: float | None = None,
+        probe_timeout: float = 1.0,
+        probe_failures: int = 3,
+        retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        checkpoint_dir: str | Path | None = None,
+        migrate_concurrency: int = 4,
         verbose: bool = False,
     ) -> None:
+        if probe_interval is not None and probe_interval <= 0:
+            raise ConfigError(
+                f"probe_interval must be > 0, got {probe_interval}"
+            )
+        if probe_failures < 1:
+            raise ConfigError(
+                f"probe_failures must be >= 1, got {probe_failures}"
+            )
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        if migrate_concurrency < 1:
+            raise ConfigError(
+                f"migrate_concurrency must be >= 1, got "
+                f"{migrate_concurrency}"
+            )
         super().__init__(address, _RouterHandler)
-        self.ring = HashRing(shards, replicas=replicas)
+        self.ring = HashRing(shards, replicas=replicas, weights=weights)
         self.proxy_timeout = proxy_timeout
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.probe_failures = probe_failures
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.migrate_concurrency = migrate_concurrency
         self.verbose = verbose
         self._state_lock = threading.Lock()
         #: Migrated sessions: id -> the shard now owning them.  The
-        #: ring itself is immutable; this overlay is what "repointing
-        #: the ring entry" mutates, atomically under the state lock.
+        #: ring is swapped only by join/drain; this overlay is what
+        #: "repointing the ring entry" mutates, atomically under the
+        #: state lock.
         self._overrides: dict[str, str] = {}
         self._session_locks: dict[str, threading.Lock] = {}
+        #: Acked stream position per session as seen by the router
+        #: (seq+1 of the last 202'd slice).  Failover compares this
+        #: against the checkpoint meta's applied watermark to compute
+        #: the degraded count even when the meta itself is stale.
+        self._ingested: dict[str, int] = {}
+        self._health: dict[str, ShardHealth] = {
+            url: ShardHealth(url) for url in self.ring.shards
+        }
         self._migrations = 0
         self._proxied = 0
+        self._retried = 0
+        self._load_placements = 0
+        self._rebalances = 0
+        self._failovers = 0
+        self._failed_over = 0
+        self._degraded_rehomed = 0
+        #: Sessions failover could not re-home: id -> reason.  Never
+        #: silently dropped; surfaced in describe() and metrics.
+        self._lost: dict[str, str] = {}
+        self._probe_stop = threading.Event()
+        self._probe_thread: threading.Thread | None = None
+        if probe_interval is not None:
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop,
+                name="shard-prober",
+                daemon=True,
+            )
+            self._probe_thread.start()
+
+    def server_close(self) -> None:
+        self._probe_stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=5)
+            self._probe_thread = None
+        super().server_close()
 
     @property
     def port(self) -> int:
@@ -393,6 +602,91 @@ class ShardRouterServer(ThreadingHTTPServer):
         return f"http://{host}:{self.port}"
 
     # ------------------------------------------------------------------
+    # Health probing
+    # ------------------------------------------------------------------
+    def _probe_loop(self) -> None:
+        while not self._probe_stop.wait(self.probe_interval):
+            try:
+                self.probe_once()
+            except Exception:  # noqa: BLE001 - prober must survive
+                pass
+
+    def _probe_fetch(self, shard: str, path: str) -> dict:
+        """One single-attempt GET with the probe timeout (no retries)."""
+        request = urllib.request.Request(
+            shard + API_PREFIX + path,
+            headers={"Accept": "application/json"},
+        )
+        with urllib.request.urlopen(
+            request, timeout=self.probe_timeout
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def probe_once(self) -> dict:
+        """One probe sweep over the ring (the loop's body, callable
+        directly for deterministic tests).
+
+        A shard that fails ``probe_failures`` consecutive sweeps is
+        declared dead exactly once — the alive->dead transition
+        triggers :meth:`_failover`; further failed probes on an
+        already-dead shard only keep its counters current.  A shard
+        answering again is marked alive immediately (its failure
+        streak resets on any success, so a flap below the threshold
+        never triggers anything), but recovery never pulls sessions
+        back — re-homed placements stay where failover put them.
+        """
+        newly_dead: list[str] = []
+        for shard in self.ring.shards:
+            try:
+                snapshot = self._probe_fetch(shard, "/metrics")
+                listing = self._probe_fetch(shard, "/sessions")
+            except Exception as exc:  # noqa: BLE001 - any failure counts
+                with self._state_lock:
+                    health = self._health.get(shard)
+                    if health is None:
+                        continue
+                    health.probes += 1
+                    health.consecutive_failures += 1
+                    health.last_error = f"{type(exc).__name__}: {exc}"
+                    if (
+                        health.alive
+                        and health.consecutive_failures
+                        >= self.probe_failures
+                    ):
+                        health.alive = False
+                        newly_dead.append(shard)
+                continue
+            flush = snapshot.get("flush_latency") or {}
+            sessions = tuple(
+                str(sid) for sid in listing.get("sessions", ())
+            )
+            with self._state_lock:
+                health = self._health.get(shard)
+                if health is None:
+                    continue
+                health.probes += 1
+                health.consecutive_failures = 0
+                health.alive = True
+                health.last_error = None
+                health.resident_sessions = len(sessions)
+                health.flush_p95_seconds = float(
+                    flush.get("p95_seconds") or 0.0
+                )
+                health.sessions = sessions
+                health.placed_since_probe = 0
+        failover = {
+            shard: self._failover(shard) for shard in newly_dead
+        }
+        with self._state_lock:
+            alive = sorted(
+                url for url, h in self._health.items() if h.alive
+            )
+            dead = sorted(
+                url for url, h in self._health.items() if not h.alive
+            )
+        return {"alive": alive, "dead": dead, "failover": failover}
+
+    # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
     def placement(self, session_id: str) -> str:
@@ -401,11 +695,74 @@ class ShardRouterServer(ThreadingHTTPServer):
             override = self._overrides.get(session_id)
         return override or self.ring.shard_for(session_id)
 
+    def place_new(self, session_id: str) -> str:
+        """Pick the shard for a ``POST /sessions`` create.
+
+        Existing placements stay sticky (an override or an already
+        ingested session routes to its current home — a duplicate
+        create must land where the live session is so the gateway's
+        conflict answer is authoritative).  When every ring shard has
+        been probed at least once, a *new* session lands on the
+        least-loaded live shard, preferring the ring owner on ties;
+        otherwise (prober off or still warming) the pure ring
+        placement of PR 8 applies unchanged.
+        """
+        owner = self.ring.shard_for(session_id)
+        with self._state_lock:
+            override = self._overrides.get(session_id)
+            if override is not None:
+                return override
+            if session_id in self._ingested:
+                return owner
+            healths = [
+                self._health.get(url) for url in self.ring.shards
+            ]
+            if any(h is None or h.probes == 0 for h in healths):
+                return owner
+            live = [h for h in healths if h.alive]
+            if not live:
+                return owner
+            best = min(
+                live,
+                key=lambda h: (h.load(), h.url != owner, h.url),
+            )
+            best.placed_since_probe += 1
+            if best.url != owner:
+                self._load_placements += 1
+            return best.url
+
+    def note_session_created(self, session_id: str, shard: str) -> None:
+        """Record a successful create/import landing on ``shard``."""
+        with self._state_lock:
+            self._ingested.setdefault(session_id, 0)
+            if shard != self.ring.shard_for(session_id):
+                self._overrides[session_id] = shard
+
+    def note_ingest(self, session_id: str, payload: bytes) -> None:
+        """Advance the acked stream position from a forwarded reply."""
+        try:
+            reply = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return
+        if not isinstance(reply, dict):
+            return
+        acked = None
+        if isinstance(reply.get("seq"), int):
+            acked = reply["seq"] + 1
+        elif isinstance(reply.get("next_seq"), int):
+            acked = reply["next_seq"]
+        if acked is None:
+            return
+        with self._state_lock:
+            if acked > self._ingested.get(session_id, 0):
+                self._ingested[session_id] = acked
+
     def forget_placement(self, session_id: str) -> None:
-        """Drop a closed session's override and its lock entry."""
+        """Drop a closed session's override, lock, and ingest count."""
         with self._state_lock:
             self._overrides.pop(session_id, None)
             self._session_locks.pop(session_id, None)
+            self._ingested.pop(session_id, None)
 
     def session_lock(self, session_id: str) -> threading.Lock:
         """Per-session serialization (requests vs live migration)."""
@@ -455,36 +812,50 @@ class ShardRouterServer(ThreadingHTTPServer):
         Upstream error envelopes pass through untouched — the typed
         client re-raises the same exception types it would against the
         shard directly.  An unreachable shard becomes a 502 with the
-        standard envelope.
+        standard envelope — but idempotent GETs first retry up to
+        ``retries`` times with capped exponential backoff, riding out
+        the sub-second window where a shard restarts or failover is
+        repointing placements.  Non-GET methods never retry (an
+        ingest that timed out may still have been applied).
         """
         url = shard + API_PREFIX + path + (f"?{query}" if query else "")
-        request = urllib.request.Request(
-            url,
-            data=body if body else None,
-            method=method,
-            headers={
-                "Accept": "application/json",
-                "Content-Type": "application/json",
-            },
-        )
         with self._state_lock:
             self._proxied += 1
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.proxy_timeout
-            ) as response:
-                return response.status, response.read()
-        except urllib.error.HTTPError as exc:
-            data = exc.read()
-            exc.close()
-            return exc.code, data
-        except (urllib.error.URLError, OSError) as exc:
-            match = _SESSION_PATH.match(path)
-            return 502, _error_body(
-                "SessionError",
-                f"shard {shard} unreachable: {exc}",
-                match.group("sid") if match else None,
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        last_exc: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(
+                    min(self.retry_backoff_s * 2 ** (attempt - 1), 1.0)
+                )
+                with self._state_lock:
+                    self._retried += 1
+            request = urllib.request.Request(
+                url,
+                data=body if body else None,
+                method=method,
+                headers={
+                    "Accept": "application/json",
+                    "Content-Type": "application/json",
+                },
             )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.proxy_timeout
+                ) as response:
+                    return response.status, response.read()
+            except urllib.error.HTTPError as exc:
+                data = exc.read()
+                exc.close()
+                return exc.code, data
+            except (urllib.error.URLError, OSError) as exc:
+                last_exc = exc
+        match = _SESSION_PATH.match(path)
+        return 502, _error_body(
+            "SessionError",
+            f"shard {shard} unreachable: {last_exc}",
+            match.group("sid") if match else None,
+        )
 
     def _forward_ok(
         self, shard: str, method: str, path: str, *, body: bytes = b""
@@ -520,39 +891,89 @@ class ShardRouterServer(ThreadingHTTPServer):
         }
 
     def fleet_metrics(self) -> dict:
-        """Aggregate ``/metrics`` across the fleet (plus the raw views)."""
-        per_shard = {
-            shard: self._forward_ok(shard, "GET", "/metrics")
-            for shard in self.ring.shards
-        }
+        """Aggregate ``/metrics`` across the fleet (plus the raw views).
+
+        An unreachable shard contributes ``None`` to the per-shard
+        views and its URL to ``unreachable_shards`` instead of
+        failing the whole aggregation — the fleet view must stay up
+        precisely when a shard is down.
+        """
+        per_shard: dict[str, dict | None] = {}
+        for shard in self.ring.shards:
+            status, payload = self.forward(shard, "GET", "/metrics")
+            snapshot = None
+            if status < 400:
+                try:
+                    snapshot = json.loads(payload.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    snapshot = None
+            per_shard[shard] = snapshot
         merged = aggregate_snapshots(per_shard)
+        merged["router"] = self.router_metrics()
+        return merged
+
+    def router_metrics(self) -> dict:
+        """The router's own counters (the ``"router"`` metrics block)."""
         with self._state_lock:
-            merged["router"] = {
+            return {
                 "shards": len(self.ring.shards),
                 "migrations": self._migrations,
                 "proxied_requests": self._proxied,
                 "placement_overrides": len(self._overrides),
+                "retried_requests": self._retried,
+                "load_placements": self._load_placements,
+                "rebalances": self._rebalances,
+                "failovers": self._failovers,
+                "failed_over_sessions": self._failed_over,
+                "degraded_sessions": self._degraded_rehomed,
+                "lost_sessions": len(self._lost),
+                "dead_shards": sorted(
+                    url
+                    for url, health in self._health.items()
+                    if not health.alive
+                ),
             }
-        return merged
 
     def merged_sessions(self) -> list[str]:
-        """The union of every shard's session listing, sorted."""
+        """The union of every reachable shard's listing, sorted."""
         merged: set[str] = set()
         for shard in self.ring.shards:
-            listing = self._forward_ok(shard, "GET", "/sessions")
+            status, payload = self.forward(shard, "GET", "/sessions")
+            if status >= 400:
+                continue
+            try:
+                listing = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
             merged.update(listing.get("sessions", ()))
         return sorted(merged)
 
     def describe(self) -> dict:
-        """The ``GET /v1/shards`` topology snapshot."""
+        """The ``GET /v1/shards`` topology + health snapshot."""
         with self._state_lock:
             overrides = dict(self._overrides)
             migrations = self._migrations
+            health = {
+                url: h.as_dict() for url, h in self._health.items()
+            }
+            lost = dict(self._lost)
+            failovers = self._failovers
+            rebalances = self._rebalances
         return {
             "shards": list(self.ring.shards),
             "replicas": self.ring.replicas,
+            "weights": self.ring.weights,
             "overrides": overrides,
             "migrations": migrations,
+            "health": health,
+            "probe": {
+                "interval_s": self.probe_interval,
+                "timeout_s": self.probe_timeout,
+                "failure_threshold": self.probe_failures,
+            },
+            "failovers": failovers,
+            "rebalances": rebalances,
+            "lost_sessions": lost,
         }
 
     # ------------------------------------------------------------------
@@ -567,17 +988,7 @@ class ShardRouterServer(ThreadingHTTPServer):
         the source copy.  A failed import leaves the session exactly
         where it was; the upstream error envelope is relayed.
         """
-        try:
-            payload = json.loads(body.decode("utf-8")) if body else {}
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _ShardReply(
-                400,
-                _error_body(
-                    "ValueError",
-                    f"request body is not valid JSON: {exc}",
-                    session_id,
-                ),
-            ) from None
+        payload = _parse_json_body(body, session_id)
         target = str(payload.get("target") or "").rstrip("/")
         if target not in self.ring.shards:
             raise _ShardReply(
@@ -589,6 +1000,10 @@ class ShardRouterServer(ThreadingHTTPServer):
                     session_id,
                 ),
             )
+        return self._migrate_to(session_id, target)
+
+    def _migrate_to(self, session_id: str, target: str) -> dict:
+        """One export->import->repoint handoff (see :meth:`migrate`)."""
         with self.session_lock(session_id):
             source = self.placement(session_id)
             if source == target:
@@ -608,6 +1023,7 @@ class ShardRouterServer(ThreadingHTTPServer):
                     "next_seq",
                     "consumed",
                     "kernel_backend",
+                    "degraded",
                 )
                 if exported.get(key) is not None
             }
@@ -618,7 +1034,13 @@ class ShardRouterServer(ThreadingHTTPServer):
                 body=json.dumps(handoff).encode("utf-8"),
             )
             with self._state_lock:
-                self._overrides[session_id] = target
+                # An override equal to the ring owner is redundant —
+                # normalize it away so the overlay only holds true
+                # deviations (keeps join/drain diffs minimal).
+                if target == self.ring.shard_for(session_id):
+                    self._overrides.pop(session_id, None)
+                else:
+                    self._overrides[session_id] = target
                 self._migrations += 1
             # Best-effort close of the drained source copy; the
             # placement already points at the target, so a failure
@@ -634,6 +1056,330 @@ class ShardRouterServer(ThreadingHTTPServer):
             "source_closed": close_status < 400,
         }
 
+    # ------------------------------------------------------------------
+    # Rebalancing (join / drain)
+    # ------------------------------------------------------------------
+    def _migrate_many(
+        self, moves: dict[str, str]
+    ) -> tuple[list[str], dict[str, str]]:
+        """Run ``sid -> target`` migrations with bounded concurrency.
+
+        Each migration holds its session's lock; a failure leaves
+        that session on its source (abort-safe) and is reported, not
+        raised — the sweep always completes.
+        """
+        moved: list[str] = []
+        failed: dict[str, str] = {}
+        if not moves:
+            return moved, failed
+        workers = max(1, min(self.migrate_concurrency, len(moves)))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                sid: pool.submit(self._migrate_to, sid, target)
+                for sid, target in sorted(moves.items())
+            }
+        for sid, future in futures.items():
+            try:
+                future.result()
+                moved.append(sid)
+            except _ShardReply as reply:
+                failed[sid] = reply.body.decode("utf-8", "replace")
+            except Exception as exc:  # noqa: BLE001 - keep sweeping
+                failed[sid] = f"{type(exc).__name__}: {exc}"
+        return moved, failed
+
+    def _drop_redundant_overrides(self) -> None:
+        with self._state_lock:
+            for sid in list(self._overrides):
+                if self._overrides[sid] == self.ring.shard_for(sid):
+                    del self._overrides[sid]
+
+    def join_shard(self, url: str, *, weight: float = 1.0) -> dict:
+        """Add a shard to the ring and rebalance onto it.
+
+        Every live session is first pinned at its current placement
+        (an explicit override), then the ring is swapped to include
+        the newcomer, then sessions whose new ring owner differs from
+        their pin are migrated with bounded concurrency.  A failed
+        migration leaves its session pinned on the source; overrides
+        that end up equal to the new ring owner are dropped.
+        """
+        url = str(url).rstrip("/")
+        if not url.startswith(("http://", "https://")):
+            raise ConfigError(
+                f"shard must be an http(s) base URL, got {url!r}"
+            )
+        weight = float(weight)
+        if weight <= 0:
+            raise ConfigError(
+                f"shard weight must be > 0, got {weight}"
+            )
+        if url in self.ring.shards:
+            return {
+                "joined": False,
+                "shard": url,
+                "moved": [],
+                "failed": {},
+                "shards": list(self.ring.shards),
+            }
+        sessions = set(self.merged_sessions())
+        with self._state_lock:
+            old_ring = self.ring
+            sessions.update(self._ingested)
+            sessions.update(self._overrides)
+            for sid in sessions:
+                self._overrides.setdefault(
+                    sid, old_ring.shard_for(sid)
+                )
+            weights = old_ring.weights
+            weights[url] = weight
+            self.ring = HashRing(
+                (*old_ring.shards, url),
+                replicas=old_ring.replicas,
+                weights=weights,
+            )
+            self._health.setdefault(url, ShardHealth(url))
+            self._rebalances += 1
+            pinned = dict(self._overrides)
+        moves = {
+            sid: self.ring.shard_for(sid)
+            for sid, source in pinned.items()
+            if self.ring.shard_for(sid) != source
+        }
+        moved, failed = self._migrate_many(moves)
+        self._drop_redundant_overrides()
+        return {
+            "joined": True,
+            "shard": url,
+            "weight": weight,
+            "moved": moved,
+            "failed": failed,
+            "shards": list(self.ring.shards),
+        }
+
+    def drain_shard(self, url: str) -> dict:
+        """Migrate everything off a shard, then remove it from the ring.
+
+        The shard leaves the ring only after *every* resident session
+        migrated cleanly; any failure aborts the removal, leaving the
+        shard in the ring still serving the sessions that could not
+        move (reported under ``"failed"``).
+        """
+        url = str(url).rstrip("/")
+        if url not in self.ring.shards:
+            raise ConfigError(
+                f"cannot drain {url!r}: not in ring {self.ring.shards}"
+            )
+        if len(self.ring.shards) < 2:
+            raise ConfigError("cannot drain the last shard in the ring")
+        old_ring = self.ring
+        new_ring = HashRing(
+            tuple(u for u in old_ring.shards if u != url),
+            replicas=old_ring.replicas,
+            weights={
+                u: w for u, w in old_ring.weights.items() if u != url
+            },
+        )
+        victims: set[str] = set()
+        status, payload = self.forward(url, "GET", "/sessions")
+        if status < 400:
+            try:
+                listing = json.loads(payload.decode("utf-8"))
+                victims.update(listing.get("sessions", ()))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                pass
+        with self._state_lock:
+            victims.update(
+                sid
+                for sid, target in self._overrides.items()
+                if target == url
+            )
+            victims.update(
+                sid
+                for sid in self._ingested
+                if self._overrides.get(sid, old_ring.shard_for(sid))
+                == url
+            )
+        moves = {sid: new_ring.shard_for(sid) for sid in sorted(victims)}
+        moved, failed = self._migrate_many(moves)
+        if failed:
+            return {
+                "drained": False,
+                "shard": url,
+                "moved": moved,
+                "failed": failed,
+                "shards": list(self.ring.shards),
+            }
+        with self._state_lock:
+            self.ring = new_ring
+            self._health.pop(url, None)
+            self._rebalances += 1
+        self._drop_redundant_overrides()
+        return {
+            "drained": True,
+            "shard": url,
+            "moved": moved,
+            "failed": {},
+            "shards": list(self.ring.shards),
+        }
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def _failover(self, shard: str) -> dict:
+        """Re-home a dead shard's sessions from durable checkpoints.
+
+        The candidate set unions the shard's last probed listing with
+        the router's own bookkeeping (overrides and acked sessions
+        placed there).  Each session is re-homed under its lock, so
+        in-flight requests serialize against the re-point; a session
+        whose placement already moved (a racing migrate) is skipped.
+        Failures are recorded per session in ``lost_sessions`` —
+        reported, never silent — and leave the placement untouched.
+        """
+        with self._state_lock:
+            self._failovers += 1
+            health = self._health.get(shard)
+            known = set(health.sessions) if health is not None else set()
+            known.update(
+                sid
+                for sid, target in self._overrides.items()
+                if target == shard
+            )
+            known.update(
+                sid
+                for sid in self._ingested
+                if self._overrides.get(sid, self.ring.shard_for(sid))
+                == shard
+            )
+        rehomed: list[str] = []
+        lost: dict[str, str] = {}
+        for sid in sorted(known):
+            with self.session_lock(sid):
+                if self.placement(sid) != shard:
+                    continue
+                try:
+                    self._rehome_from_checkpoint(sid, shard)
+                except Exception as exc:  # noqa: BLE001 - record all
+                    reason = f"{type(exc).__name__}: {exc}"
+                    with self._state_lock:
+                        self._lost[sid] = reason
+                    lost[sid] = reason
+                    continue
+            rehomed.append(sid)
+        return {"shard": shard, "rehomed": rehomed, "lost": lost}
+
+    def _find_checkpoint(self, session_id: str) -> Path | None:
+        """Newest ``<sid>.npz`` in the checkpoint tree (1 level deep).
+
+        A local cluster gives each shard's manager its own subdir
+        under one root, so the dead shard's file is found without the
+        router knowing which subdir belonged to whom; mtime breaks
+        ties toward the most recently persisted copy.
+        """
+        root = self.checkpoint_dir
+        if root is None:
+            return None
+        name = f"{session_id}.npz"
+        candidates = [
+            path
+            for path in (root / name, *sorted(root.glob(f"*/{name}")))
+            if path.is_file()
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda path: path.stat().st_mtime)
+
+    def _least_loaded_survivor(self, dead_shard: str) -> str:
+        with self._state_lock:
+            candidates = [
+                self._health[url]
+                for url in self.ring.shards
+                if url != dead_shard
+                and url in self._health
+                and self._health[url].alive
+            ]
+            if not candidates:
+                raise ConfigError(
+                    "no live shard left to fail sessions over onto"
+                )
+            best = min(
+                candidates, key=lambda h: (h.load(), h.url)
+            )
+            best.placed_since_probe += 1
+            return best.url
+
+    def _rehome_from_checkpoint(
+        self, session_id: str, dead_shard: str
+    ) -> str:
+        """Rebuild one session on a survivor from its checkpoint.
+
+        The checkpoint holds the last *committed* state; the meta
+        sidecar (written by ``--durable`` managers) carries the
+        stream position it corresponds to.  The session resumes at
+        ``max(router-acked, meta.next_seq)`` so upstream seq numbers
+        stay monotonic, and every acked slice past the checkpoint's
+        applied watermark counts into ``degraded`` — the data-loss
+        window is surfaced in the session's status, never hidden.
+        """
+        if self.checkpoint_dir is None:
+            raise ConfigError(
+                "failover needs --checkpoint-dir pointing at the "
+                "shards' durable checkpoint tree"
+            )
+        checkpoint = self._find_checkpoint(session_id)
+        if checkpoint is None:
+            raise SessionNotFoundError(
+                f"no durable checkpoint for session {session_id!r} "
+                f"under {self.checkpoint_dir}"
+            )
+        meta: dict = {}
+        meta_path = checkpoint_meta_path(checkpoint)
+        if meta_path.is_file():
+            try:
+                meta = json.loads(
+                    meta_path.read_text(encoding="utf-8")
+                )
+            except (json.JSONDecodeError, OSError):
+                meta = {}
+        if not isinstance(meta, dict):
+            meta = {}
+        with self._state_lock:
+            routed = int(self._ingested.get(session_id, 0))
+        acked = max(routed, int(meta.get("next_seq") or 0))
+        applied = int(meta.get("applied_seq") or 0)
+        degraded = max(0, acked - applied) + int(
+            meta.get("degraded") or 0
+        )
+        target = self._least_loaded_survivor(dead_shard)
+        handoff: dict = {
+            "state": base64.b64encode(
+                checkpoint.read_bytes()
+            ).decode("ascii"),
+            "next_seq": acked,
+            "degraded": degraded,
+        }
+        if meta.get("consumed") is not None:
+            handoff["consumed"] = int(meta["consumed"])
+        if meta.get("kernel_backend"):
+            handoff["kernel_backend"] = meta["kernel_backend"]
+        self._forward_ok(
+            target,
+            "POST",
+            f"/sessions/{session_id}/import",
+            body=json.dumps(handoff).encode("utf-8"),
+        )
+        with self._state_lock:
+            if target == self.ring.shard_for(session_id):
+                self._overrides.pop(session_id, None)
+            else:
+                self._overrides[session_id] = target
+            self._ingested[session_id] = acked
+            self._failed_over += 1
+            if degraded:
+                self._degraded_rehomed += 1
+        return target
+
 
 def serve_router(
     shards,
@@ -641,7 +1387,14 @@ def serve_router(
     port: int = 0,
     *,
     replicas: int = 64,
+    weights=None,
     proxy_timeout: float = 30.0,
+    probe_interval: float | None = None,
+    probe_timeout: float = 1.0,
+    probe_failures: int = 3,
+    retries: int = 2,
+    checkpoint_dir: str | Path | None = None,
+    migrate_concurrency: int = 4,
     verbose: bool = False,
 ) -> ShardRouterServer:
     """Bind a router (``port=0`` picks a free port); caller runs it."""
@@ -649,7 +1402,14 @@ def serve_router(
         (host, port),
         shards,
         replicas=replicas,
+        weights=weights,
         proxy_timeout=proxy_timeout,
+        probe_interval=probe_interval,
+        probe_timeout=probe_timeout,
+        probe_failures=probe_failures,
+        retries=retries,
+        checkpoint_dir=checkpoint_dir,
+        migrate_concurrency=migrate_concurrency,
         verbose=verbose,
     )
 
@@ -662,6 +1422,12 @@ class LocalCluster:
     backends: tuple[ServingHTTPServer, ...]
     managers: tuple[SessionManager, ...]
     threads: tuple[threading.Thread, ...]
+    #: Shared durable-checkpoint root, when the cluster runs durable
+    #: (one ``shard-<i>`` subdir per backend; the router's failover
+    #: scans the whole tree).
+    checkpoint_root: Path | None = None
+    _tmpdir: tempfile.TemporaryDirectory | None = None
+    _killed: set = field(default_factory=set)
 
     @property
     def url(self) -> str:
@@ -671,15 +1437,41 @@ class LocalCluster:
     def shard_urls(self) -> tuple[str, ...]:
         return self.router.ring.shards
 
+    def kill_shard(self, index: int) -> None:
+        """Hard-stop one backend's HTTP server (fault injection).
+
+        Every request to the shard fails with connection-refused from
+        this moment — what a crashed process looks like from the
+        router.  The backend's manager is left running (its durable
+        checkpoints stay on disk for failover; ``close()`` still
+        shuts it down cleanly) and is intentionally *not* closed
+        here: closing would drain pending slices and hide the
+        degraded window a real crash produces.
+        """
+        if index in self._killed:
+            return
+        self._killed.add(index)
+        server = self.backends[index]
+        server.shutdown()
+        server.server_close()
+
     def close(self) -> None:
         """Stop the router, then every backend, then the managers."""
-        for server in (self.router, *self.backends):
+        live = (
+            backend
+            for index, backend in enumerate(self.backends)
+            if index not in self._killed
+        )
+        for server in (self.router, *live):
             server.shutdown()
             server.server_close()
         for thread in self.threads:
             thread.join(timeout=10)
         for manager in self.managers:
             manager.close()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
 
     def __enter__(self) -> "LocalCluster":
         return self
@@ -693,6 +1485,13 @@ def start_local_cluster(
     *,
     host: str = "127.0.0.1",
     replicas: int = 64,
+    shard_weights=None,
+    probe_interval: float | None = None,
+    probe_timeout: float = 1.0,
+    probe_failures: int = 3,
+    retries: int = 2,
+    durable: bool = False,
+    checkpoint_root: str | Path | None = None,
     verbose: bool = False,
     **manager_kwargs,
 ) -> LocalCluster:
@@ -702,26 +1501,73 @@ def start_local_cluster(
     :class:`~repro.serving.manager.SessionManager` verbatim.  Callers
     own the result and must :meth:`LocalCluster.close` it (it is a
     context manager).
+
+    ``durable=True`` gives every backend its own ``shard-<i>`` subdir
+    under ``checkpoint_root`` (an owned temp dir when not given) with
+    post-commit checkpointing on, and points the router's failover at
+    the root — the full self-healing loop in one process when a
+    ``probe_interval`` is set.  ``shard_weights`` is one capacity
+    weight per shard index.
     """
     if n_shards < 1:
         raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    if shard_weights is not None and len(shard_weights) != n_shards:
+        raise ConfigError(
+            f"shard_weights needs {n_shards} entries, "
+            f"got {len(shard_weights)}"
+        )
+    if durable and "checkpoint_dir" in manager_kwargs:
+        # A caller-supplied manager checkpoint_dir would make every
+        # shard persist into one flat dir the router's failover never
+        # searches — sessions silently become unrecoverable.
+        raise ConfigError(
+            "durable clusters take checkpoint_root=, not "
+            "checkpoint_dir=: shards persist under "
+            "<root>/shard-<i> and failover searches that root"
+        )
+    tmpdir: tempfile.TemporaryDirectory | None = None
+    root = (
+        Path(checkpoint_root) if checkpoint_root is not None else None
+    )
+    if durable and root is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        root = Path(tmpdir.name)
     managers: list[SessionManager] = []
     backends: list[ServingHTTPServer] = []
     threads: list[threading.Thread] = []
     try:
-        for _ in range(n_shards):
-            manager = SessionManager(**manager_kwargs)
+        for index in range(n_shards):
+            kwargs = dict(manager_kwargs)
+            if root is not None:
+                kwargs.setdefault(
+                    "checkpoint_dir", root / f"shard-{index}"
+                )
+                kwargs.setdefault("durable", durable)
+            manager = SessionManager(**kwargs)
             managers.append(manager)
             server = serve(manager, host, 0, verbose=verbose)
             backends.append(server)
+        urls = [
+            f"http://{server.server_address[0]}:{server.port}"
+            for server in backends
+        ]
+        weights = None
+        if shard_weights is not None:
+            weights = {
+                url: float(weight)
+                for url, weight in zip(urls, shard_weights)
+            }
         router = serve_router(
-            [
-                f"http://{server.server_address[0]}:{server.port}"
-                for server in backends
-            ],
+            urls,
             host,
             0,
             replicas=replicas,
+            weights=weights,
+            probe_interval=probe_interval,
+            probe_timeout=probe_timeout,
+            probe_failures=probe_failures,
+            retries=retries,
+            checkpoint_dir=root,
             verbose=verbose,
         )
     except BaseException:
@@ -729,6 +1575,8 @@ def start_local_cluster(
             server.server_close()
         for manager in managers:
             manager.close()
+        if tmpdir is not None:
+            tmpdir.cleanup()
         raise
     for server in (*backends, router):
         thread = threading.Thread(
@@ -741,6 +1589,8 @@ def start_local_cluster(
         backends=tuple(backends),
         managers=tuple(managers),
         threads=tuple(threads),
+        checkpoint_root=root,
+        _tmpdir=tmpdir,
     )
 
 
@@ -775,11 +1625,63 @@ def main(argv: list[str] | None = None) -> int:
         help="virtual nodes per shard on the hash ring (default 64)",
     )
     parser.add_argument(
+        "--shard-weight",
+        action="append",
+        default=None,
+        dest="shard_weight",
+        metavar="KEY=W",
+        help="capacity weight for one shard (repeat; URL=W with "
+        "--shard, INDEX=W with --local-shards; default 1.0 each)",
+    )
+    parser.add_argument(
         "--proxy-timeout",
         type=float,
         default=30.0,
         dest="proxy_timeout",
         help="per-forwarded-request timeout in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--probe-interval",
+        type=float,
+        default=None,
+        dest="probe_interval",
+        help="seconds between health probes of each shard "
+        "(default: prober off)",
+    )
+    parser.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=1.0,
+        dest="probe_timeout",
+        help="per-probe-request timeout in seconds (default 1)",
+    )
+    parser.add_argument(
+        "--probe-failures",
+        type=int,
+        default=3,
+        dest="probe_failures",
+        help="consecutive failed probes before a shard is declared "
+        "dead and its sessions failed over (default 3)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts for idempotent GET forwards before "
+        "declaring a shard unreachable (default 2)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        dest="checkpoint_dir",
+        help="root of the shards' durable checkpoint tree; failover "
+        "re-homes dead shards' sessions from here",
+    )
+    parser.add_argument(
+        "--durable",
+        action="store_true",
+        help="run --local-shards backends with post-commit durable "
+        "checkpointing (under --checkpoint-dir or a temp dir)",
     )
     parser.add_argument(
         "--max-batch",
@@ -811,13 +1713,48 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             "give exactly one of --shard (repeatable) or --local-shards"
         )
+    raw_weights: list[tuple[str, float]] = []
+    for entry in args.shard_weight or ():
+        key, sep, value = entry.partition("=")
+        try:
+            if not sep:
+                raise ValueError(entry)
+            raw_weights.append((key.strip(), float(value)))
+        except ValueError:
+            parser.error(
+                f"--shard-weight needs KEY=WEIGHT, got {entry!r}"
+            )
 
     cluster: LocalCluster | None = None
+    checkpoint_dir = args.checkpoint_dir
     if args.local_shards is not None:
+        shard_weights = None
+        if raw_weights:
+            by_index = {}
+            for key, weight in raw_weights:
+                try:
+                    by_index[int(key)] = weight
+                except ValueError:
+                    parser.error(
+                        "--shard-weight keys must be shard indexes "
+                        f"with --local-shards, got {key!r}"
+                    )
+            if by_index and max(by_index) >= args.local_shards:
+                parser.error(
+                    f"--shard-weight index {max(by_index)} out of "
+                    f"range for --local-shards {args.local_shards}"
+                )
+            shard_weights = [
+                by_index.get(index, 1.0)
+                for index in range(args.local_shards)
+            ]
         cluster = start_local_cluster(
             args.local_shards,
             host=args.host,
             replicas=args.replicas,
+            shard_weights=shard_weights,
+            durable=args.durable,
+            checkpoint_root=args.checkpoint_dir,
             verbose=args.verbose,
             max_batch=args.max_batch,
             max_latency_s=args.max_latency_ms / 1000.0,
@@ -825,14 +1762,29 @@ def main(argv: list[str] | None = None) -> int:
             worker_kind=args.worker_kind,
         )
         shards = cluster.shard_urls
+        weights = None
+        if shard_weights is not None:
+            weights = dict(zip(shards, shard_weights))
+        checkpoint_dir = cluster.checkpoint_root
     else:
         shards = args.shard
+        weights = (
+            {key: weight for key, weight in raw_weights}
+            if raw_weights
+            else None
+        )
     router = serve_router(
         shards,
         args.host,
         args.port,
         replicas=args.replicas,
+        weights=weights,
         proxy_timeout=args.proxy_timeout,
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        probe_failures=args.probe_failures,
+        retries=args.retries,
+        checkpoint_dir=checkpoint_dir,
         verbose=args.verbose,
     )
     print(

@@ -41,7 +41,19 @@ from repro.core.sofia import Sofia
 from repro.exceptions import SessionNotFoundError
 from repro.serving.metrics import ServingMetrics
 
-__all__ = ["CheckpointStore"]
+__all__ = ["CheckpointStore", "checkpoint_meta_path"]
+
+
+def checkpoint_meta_path(checkpoint: str | Path) -> Path:
+    """The JSON sidecar next to a checkpoint file.
+
+    Durable-mode managers write serving bookkeeping (sequence numbers,
+    consumed count, kernel-backend pin) here alongside each persisted
+    checkpoint; the shard router's failover path reads it to rebuild a
+    dead shard's sessions with their stream positions intact.
+    """
+    path = Path(checkpoint)
+    return path.with_name(path.stem + ".meta.json")
 
 
 class CheckpointStore:
@@ -53,6 +65,7 @@ class CheckpointStore:
         *,
         max_resident: int | None = None,
         metrics: ServingMetrics | None = None,
+        durable: bool = False,
     ) -> None:
         if max_resident is not None and max_resident < 1:
             raise ValueError(
@@ -62,6 +75,7 @@ class CheckpointStore:
         self._directory.mkdir(parents=True, exist_ok=True)
         self._max_resident = max_resident
         self._metrics = metrics
+        self._durable = durable
         self._lock = threading.Lock()
         #: Resident models, least-recently-used first.
         self._resident: OrderedDict[str, Sofia] = OrderedDict()
@@ -76,6 +90,11 @@ class CheckpointStore:
     @property
     def max_resident(self) -> int | None:
         return self._max_resident
+
+    @property
+    def durable(self) -> bool:
+        """Whether checkpoint files outlive residency (see :meth:`persist`)."""
+        return self._durable
 
     def resident_count(self) -> int:
         with self._lock:
@@ -94,7 +113,13 @@ class CheckpointStore:
             return session_id in self._resident
 
     def checkpoint_path(self, session_id: str) -> Path:
-        """Where this session spills to (exists only while spilled)."""
+        """Where this session checkpoints to on disk.
+
+        Non-durable stores keep the file only while the session is
+        spilled; durable stores keep it continuously (rewritten by
+        :meth:`persist` after every committed flush) so an external
+        failover tier can rebuild the session after a crash.
+        """
         return self._directory / f"{session_id}.npz"
 
     # ------------------------------------------------------------------
@@ -120,7 +145,11 @@ class CheckpointStore:
                     )
                 sofia = load_sofia(path)
                 del self._spilled[session_id]
-                path.unlink(missing_ok=True)
+                # A durable store keeps the file: it still holds the
+                # last committed state, which is exactly what failover
+                # would want if this process died mid-flush.
+                if not self._durable:
+                    path.unlink(missing_ok=True)
                 self._resident[session_id] = sofia
                 if self._metrics is not None:
                     self._metrics.increment("rehydrations")
@@ -153,7 +182,33 @@ class CheckpointStore:
             path = self._spilled.pop(session_id, None)
             if path is not None:
                 path.unlink(missing_ok=True)
+            if self._durable:
+                # Durable files exist independently of spill state.
+                self.checkpoint_path(session_id).unlink(missing_ok=True)
             self._pins.pop(session_id, None)
+
+    def persist(self, session_id: str) -> Path:
+        """Write the session's current state to its checkpoint path.
+
+        The durable-mode hook: called after every committed flush so
+        the on-disk checkpoint always holds the last committed state.
+        A spilled session's file is already current (the spill wrote
+        it), so only resident models are re-serialized.  Returns the
+        checkpoint path either way.
+        """
+        with self._lock:
+            path = self.checkpoint_path(session_id)
+            sofia = self._resident.get(session_id)
+            if sofia is None:
+                if session_id in self._spilled:
+                    return path
+                raise SessionNotFoundError(
+                    f"session {session_id!r} is not in the store"
+                )
+            save_sofia(sofia, path)
+        if self._metrics is not None:
+            self._metrics.increment("checkpoint_persists")
+        return path
 
     def save_to(self, session_id: str, path: str | Path) -> Path:
         """Checkpoint a session to an explicit path (resident or not)."""

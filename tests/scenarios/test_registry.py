@@ -30,6 +30,7 @@ EXPECTED_NAMES = (
     "heavy_tail_outburst",
     "regime_shift",
     "seasonality_change",
+    "session_churn",
 )
 
 

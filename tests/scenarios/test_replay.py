@@ -7,14 +7,14 @@ import time
 import pytest
 
 import repro.scenarios.replay as replay_module
-from repro.exceptions import SessionNotFoundError
 from repro.scenarios.replay import (
     format_replay_report,
     main as replay_main,
     run_replay,
 )
-from repro.serving import HTTPServingClient, SessionManager
+from repro.serving import SessionManager
 from repro.serving.gateway import serve
+from tests.serving.faults import start_chaos_proxy
 
 
 @pytest.fixture
@@ -31,6 +31,16 @@ def gateway():
         server.server_close()
         manager.close()
         thread.join(timeout=5)
+
+
+@pytest.fixture
+def chaos_gateway(gateway):
+    """The same gateway, fronted by a programmable fault proxy."""
+    proxy = start_chaos_proxy(gateway)
+    try:
+        yield proxy
+    finally:
+        proxy.close()
 
 
 class TestRunReplay:
@@ -110,27 +120,30 @@ class TestRunReplay:
 
 
 class TestFailureAccounting:
-    def test_send_errors_recorded_per_session(self, gateway, monkeypatch):
-        # A sender that always fails for one session: the report names
-        # the session and keeps the first error's type and message
-        # instead of reducing everything to a bare count.
-        class FlakyClient(HTTPServingClient):
-            def ingest(self, session_id, values, mask=None):
-                if session_id.endswith("-0"):
-                    raise SessionNotFoundError("injected ingest failure")
-                return super().ingest(session_id, values, mask)
-
-        monkeypatch.setattr(
-            replay_module, "HTTPServingClient", FlakyClient
+    def test_send_errors_recorded_per_session(self, chaos_gateway):
+        # The proxy answers every ingest for one session with a typed
+        # error envelope: the report names the session and keeps the
+        # first error's type, message, and kind instead of reducing
+        # everything to a bare count.
+        chaos_gateway.error(
+            r"/sessions/bursty_arrival-0/slices",
+            status=404,
+            error_type="SessionNotFoundError",
+            message="injected ingest failure",
         )
         report = run_replay(
-            "bursty_arrival", url=gateway, rate=400.0, slices=6, tiny=True
+            "bursty_arrival",
+            url=chaos_gateway.url,
+            rate=400.0,
+            slices=6,
+            tiny=True,
         )
         assert report.send_errors == 6
         assert set(report.session_errors) == {"bursty_arrival-0"}
         detail = report.session_errors["bursty_arrival-0"]
         assert detail["count"] == 6
         assert detail["type"] == "SessionNotFoundError"
+        assert detail["kind"] == "application"
         assert "injected ingest failure" in detail["message"]
         assert (
             report.as_dict()["session_errors"] == report.session_errors
@@ -139,25 +152,88 @@ class TestFailureAccounting:
         assert "SessionNotFoundError" in text
         assert "bursty_arrival-0" in text
 
-    def test_stalled_sender_hits_join_deadline(self, gateway, monkeypatch):
-        # One sender wedges (sleeps through the schedule): the join
-        # deadline derived from the schedule fires, the session is
-        # reported as stalled, and the harness returns instead of
-        # hanging forever on thread.join().
-        monkeypatch.setattr(replay_module, "_JOIN_GRACE_S", 0.5)
-
-        class WedgedClient(HTTPServingClient):
-            def ingest(self, session_id, values, mask=None):
-                if session_id.endswith("-1"):
-                    time.sleep(0.8)
-                return super().ingest(session_id, values, mask)
-
-        monkeypatch.setattr(
-            replay_module, "HTTPServingClient", WedgedClient
+    def test_connection_failures_classified_as_connection_kind(
+        self, chaos_gateway
+    ):
+        # The proxy drops the TCP connection without answering: with
+        # no retry window configured, every failed send is recorded
+        # under kind "connection", not "application".
+        chaos_gateway.blackhole(
+            r"/sessions/bursty_arrival-0/slices", times=99
         )
+        report = run_replay(
+            "bursty_arrival",
+            url=chaos_gateway.url,
+            rate=400.0,
+            slices=4,
+            tiny=True,
+        )
+        assert report.send_errors == 4
+        detail = report.session_errors["bursty_arrival-0"]
+        assert detail["kind"] == "connection"
+        assert report.retried_sends == 0
+
+    def test_connect_retry_rides_out_transient_blackhole(
+        self, chaos_gateway
+    ):
+        # Two dropped connections, then the route heals: with a retry
+        # window the sender redelivers in place and the run is clean —
+        # the failover story depends on exactly this behavior.
+        rule = chaos_gateway.blackhole(
+            r"/sessions/bursty_arrival-0/slices", times=2
+        )
+        report = run_replay(
+            "bursty_arrival",
+            url=chaos_gateway.url,
+            rate=400.0,
+            slices=4,
+            tiny=True,
+            connect_retry_s=10.0,
+        )
+        assert rule.hits == 2
+        assert report.send_errors == 0
+        assert report.session_errors == {}
+        assert report.retried_sends >= 2
+        assert report.drained
+        assert "retried" in format_replay_report(report)
+
+    def test_severed_response_counts_as_connection_error(
+        self, chaos_gateway
+    ):
+        # The proxy forwards upstream but cuts the response off
+        # mid-body: the slice reached the gateway, but the client must
+        # still classify the failure as connection-kind (the ack was
+        # lost, not rejected).
+        chaos_gateway.sever(
+            r"/sessions/bursty_arrival-1/slices", times=1
+        )
+        report = run_replay(
+            "bursty_arrival",
+            url=chaos_gateway.url,
+            rate=400.0,
+            slices=4,
+            tiny=True,
+        )
+        assert report.send_errors == 1
+        detail = report.session_errors["bursty_arrival-1"]
+        assert detail["kind"] == "connection"
+
+    def test_stalled_sender_hits_join_deadline(
+        self, chaos_gateway, monkeypatch
+    ):
+        # One session's ingest route wedges (the proxy sleeps through
+        # the schedule): the join deadline derived from the schedule
+        # fires, the session is reported as stalled, and the harness
+        # returns instead of hanging forever on thread.join().
+        monkeypatch.setattr(replay_module, "_JOIN_GRACE_S", 0.5)
+        chaos_gateway.delay(r"/sessions/bursty_arrival-1/slices", 0.8)
         started = time.monotonic()
         report = run_replay(
-            "bursty_arrival", url=gateway, rate=400.0, slices=4, tiny=True
+            "bursty_arrival",
+            url=chaos_gateway.url,
+            rate=400.0,
+            slices=4,
+            tiny=True,
         )
         assert report.stalled_sessions == ("bursty_arrival-1",)
         assert "STALLED" in format_replay_report(report)

@@ -301,7 +301,8 @@ def test_committed_scenarios_baseline_is_valid(gate):
     _, failures = gate.compare_reports(baseline, baseline, threshold=1.5)
     assert failures == []
     cases = {e["case"]: e for e in baseline["results"]}
-    assert len(cases) == 6
+    assert len(cases) == 7
+    assert "scenario_session_churn" in cases
     for entry in cases.values():
         # Each case carries both gated halves: accuracy + latency.
         assert {"rae", "final_nre", "afe"} <= set(entry)
