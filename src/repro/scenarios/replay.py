@@ -38,9 +38,16 @@ from dataclasses import dataclass, field
 
 from repro.scenarios import available_scenarios, get_scenario
 from repro.serving import HTTPServingClient, LatencyHistogram, SessionManager
+from repro.serving.observability import TRACE_STAGES
 from repro.streams.corruption import corrupt_schedule
 
-__all__ = ["ReplayReport", "format_replay_report", "main", "run_replay"]
+__all__ = [
+    "ReplayReport",
+    "format_replay_report",
+    "main",
+    "run_replay",
+    "validate_trace_chains",
+]
 
 
 def _is_connection_error(exc: Exception) -> bool:
@@ -112,6 +119,19 @@ class ReplayReport:
     #: delivered) inside the ``connect_retry_s`` window.  Non-zero
     #: with zero ``send_errors`` is a ridden-out failover.
     retried_sends: int = 0
+    #: Sampling rate the self-hosted servers traced with (0.0: off).
+    trace_sample_rate: float = 0.0
+    #: Lifecycle spans collected from ``/v1/traces`` after the drain.
+    trace_spans: int = 0
+    #: Trace-validation failures (incomplete or non-monotone chains,
+    #: missing seqs at full sampling, ring overflow).  Empty means the
+    #: observed chains were complete; any entry fails the run.
+    trace_problems: tuple = ()
+
+    @property
+    def trace_complete(self) -> bool:
+        """Whether trace validation passed (vacuously true when off)."""
+        return not self.trace_problems
 
     @property
     def ingest_latency(self) -> dict:
@@ -135,6 +155,10 @@ class ReplayReport:
             "shards": self.shards,
             "stalled_sessions": list(self.stalled_sessions),
             "session_errors": self.session_errors,
+            "trace_sample_rate": self.trace_sample_rate,
+            "trace_spans": self.trace_spans,
+            "trace_complete": self.trace_complete,
+            "trace_problems": list(self.trace_problems),
             "ingest_p50_seconds": ingest.get("p50_seconds", 0.0),
             "ingest_p95_seconds": ingest.get("p95_seconds", 0.0),
             "ingest_p99_seconds": ingest.get("p99_seconds", 0.0),
@@ -142,6 +166,59 @@ class ReplayReport:
             "rtt_p95_seconds": self.client_rtt.get("p95_seconds", 0.0),
             "rtt_p99_seconds": self.client_rtt.get("p99_seconds", 0.0),
         }
+
+
+def validate_trace_chains(
+    spans: list[dict],
+    *,
+    expected_seqs: dict[str, set] | None = None,
+) -> list[str]:
+    """Problems with a ``/v1/traces`` span list (empty list: all good).
+
+    Every span must carry all :data:`TRACE_STAGES` timestamps, monotone
+    non-decreasing — the accept→enqueue→dispatch→execute→commit chain
+    is complete or it is a bug, including across the process-pool
+    pickle boundary.  With ``expected_seqs`` (session id -> the slice
+    seqs that were acked, only meaningful at sample rate 1.0), every
+    expected slice must have exactly such an error-free span.
+    """
+    problems: list[str] = []
+    seen: dict[str, set] = {}
+    for span in spans:
+        sid = span.get("session_id")
+        seq = span.get("seq")
+        label = f"{sid}/{seq}"
+        stages = span.get("stages") or {}
+        stamps = []
+        for stage in TRACE_STAGES:
+            value = stages.get(stage)
+            if not isinstance(value, (int, float)):
+                problems.append(
+                    f"{label}: missing stage {stage!r} "
+                    f"(trace {span.get('trace_id')})"
+                )
+                break
+            stamps.append(float(value))
+        else:
+            if any(a > b for a, b in zip(stamps, stamps[1:])):
+                problems.append(
+                    f"{label}: non-monotone stage timestamps {stamps} "
+                    f"(trace {span.get('trace_id')})"
+                )
+            if not span.get("trace_id"):
+                problems.append(f"{label}: span has no trace id")
+            if span.get("error") is None:
+                seen.setdefault(sid, set()).add(seq)
+    if expected_seqs is not None:
+        for sid, expected in sorted(expected_seqs.items()):
+            missing = expected - seen.get(sid, set())
+            if missing:
+                sample = sorted(missing)[:5]
+                problems.append(
+                    f"{sid}: {len(missing)} acked slices have no "
+                    f"complete span (e.g. seqs {sample})"
+                )
+    return problems
 
 
 def _session_config(generator) -> dict:
@@ -170,6 +247,9 @@ def run_replay(
     shards: int = 1,
     serving: dict | None = None,
     connect_retry_s: float = 0.0,
+    trace_sample_rate: float = 0.0,
+    trace_jsonl: str | None = None,
+    prom_dump: str | None = None,
 ) -> ReplayReport:
     """Replay one scenario's traffic and collect latency percentiles.
 
@@ -187,6 +267,19 @@ def run_replay(
     ``connect_retry_s > 0`` makes senders retry connection-kind
     failures in place for up to that long per slice — the knob a
     chaos run uses to ride out a shard failover window.
+
+    ``trace_sample_rate > 0`` turns on slice-lifecycle tracing in the
+    self-hosted servers (sized so the span ring cannot overflow for
+    this run's slice count); after the drain the harness pulls
+    ``/v1/traces`` and validates the chains with
+    :func:`validate_trace_chains` — at rate 1.0 every acked slice must
+    have a complete monotone accept→commit span, and any gap fails the
+    run.  ``trace_jsonl`` writes the collected spans one JSON object
+    per line; ``prom_dump`` writes the server's Prometheus text
+    exposition (``/v1/metrics?format=prometheus``), both fetched
+    before teardown.  Against an external ``url`` the server's own
+    trace configuration applies and completeness is only checked for
+    the spans it reports.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -203,6 +296,15 @@ def run_replay(
         **scenario.serving,
         **(serving or {}),
     }
+    if trace_sample_rate > 0:
+        manager_kwargs.setdefault("trace_sample_rate", trace_sample_rate)
+        # The completeness gate needs every span this run produces, so
+        # the ring must not evict: size it past the total slice count
+        # (plus parked-warmup headroom) instead of trusting the default.
+        manager_kwargs.setdefault(
+            "trace_capacity",
+            max(4096, 2 * n_sessions * n_slices),
+        )
 
     server = None
     manager = None
@@ -235,6 +337,9 @@ def run_replay(
             offsets=offsets,
             shards=shards,
             connect_retry_s=connect_retry_s,
+            trace_sample_rate=trace_sample_rate,
+            trace_jsonl=trace_jsonl,
+            prom_dump=prom_dump,
         )
     finally:
         # Every self-hosted server must die with the run: shutdown()
@@ -263,6 +368,9 @@ def _drive(
     offsets: Sequence[float],
     shards: int = 1,
     connect_retry_s: float = 0.0,
+    trace_sample_rate: float = 0.0,
+    trace_jsonl: str | None = None,
+    prom_dump: str | None = None,
 ) -> ReplayReport:
     client = HTTPServingClient(url)
     session_ids = [f"{scenario_name}-{i}" for i in range(n_sessions)]
@@ -369,6 +477,40 @@ def _drive(
 
     drained, drain_seconds = _wait_for_drain(client)
     snapshot = client.metrics()
+    trace_spans: list[dict] = []
+    trace_problems: list[str] = []
+    if trace_sample_rate > 0 or trace_jsonl:
+        trace_data = client.traces()
+        trace_spans = trace_data.get("traces", [])
+        expected = None
+        if trace_sample_rate >= 1.0 and drained:
+            # At full sampling every acked slice must have a complete
+            # span; sessions that saw send errors or stalled acked an
+            # unknown subset, so only their recorded spans are checked.
+            expected = {
+                session_id: set(range(n_slices))
+                for session_id in session_ids
+                if session_id not in session_errors
+                and session_id not in stalled
+            }
+        trace_problems = validate_trace_chains(
+            trace_spans, expected_seqs=expected
+        )
+        dropped = int(
+            (trace_data.get("tracing") or {}).get("dropped") or 0
+        )
+        if dropped:
+            trace_problems.append(
+                f"trace ring overflowed: {dropped} spans dropped "
+                "(completeness cannot be asserted)"
+            )
+    if trace_jsonl:
+        with open(trace_jsonl, "w", encoding="utf-8") as handle:
+            for span in trace_spans:
+                handle.write(json.dumps(span, sort_keys=True) + "\n")
+    if prom_dump:
+        with open(prom_dump, "w", encoding="utf-8") as handle:
+            handle.write(client.prometheus_metrics())
     for session_id in session_ids:
         if session_id in stalled:
             continue  # its sender may still be mid-request
@@ -394,6 +536,9 @@ def _drive(
         stalled_sessions=tuple(stalled),
         session_errors=session_errors,
         retried_sends=sum(retried),
+        trace_sample_rate=trace_sample_rate,
+        trace_spans=len(trace_spans),
+        trace_problems=tuple(trace_problems),
     )
 
 
@@ -444,6 +589,18 @@ def format_replay_report(report: ReplayReport) -> str:
         lines.append(
             f"  STALLED {session_id}: sender missed the join deadline "
             f"({_JOIN_GRACE_S:.0f}s past the schedule's last send)"
+        )
+    if report.trace_sample_rate > 0:
+        verdict = (
+            "complete" if report.trace_complete else "INCOMPLETE"
+        )
+        lines.append(
+            f"  traces: {report.trace_spans} spans at rate "
+            f"{report.trace_sample_rate:g}, chains {verdict}"
+        )
+        lines.extend(
+            f"  trace problem: {problem}"
+            for problem in report.trace_problems
         )
     return "\n".join(lines)
 
@@ -513,6 +670,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         "this long per slice (ride out a shard failover window; "
         "default 0: no retry)",
     )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        dest="trace_sample_rate",
+        metavar="RATE",
+        help="slice-lifecycle trace sampling rate for self-hosted "
+        "servers; at 1.0 the run fails unless every acked slice has "
+        "a complete monotone span chain (default 0: tracing off)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        dest="trace_jsonl",
+        metavar="PATH",
+        help="write the collected lifecycle spans to PATH, one JSON "
+        "object per line",
+    )
+    parser.add_argument(
+        "--prom-dump",
+        default=None,
+        dest="prom_dump",
+        metavar="PATH",
+        help="write the server's Prometheus text exposition "
+        "(/v1/metrics?format=prometheus) to PATH before teardown",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--json",
@@ -541,6 +724,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         shards=args.shards,
         serving=serving,
         connect_retry_s=args.connect_retry,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_jsonl=args.trace_jsonl,
+        prom_dump=args.prom_dump,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -550,6 +736,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         report.drained
         and report.send_errors == 0
         and not report.stalled_sessions
+        and report.trace_complete
     )
     return 0 if healthy else 1
 

@@ -38,6 +38,16 @@ from repro.serving.api import (
 from repro.serving.client import HTTPServingClient, InProcessServingClient
 from repro.serving.manager import SessionManager, make_config
 from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.observability import (
+    TRACE_HEADER,
+    TRACE_STAGES,
+    SessionQuality,
+    SliceSpan,
+    TraceBuffer,
+    mint_trace_id,
+    percentile_from_buckets,
+    render_prometheus,
+)
 from repro.serving.pool import (
     ProcessWorkerPool,
     ThreadWorkerPool,
@@ -56,6 +66,8 @@ from repro.serving.store import CheckpointStore, checkpoint_meta_path
 from repro.serving.worker import FlushRequest, FlushResult
 
 __all__ = [
+    "TRACE_HEADER",
+    "TRACE_STAGES",
     "CheckpointStore",
     "FlushRequest",
     "FlushResult",
@@ -73,13 +85,19 @@ __all__ = [
     "ServingClient",
     "ServingMetrics",
     "SessionManager",
+    "SessionQuality",
     "ShardHealth",
     "ShardRouterServer",
     "SliceResult",
+    "SliceSpan",
     "ThreadWorkerPool",
+    "TraceBuffer",
     "WorkerPool",
     "checkpoint_meta_path",
     "make_config",
     "make_worker_pool",
+    "mint_trace_id",
+    "percentile_from_buckets",
+    "render_prometheus",
     "start_local_cluster",
 ]

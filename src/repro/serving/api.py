@@ -84,10 +84,16 @@ class IngestAck(_FieldAccessMixin):
 
     The slice is buffered, not yet applied; its completed
     reconstruction appears under ``seq`` once the scheduler flushes it.
+
+    ``trace_id`` is the slice's lifecycle trace id when it was sampled
+    (or the caller supplied one); ``None`` for untraced slices.  It
+    deliberately stays out of equality — two acks for the same slice
+    compare equal whether or not tracing elected it.
     """
 
     session_id: str
     seq: int
+    trace_id: str | None = None
 
     def __int__(self) -> int:
         _deprecated("treating IngestAck as an int", "the .seq attribute")
@@ -190,7 +196,14 @@ class ServingClient(Protocol):
         kernel_backend: str | None = None,
     ) -> dict: ...
 
-    def ingest(self, session_id: str, values, mask=None) -> IngestAck: ...
+    def ingest(
+        self,
+        session_id: str,
+        values,
+        mask=None,
+        *,
+        trace_id: str | None = None,
+    ) -> IngestAck: ...
 
     def results(
         self, session_id: str, since: int = 0
@@ -206,9 +219,19 @@ class ServingClient(Protocol):
 
     def session_info(self, session_id: str) -> dict: ...
 
+    def session_stats(self, session_id: str) -> dict: ...
+
     def list_sessions(self) -> list[str]: ...
 
     def metrics(self) -> dict: ...
+
+    def traces(
+        self,
+        *,
+        session_id: str | None = None,
+        trace_id: str | None = None,
+        limit: int | None = None,
+    ) -> dict: ...
 
     def close_session(
         self, session_id: str, *, checkpoint_path: str | None = None

@@ -41,6 +41,7 @@ from repro.serving.api import (
     SliceResult,
 )
 from repro.serving.manager import SessionManager
+from repro.serving.observability import TRACE_HEADER
 
 __all__ = [
     "HTTPServingClient",
@@ -80,9 +81,20 @@ class InProcessServingClient:
             kernel_backend=kernel_backend,
         )
 
-    def ingest(self, session_id: str, values, mask=None) -> IngestAck:
-        seq = self._manager.ingest(session_id, values, mask)
-        return IngestAck(session_id=session_id, seq=seq)
+    def ingest(
+        self,
+        session_id: str,
+        values,
+        mask=None,
+        *,
+        trace_id: str | None = None,
+    ) -> IngestAck:
+        seq, trace = self._manager.ingest_traced(
+            session_id, values, mask, trace_id=trace_id
+        )
+        return IngestAck(
+            session_id=session_id, seq=seq, trace_id=trace
+        )
 
     def results(
         self, session_id: str, since: int = 0
@@ -111,11 +123,30 @@ class InProcessServingClient:
     def session_info(self, session_id: str) -> dict:
         return self._manager.session_info(session_id)
 
+    def session_stats(self, session_id: str) -> dict:
+        return self._manager.session_stats(session_id)
+
     def list_sessions(self) -> list[str]:
         return self._manager.list_sessions()
 
     def metrics(self) -> dict:
         return self._manager.metrics.snapshot()
+
+    def prometheus_metrics(self) -> str:
+        from repro.serving.observability import render_prometheus
+
+        return render_prometheus(self._manager.metrics.snapshot())
+
+    def traces(
+        self,
+        *,
+        session_id: str | None = None,
+        trace_id: str | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        return self._manager.traces(
+            session_id=session_id, trace_id=trace_id, limit=limit
+        )
 
     def close_session(
         self, session_id: str, *, checkpoint_path: str | None = None
@@ -187,13 +218,21 @@ class HTTPServingClient:
     # Transport
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: dict | None = None
-    ) -> dict:
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        extra_headers: dict[str, str] | None = None,
+        raw: bool = False,
+    ):
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
         url = self._base + path
         for _ in range(self._max_redirects + 1):
             request = urllib.request.Request(
@@ -203,7 +242,8 @@ class HTTPServingClient:
                 with urllib.request.urlopen(
                     request, timeout=self._timeout
                 ) as response:
-                    return json.loads(response.read().decode("utf-8"))
+                    text = response.read().decode("utf-8")
+                    return text if raw else json.loads(text)
             except urllib.error.HTTPError as exc:
                 # urllib's own redirect handler refuses to re-send a
                 # body on 307/308, so sharded placement redirects land
@@ -258,15 +298,31 @@ class HTTPServingClient:
             payload["kernel_backend"] = kernel_backend
         return self._request("POST", "/sessions", payload)
 
-    def ingest(self, session_id: str, values, mask=None) -> IngestAck:
+    def ingest(
+        self,
+        session_id: str,
+        values,
+        mask=None,
+        *,
+        trace_id: str | None = None,
+    ) -> IngestAck:
         payload = {"values": np.asarray(values).tolist()}
         if mask is not None:
             payload["mask"] = _mask_payload(mask)
+        # A caller-supplied trace id travels as the trace header (the
+        # router propagates it to the owning shard); the ack echoes
+        # back whichever id the gateway ended up tracing under.
+        extra = {TRACE_HEADER: trace_id} if trace_id else None
         response = self._request(
-            "POST", f"/sessions/{session_id}/slices", payload
+            "POST",
+            f"/sessions/{session_id}/slices",
+            payload,
+            extra_headers=extra,
         )
         return IngestAck(
-            session_id=session_id, seq=int(response["seq"])
+            session_id=session_id,
+            seq=int(response["seq"]),
+            trace_id=response.get("trace_id"),
         )
 
     def results(
@@ -313,11 +369,44 @@ class HTTPServingClient:
     def session_info(self, session_id: str) -> dict:
         return self._request("GET", f"/sessions/{session_id}")
 
+    def session_stats(self, session_id: str) -> dict:
+        return self._request("GET", f"/sessions/{session_id}/stats")
+
     def list_sessions(self) -> list[str]:
         return self._request("GET", "/sessions")["sessions"]
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def prometheus_metrics(self) -> str:
+        """The Prometheus text exposition (fleet-merged on a router)."""
+        return self._request(
+            "GET", "/metrics?format=prometheus", raw=True
+        )
+
+    def traces(
+        self,
+        *,
+        session_id: str | None = None,
+        trace_id: str | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        """Recorded slice-lifecycle spans (merged across a router)."""
+        params = []
+        if session_id is not None:
+            params.append(
+                "session=" + urllib.parse.quote(session_id, safe="")
+            )
+        if trace_id is not None:
+            params.append(
+                "trace=" + urllib.parse.quote(trace_id, safe="")
+            )
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        path = "/traces"
+        if params:
+            path += "?" + "&".join(params)
+        return self._request("GET", path)
 
     def close_session(
         self, session_id: str, *, checkpoint_path: str | None = None

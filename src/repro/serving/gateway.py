@@ -8,14 +8,19 @@ versioned prefix:
 Method   Path                                Body / query
 =======  ==================================  =================================
 GET      ``/v1/healthz``                     --
-GET      ``/v1/metrics``                     --
+GET      ``/v1/metrics``                     ``?format=prometheus`` for
+                                             text exposition
+GET      ``/v1/traces``                      ``?session=&trace=&limit=``
 GET      ``/v1/sessions``                    --
 POST     ``/v1/sessions``                    ``{"session_id", "config"}`` or
                                              ``{"session_id", "checkpoint"}``;
                                              optional ``"kernel_backend"``
 GET      ``/v1/sessions/<id>``               --
+GET      ``/v1/sessions/<id>/stats``         -- (quality telemetry)
 DELETE   ``/v1/sessions/<id>``               optional ``?checkpoint=<path>``
 POST     ``/v1/sessions/<id>/slices``        ``{"values", "mask"?}`` -> ``seq``
+                                             (``X-Repro-Trace-Id`` header
+                                             forces lifecycle tracing)
 GET      ``/v1/sessions/<id>/results``       ``?since=<seq>``
 POST     ``/v1/sessions/<id>/impute``        ``{"values", "mask"?}``
 GET      ``/v1/sessions/<id>/forecast``      ``?horizon=<h>``
@@ -78,6 +83,7 @@ from repro.exceptions import (
     ShapeError,
 )
 from repro.serving.manager import SessionManager
+from repro.serving.observability import TRACE_HEADER, render_prometheus
 from repro.serving.pool import WORKER_KINDS
 
 __all__ = ["ServingHTTPServer", "main", "serve"]
@@ -85,9 +91,13 @@ __all__ = ["ServingHTTPServer", "main", "serve"]
 #: The one API version this gateway speaks.
 API_PREFIX = "/v1"
 
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 _SESSION_PATH = re.compile(
     r"^/sessions/(?P<sid>[^/]+)"
-    r"(?P<tail>/(?:slices|results|impute|forecast|export|import))?$"
+    r"(?P<tail>/(?:slices|results|impute|forecast|export|import"
+    r"|stats))?$"
 )
 
 
@@ -121,8 +131,22 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, payload: dict, status: int = 200) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(body, status, "application/json")
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        """Prometheus text exposition (the one non-JSON response)."""
+        self._send_body(
+            text.encode("utf-8"), status, PROMETHEUS_CONTENT_TYPE
+        )
+
+    def _send_body(
+        self, body: bytes, status: int, content_type: str
+    ) -> None:
+        # Every response the gateway sends passes through here, so the
+        # HTTP request/error counters see 4xx and 5xx too.
+        self.server.manager.metrics.observe_http(status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -144,6 +168,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_redirect(self, location: str) -> None:
         """308: the unversioned path moved under the API prefix."""
         body = json.dumps({"location": location}).encode("utf-8")
+        self.server.manager.metrics.observe_http(308)
         self.send_response(308)
         self.send_header("Location", location)
         self.send_header("Content-Type", "application/json")
@@ -214,11 +239,30 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return True
         if method == "GET" and path == "/metrics":
-            self._send_json(manager.metrics.snapshot())
+            snapshot = manager.metrics.snapshot()
+            if query.get("format", [""])[0] == "prometheus":
+                self._send_text(render_prometheus(snapshot))
+            else:
+                self._send_json(snapshot)
+            return True
+        if method == "GET" and path == "/traces":
+            limit = query.get("limit", [None])[0]
+            self._send_json(
+                manager.traces(
+                    session_id=query.get("session", [None])[0],
+                    trace_id=query.get("trace", [None])[0],
+                    limit=None if limit is None else int(limit),
+                )
+            )
             return True
         if path == "/sessions":
             if method == "GET":
-                self._send_json({"sessions": manager.list_sessions()})
+                self._send_json(
+                    {
+                        "sessions": manager.list_sessions(),
+                        "stats": manager.session_stats_all(),
+                    }
+                )
                 return True
             if method == "POST":
                 payload = self._read_json()
@@ -250,12 +294,24 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"closed": sid, "checkpoint": saved})
                 return True
             return False
+        if tail == "/stats" and method == "GET":
+            self._send_json(manager.session_stats(sid))
+            return True
         if tail == "/slices" and method == "POST":
             payload = self._read_json()
-            seq = manager.ingest(
-                sid, payload["values"], payload.get("mask")
+            seq, trace = manager.ingest_traced(
+                sid,
+                payload["values"],
+                payload.get("mask"),
+                # A caller-supplied id (propagated by the router from
+                # its own ingress) always traces; otherwise the
+                # manager's sample rate decides.
+                trace_id=self.headers.get(TRACE_HEADER),
             )
-            self._send_json({"session_id": sid, "seq": seq}, status=202)
+            self._send_json(
+                {"session_id": sid, "seq": seq, "trace_id": trace},
+                status=202,
+            )
             return True
         if tail == "/results" and method == "GET":
             since = int(query.get("since", ["0"])[0])
@@ -449,6 +505,20 @@ def main(argv: list[str] | None = None) -> int:
         default=8,
         help="max sessions sharing one fused dispatch (default 8)",
     )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="fraction of ingested slices to lifecycle-trace "
+        "(0 disables sampling; explicitly supplied X-Repro-Trace-Id "
+        "headers are always traced)",
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=4096,
+        help="bounded in-memory span ring size (default 4096)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -462,6 +532,8 @@ def main(argv: list[str] | None = None) -> int:
         worker_kind=args.worker_kind,
         fuse_sessions=args.fuse_sessions,
         max_fused_sessions=args.max_fused_sessions,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_capacity=args.trace_capacity,
     )
     server = serve(
         manager, args.host, args.port, verbose=args.verbose

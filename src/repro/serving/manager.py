@@ -83,6 +83,11 @@ from repro.exceptions import (
     ShapeError,
 )
 from repro.serving.metrics import ServingMetrics
+from repro.serving.observability import (
+    SessionQuality,
+    SliceSpan,
+    TraceBuffer,
+)
 from repro.serving.pool import WorkerPool, make_worker_pool
 from repro.serving.scheduler import MicroBatchScheduler, PendingSlice
 from repro.serving.store import CheckpointStore, checkpoint_meta_path
@@ -122,6 +127,7 @@ class _Session:
         *,
         kernel_backend: str | None,
         keep_results: int,
+        quality_window: int = 64,
     ) -> None:
         self.session_id = session_id
         self.config = config
@@ -131,6 +137,11 @@ class _Session:
         self.closing = False
         self.failure: str | None = None
         self.warmup: list[tuple[np.ndarray, np.ndarray]] = []
+        #: Trace context of warmup slices absorbed while warming, keyed
+        #: by seq — their spans complete at the initializing flush.
+        self.warmup_spans: dict[int, tuple[str, float, float]] = {}
+        #: Sliding-window quality telemetry (fed at commit time).
+        self.quality = SessionQuality(window=quality_window)
         self.next_seq = 0
         self.consumed = 0
         #: Sequence watermark of the committed model: every slice with
@@ -174,6 +185,10 @@ class _Prepared:
     checked_out: bool = False
     #: Whether the request initializes the session from its warmup.
     initializes: bool = False
+    #: Trace context per traced seq in this flush:
+    #: ``seq -> (trace_id, accepted_at, enqueued_at)``.  Empty unless
+    #: slices were sampled for tracing.
+    span_starts: dict[int, tuple[str, float, float]] | None = None
 
 
 class SessionManager:
@@ -213,10 +228,17 @@ class SessionManager:
         max_fused_sessions: int = 8,
         keep_results: int = 64,
         durable: bool = False,
+        trace_sample_rate: float = 0.0,
+        trace_capacity: int = 4096,
+        quality_window: int = 64,
     ) -> None:
         if keep_results < 1:
             raise ValueError(
                 f"keep_results must be >= 1, got {keep_results}"
+            )
+        if quality_window < 1:
+            raise ValueError(
+                f"quality_window must be >= 1, got {quality_window}"
             )
         self._registry_lock = threading.Lock()
         self._sessions: dict[str, _Session] = {}
@@ -245,6 +267,25 @@ class SessionManager:
             workers=self._pool.size,
             fuse=fuse_sessions,
             max_fused=max_fused_sessions,
+        )
+        self._quality_window = quality_window
+        #: Slice-lifecycle tracing: the sampling decision + bounded
+        #: span ring (see ``GET /v1/traces``).  Off by default — the
+        #: ingest path then pays one float compare per slice.
+        self.tracer = TraceBuffer(
+            sample_rate=trace_sample_rate, capacity=trace_capacity
+        )
+        # Operational gauges, evaluated at snapshot time: how many
+        # sessions are resident vs spilled, and how much acked work is
+        # still buffered ahead of any model.
+        self.metrics.register_gauge(
+            "resident_sessions", self._store.resident_count
+        )
+        self.metrics.register_gauge(
+            "evicted_sessions", self._store.spilled_count
+        )
+        self.metrics.register_gauge(
+            "pending_slices", self._scheduler.total_pending
         )
         self._closed = False
 
@@ -302,6 +343,7 @@ class SessionManager:
             resolved,
             kernel_backend=kernel_backend,
             keep_results=self._keep_results,
+            quality_window=self._quality_window,
         )
         with self._registry_lock:
             if self._closed:
@@ -444,6 +486,7 @@ class SessionManager:
             sofia.config,
             kernel_backend=kernel_backend,
             keep_results=self._keep_results,
+            quality_window=self._quality_window,
         )
         session.initialized = True
         session.subtensor_shape = sofia.state.subtensor_shape
@@ -499,6 +542,8 @@ class SessionManager:
         session_id: str,
         subtensor,
         mask=None,
+        *,
+        trace_id: str | None = None,
     ) -> int:
         """Buffer one incoming slice; returns its sequence number.
 
@@ -507,8 +552,34 @@ class SessionManager:
         completed reconstruction appears in :meth:`results` under the
         returned sequence number.  Shape problems raise
         :class:`~repro.exceptions.ShapeError` here, synchronously.
+
+        An explicit ``trace_id`` forces lifecycle tracing for this
+        slice; otherwise the manager's sample rate decides (see
+        :meth:`ingest_traced` for getting the minted id back).
+        """
+        seq, _ = self.ingest_traced(
+            session_id, subtensor, mask, trace_id=trace_id
+        )
+        return seq
+
+    def ingest_traced(
+        self,
+        session_id: str,
+        subtensor,
+        mask=None,
+        *,
+        trace_id: str | None = None,
+    ) -> tuple[int, str | None]:
+        """:meth:`ingest`, returning ``(seq, trace_id-or-None)``.
+
+        The trace id is the explicit one when given, a freshly minted
+        one when the sample rate elected this slice, else ``None``
+        (untraced).  The gateway uses this form so the ack can echo
+        the id back to the caller.
         """
         session = self._get_session(session_id)
+        trace = self.tracer.sample(trace_id)
+        accepted_at = self._scheduler.now() if trace else 0.0
         y = np.asarray(subtensor, dtype=session.config.np_dtype)
         if mask is None:
             m = np.ones(y.shape, dtype=bool)
@@ -547,12 +618,15 @@ class SessionManager:
                     # Stamped off the scheduler's own monotonic clock:
                     # the latency deadline compares against this, and
                     # mixing clocks (or using wall time, which NTP can
-                    # step) would skew it.
+                    # step) would skew it.  For a traced slice it
+                    # doubles as the enqueue stamp.
                     arrived_at=self._scheduler.now(),
+                    trace_id=trace,
+                    accepted_at=accepted_at if trace else None,
                 ),
             )
         self.metrics.increment("slices_ingested")
-        return seq
+        return seq, trace
 
     def results(self, session_id: str, since_seq: int = 0) -> list:
         """Completed slices with ``seq >= since_seq``, oldest first.
@@ -678,6 +752,69 @@ class SessionManager:
                     "dtype": session.config.dtype,
                 },
             }
+
+    def session_stats(self, session_id: str) -> dict:
+        """The ``SessionStats`` snapshot of one session.
+
+        Everything an operator needs to judge one stream's health at a
+        glance, fed from state the dynamic phase already computed:
+        lifecycle (status, resident/evicted, queue depth, applied
+        watermark) plus the sliding-window quality signals (running
+        NRE of the one-step-ahead forecast, outlier fraction, latest
+        error scale, last-flush staleness).  Served at
+        ``GET /v1/sessions/<id>/stats``.
+        """
+        session = self._get_session(session_id)
+        now = self._scheduler.now()
+        with session.lock:
+            if not session.initialized:
+                status = "warming"
+            elif session.degraded:
+                status = "degraded"
+            elif self._store.is_resident(session_id):
+                status = "ready"
+            else:
+                status = "evicted"
+            stats = {
+                "session_id": session_id,
+                "status": status,
+                "failure": session.failure,
+                "resident": self._store.is_resident(session_id),
+                "pending": self._scheduler.pending_count(session_id),
+                "next_seq": session.next_seq,
+                "applied_seq": session.applied_seq,
+                "consumed": session.consumed,
+                "degraded": session.degraded,
+            }
+            stats.update(session.quality.snapshot(now))
+        return stats
+
+    def session_stats_all(self) -> dict[str, dict]:
+        """``session_stats`` for every registered session, by id."""
+        stats = {}
+        for session_id in self.list_sessions():
+            try:
+                stats[session_id] = self.session_stats(session_id)
+            except SessionNotFoundError:
+                continue  # closed between listing and snapshot
+        return stats
+
+    def traces(
+        self,
+        *,
+        session_id: str | None = None,
+        trace_id: str | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        """Recorded slice-lifecycle spans (``GET /v1/traces`` payload)."""
+        return {
+            "traces": self.tracer.spans(
+                session_id=session_id,
+                trace_id=trace_id,
+                limit=limit,
+            ),
+            "tracing": self.tracer.stats(),
+        }
 
     def list_sessions(self) -> list[str]:
         with self._registry_lock:
@@ -807,11 +944,23 @@ class SessionManager:
                 self._prepare_locked(session, items)
                 for session, items in members
             ]
+            for plan in prepared:
+                if plan.request is None and plan.session.failure:
+                    # Dropped batch of a failed session: complete any
+                    # traced slices' spans with the error instead of
+                    # leaving them dangling forever.
+                    self._record_dropped_spans(plan)
             requests = [
                 plan.request for plan in prepared if plan.request is not None
             ]
             if requests:
+                # One stamp for the fused group: the pool hand-off.
+                dispatched_at = self._scheduler.now()
                 results = self._pool.execute(requests)
+                # ... and one when the group's results are back (on a
+                # process pool the gap minus the worker's own seconds
+                # is IPC + peer time).
+                returned_at = self._scheduler.now()
                 self.metrics.increment("dispatches")
                 if len(requests) > 1:
                     self.metrics.increment("fused_dispatches")
@@ -825,7 +974,10 @@ class SessionManager:
                     if plan.request is None:
                         continue
                     self._commit_locked(
-                        plan, by_session.get(plan.request.session_id)
+                        plan,
+                        by_session.get(plan.request.session_id),
+                        dispatched_at=dispatched_at,
+                        returned_at=returned_at,
                     )
                     if (
                         self._durable
@@ -856,6 +1008,19 @@ class SessionManager:
             return plan
         config = session.config
         remaining = items
+        span_starts = {
+            item.seq: (
+                item.trace_id,
+                (
+                    item.accepted_at
+                    if item.accepted_at is not None
+                    else item.arrived_at
+                ),
+                item.arrived_at,
+            )
+            for item in items
+            if item.trace_id is not None
+        }
         request = FlushRequest(
             session_id=session.session_id,
             config=config,
@@ -868,11 +1033,20 @@ class SessionManager:
             session.warmup.extend(
                 (item.subtensor, item.mask) for item in head
             )
+            # Traced warmup slices park their span context with the
+            # session: their spans complete at the initializing flush,
+            # which is when they are actually dispatched and executed.
+            for item in head:
+                if item.trace_id is not None:
+                    session.warmup_spans[item.seq] = span_starts.pop(
+                        item.seq
+                    )
             if len(session.warmup) < config.init_steps:
                 # Buffered only; count the slices as flushed, exactly
                 # like the closure-based path did.
                 self.metrics.observe_flush(len(items), 0.0)
                 return plan
+            span_starts.update(session.warmup_spans)
             # Startup slices get results too: their seqs are exactly
             # 0..init_steps-1 in ingestion order.
             request.warmup_seqs = list(range(config.init_steps))
@@ -899,11 +1073,50 @@ class SessionManager:
             else:
                 request.model = self._store.checkout(session.session_id)
                 plan.checked_out = True
+        if span_starts:
+            plan.span_starts = span_starts
+            # The trace context rides inside the (picklable) request
+            # and is echoed back on the result — across the process
+            # boundary on the "state" transport.
+            request.trace_ids = {
+                seq: start[0] for seq, start in span_starts.items()
+            }
         plan.request = request
         return plan
 
+    def _record_dropped_spans(self, plan: _Prepared) -> None:
+        """Error-complete the spans of a failed session's dropped batch."""
+        now = self._scheduler.now()
+        for item in plan.items:
+            if item.trace_id is None:
+                continue
+            accepted = (
+                item.accepted_at
+                if item.accepted_at is not None
+                else item.arrived_at
+            )
+            self.tracer.record(
+                SliceSpan(
+                    trace_id=item.trace_id,
+                    session_id=plan.session.session_id,
+                    seq=item.seq,
+                    accepted=accepted,
+                    enqueued=item.arrived_at,
+                    dispatched=now,
+                    executed=now,
+                    committed=now,
+                    transport=self._pool.transport,
+                    error=f"dropped: {plan.session.failure}",
+                )
+            )
+
     def _commit_locked(
-        self, plan: _Prepared, result: FlushResult | None
+        self,
+        plan: _Prepared,
+        result: FlushResult | None,
+        *,
+        dispatched_at: float,
+        returned_at: float,
     ) -> None:
         """Fold one member's result back into its session."""
         session = plan.session
@@ -915,6 +1128,14 @@ class SessionManager:
                     else result.error
                 )
                 self.metrics.increment("flush_failures")
+                self._record_spans_locked(
+                    plan,
+                    result,
+                    dispatched_at=dispatched_at,
+                    returned_at=returned_at,
+                    committed_at=self._scheduler.now(),
+                    error=session.failure,
+                )
                 return
             if result.state is not None:
                 self._store.import_state(
@@ -925,6 +1146,7 @@ class SessionManager:
                 self._store.put(session.session_id, result.model)
             if plan.initializes:
                 session.warmup = []
+                session.warmup_spans = {}
                 session.initialized = True
             for seq, completed in result.results:
                 session.results.append((seq, completed))
@@ -953,6 +1175,65 @@ class SessionManager:
                 self.metrics.observe_latency(
                     "ingest", committed_at - item.arrived_at
                 )
+            # Quality telemetry: the worker's per-slice aggregates and
+            # post-batch error scale land in the session's sliding
+            # window (scalars only — the arrays stayed in the worker).
+            session.quality.observe_batch(
+                result.quality,
+                result.error_scale,
+                committed_at,
+                applied=result.consumed,
+            )
+            self._record_spans_locked(
+                plan,
+                result,
+                dispatched_at=dispatched_at,
+                returned_at=returned_at,
+                committed_at=committed_at,
+            )
         finally:
             if plan.checked_out:
                 self._store.checkin(session.session_id)
+
+    def _record_spans_locked(
+        self,
+        plan: _Prepared,
+        result: FlushResult | None,
+        *,
+        dispatched_at: float,
+        returned_at: float,
+        committed_at: float,
+        error: str | None = None,
+    ) -> None:
+        """Complete this flush's traced slices' spans into the ring.
+
+        All stamps come from the scheduler's monotonic clock, so every
+        chain is monotone by construction even across the process-pool
+        boundary: the worker's own ``seconds`` measurement travels
+        back as ``execute_seconds`` (the kernel share of
+        ``dispatched -> executed``; the remainder is IPC plus fused
+        peers).  Trace ids are taken from the result's echoed map when
+        available — the proof they crossed the transport.
+        """
+        if not plan.span_starts:
+            return
+        echoed = result.trace_ids if result is not None else {}
+        seconds = result.seconds if result is not None else 0.0
+        for seq, (trace_id, accepted, enqueued) in (
+            plan.span_starts.items()
+        ):
+            self.tracer.record(
+                SliceSpan(
+                    trace_id=echoed.get(seq, trace_id),
+                    session_id=plan.session.session_id,
+                    seq=seq,
+                    accepted=accepted,
+                    enqueued=max(enqueued, accepted),
+                    dispatched=max(dispatched_at, enqueued, accepted),
+                    executed=max(returned_at, dispatched_at),
+                    committed=max(committed_at, returned_at),
+                    execute_seconds=seconds,
+                    transport=self._pool.transport,
+                    error=error,
+                )
+            )

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 import threading
 
-__all__ = ["LatencyHistogram", "ServingMetrics"]
+__all__ = ["COUNTER_NAMES", "LatencyHistogram", "ServingMetrics"]
 
 #: Counter names a ServingMetrics instance tracks.  ``increment`` with
 #: any other name raises — a typo'd metric would otherwise count into
@@ -53,7 +53,18 @@ _COUNTERS = (
     # acked upstream but missing from the checkpoint they were rebuilt
     # from — the failover data-loss window, reported, never silent).
     "degraded_imports",
+    # HTTP surface: every response the gateway (or router) sends, plus
+    # the 4xx/5xx splits — so client errors and proxy failures show up
+    # in the fleet view instead of vanishing into access logs.
+    "http_requests",
+    "http_errors_4xx",
+    "http_errors_5xx",
 )
+
+#: The counter names, exported for the Prometheus renderer (counters
+#: become ``_total`` families; every other numeric snapshot entry is a
+#: gauge).
+COUNTER_NAMES = frozenset(_COUNTERS)
 
 #: Histogram names a ServingMetrics instance tracks.
 #: ``ingest`` is the end-to-end slice latency (ingest accepted ->
@@ -135,15 +146,24 @@ class LatencyHistogram:
         return self.max_seconds  # pragma: no cover - counts sum to count
 
     def summary(self) -> dict:
-        """Count, mean/max, and the p50/p95/p99 the SLO gates read."""
+        """Count, mean/max, the p50/p95/p99 the SLO gates read, and the
+        raw buckets (finite upper ``bounds`` plus per-bucket ``counts``
+        with one trailing overflow entry) — what the Prometheus
+        ``_bucket`` lines and the fleet-level histogram merge are
+        derived from."""
         mean = self.total_seconds / self.count if self.count else 0.0
         return {
             "count": self.count,
             "mean_seconds": mean,
             "max_seconds": self.max_seconds,
+            "total_seconds": self.total_seconds,
             "p50_seconds": self.percentile(0.50),
             "p95_seconds": self.percentile(0.95),
             "p99_seconds": self.percentile(0.99),
+            "buckets": {
+                "bounds": list(self._bounds),
+                "counts": list(self._counts),
+            },
         }
 
 
@@ -157,6 +177,30 @@ class ServingMetrics:
         self._histograms = {
             name: LatencyHistogram() for name in _HISTOGRAMS
         }
+        self._gauges: dict[str, object] = {}
+
+    def register_gauge(self, name: str, fn) -> None:
+        """Register callable ``fn`` as gauge ``name``.
+
+        Gauges are *evaluated at snapshot time* (resident session
+        count, pending slices, ...) rather than incremented — the
+        owning component registers a cheap zero-argument callable and
+        the snapshot reports its current value.  Names must not
+        collide with counters.
+        """
+        if name in self._counts:
+            raise KeyError(f"gauge {name!r} collides with a counter")
+        with self._lock:
+            self._gauges[name] = fn
+
+    def observe_http(self, status: int) -> None:
+        """Count one HTTP response (and its 4xx/5xx split)."""
+        with self._lock:
+            self._counts["http_requests"] += 1
+            if 400 <= status < 500:
+                self._counts["http_errors_4xx"] += 1
+            elif status >= 500:
+                self._counts["http_errors_5xx"] += 1
 
     def increment(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (must be a known name)."""
@@ -209,6 +253,13 @@ class ServingMetrics:
                 name: histogram.summary()
                 for name, histogram in self._histograms.items()
             }
+            gauges = dict(self._gauges)
+        # Gauges run outside the metrics lock: they read other
+        # components' state (store residency, scheduler queue depth)
+        # which takes those components' locks — nesting them under the
+        # metrics lock would invite ordering deadlocks.
+        for name, fn in gauges.items():
+            counts[name] = fn()
         batches = counts["batches_flushed"]
         dispatches = counts["dispatches"]
         counts["flush_seconds_total"] = flush_seconds

@@ -77,12 +77,20 @@ class PendingSlice:
     ``arrived_at`` must be a reading of the owning scheduler's clock
     (:meth:`MicroBatchScheduler.now`) — mixing clocks would skew the
     latency deadline.
+
+    ``trace_id``/``accepted_at`` carry the slice's trace context when
+    it is sampled for lifecycle tracing: ``accepted_at`` is the
+    ingest-entry stamp (same clock), ``arrived_at`` doubles as the
+    enqueue stamp.  Untraced slices leave both at their defaults —
+    tracing off adds no per-slice state here.
     """
 
     seq: int
     subtensor: Any
     mask: Any
     arrived_at: float = field(compare=False)
+    trace_id: str | None = field(default=None, compare=False)
+    accepted_at: float | None = field(default=None, compare=False)
 
 
 class FlushRunner(Protocol):
@@ -195,6 +203,16 @@ class MicroBatchScheduler:
         with self._cv:
             buffered = len(self._buffers.get(session_id, ()))
             return buffered + self._inflight.get(session_id, 0)
+
+    def total_pending(self) -> int:
+        """Slices buffered or in-flight across every session.
+
+        The ``pending_slices`` gauge: acked work not yet applied to
+        any model.
+        """
+        with self._cv:
+            buffered = sum(len(b) for b in self._buffers.values())
+            return buffered + sum(self._inflight.values())
 
     def drain(self, session_id: str, timeout: float | None = None) -> None:
         """Block until every buffered slice of this session is applied.

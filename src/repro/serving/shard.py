@@ -16,8 +16,12 @@ fleet:
   structured error envelope survives the hop, so
   :class:`~repro.serving.client.HTTPServingClient` raises the same
   exception types through the router as against a bare gateway);
-  ``/v1/sessions`` merges the fleet's listings; ``/v1/metrics``
-  aggregates per-shard snapshots (:func:`aggregate_snapshots`);
+  ``/v1/sessions`` merges the fleet's listings (with per-session
+  stats); ``/v1/metrics`` aggregates per-shard snapshots
+  (:func:`aggregate_snapshots`, bucket-level histogram merging) and
+  serves the Prometheus text format under ``?format=prometheus``;
+  ``/v1/traces`` merges every shard's slice-lifecycle spans; a
+  client-supplied ``X-Repro-Trace-Id`` header survives the proxy hop;
   ``/v1/shards`` exposes the topology.
 * **Live migration** — ``POST /v1/sessions/<id>/migrate`` with
   ``{"target": <shard-url>}`` drains the session's pending slices and
@@ -68,6 +72,7 @@ import tempfile
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -75,8 +80,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.exceptions import ConfigError, SessionNotFoundError
-from repro.serving.gateway import API_PREFIX, ServingHTTPServer, serve
+from repro.serving.gateway import (
+    API_PREFIX,
+    PROMETHEUS_CONTENT_TYPE,
+    ServingHTTPServer,
+    serve,
+)
 from repro.serving.manager import SessionManager
+from repro.serving.observability import (
+    TRACE_HEADER,
+    percentile_from_buckets,
+    render_prometheus,
+)
 from repro.serving.pool import WORKER_KINDS
 from repro.serving.store import checkpoint_meta_path
 
@@ -183,15 +198,48 @@ class HashRing:
         return self._points[index][1]
 
 
+def _merge_buckets(summaries: list[dict]) -> dict | None:
+    """Elementwise-sum per-shard histogram buckets, if possible.
+
+    Requires every summary to expose buckets on *identical* bounds
+    (they do when all shards run the same build — the bounds are a
+    pure function of the histogram constants).  Returns ``None`` when
+    any shard lacks buckets or disagrees on bounds; the caller then
+    falls back to the conservative percentile merge.
+    """
+    buckets = [s.get("buckets") for s in summaries]
+    if not buckets or any(
+        not isinstance(b, dict) or "bounds" not in b or "counts" not in b
+        for b in buckets
+    ):
+        return None
+    bounds = list(buckets[0]["bounds"])
+    if any(list(b["bounds"]) != bounds for b in buckets[1:]):
+        return None
+    counts = [0] * (len(bounds) + 1)
+    for b in buckets:
+        if len(b["counts"]) != len(counts):
+            return None
+        for i, c in enumerate(b["counts"]):
+            counts[i] += int(c)
+    return {"bounds": bounds, "counts": counts}
+
+
 def aggregate_snapshots(per_shard: dict[str, dict]) -> dict:
     """Fold per-shard ``/v1/metrics`` snapshots into one fleet view.
 
     Plain numeric counters sum; the derived means are recomputed from
     the summed counters; each ``*_latency`` summary merges with exact
-    ``count``/``mean_seconds``/``max_seconds`` and *conservative*
-    percentiles (the max across shards — an upper bound, which is the
-    safe direction for SLO gating).  The raw per-shard snapshots ride
-    along under ``"shards"``.
+    ``count``/``mean_seconds``/``max_seconds``.  When every shard
+    exposes its raw histogram buckets (all on the same bounds — one
+    code base, one formula), the per-bucket counts sum elementwise and
+    the merged percentiles are *recomputed from the merged buckets* —
+    exactly the values one histogram over the union of all shards'
+    samples would report.  Shards without bucket data (pre-bucket
+    builds) fall back to the old conservative merge: the max
+    percentile across shards, an upper bound, which is the safe
+    direction for SLO gating.  The raw per-shard snapshots ride along
+    under ``"shards"``.
 
     A shard whose snapshot is missing (``None`` or any non-dict — an
     unreachable or mid-crash shard) is skipped rather than raising;
@@ -236,28 +284,55 @@ def aggregate_snapshots(per_shard: dict[str, dict]) -> dict:
         ]
         count = sum(s.get("count", 0) for s in summaries)
         total = sum(
-            s.get("mean_seconds", 0.0) * s.get("count", 0)
+            s.get(
+                "total_seconds",
+                s.get("mean_seconds", 0.0) * s.get("count", 0),
+            )
             for s in summaries
+        )
+        max_seconds = max(
+            (s.get("max_seconds", 0.0) for s in summaries),
+            default=0.0,
         )
         merged[key] = {
             "count": count,
             "mean_seconds": total / count if count else 0.0,
-            "max_seconds": max(
-                (s.get("max_seconds", 0.0) for s in summaries),
-                default=0.0,
-            ),
-            **{
-                quantile: max(
-                    (s.get(quantile, 0.0) for s in summaries),
-                    default=0.0,
-                )
-                for quantile in (
-                    "p50_seconds",
-                    "p95_seconds",
-                    "p99_seconds",
-                )
-            },
+            "max_seconds": max_seconds,
+            "total_seconds": total,
         }
+        merged_buckets = _merge_buckets(summaries)
+        if merged_buckets is not None:
+            bounds = merged_buckets["bounds"]
+            counts = merged_buckets["counts"]
+            merged[key]["buckets"] = merged_buckets
+            merged[key].update(
+                {
+                    quantile: percentile_from_buckets(
+                        bounds, counts, q, max_seconds
+                    )
+                    for quantile, q in (
+                        ("p50_seconds", 0.50),
+                        ("p95_seconds", 0.95),
+                        ("p99_seconds", 0.99),
+                    )
+                }
+            )
+        else:
+            # Old shards without bucket data: conservative fallback,
+            # the max percentile across shards.
+            merged[key].update(
+                {
+                    quantile: max(
+                        (s.get(quantile, 0.0) for s in summaries),
+                        default=0.0,
+                    )
+                    for quantile in (
+                        "p50_seconds",
+                        "p95_seconds",
+                        "p99_seconds",
+                    )
+                }
+            )
     merged["unreachable_shards"] = sorted(
         set(per_shard) - set(snapshots)
     )
@@ -368,9 +443,15 @@ class _RouterHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _send(self, status: int, body: bytes) -> None:
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        self.server.observe_http(status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -378,8 +459,14 @@ class _RouterHandler(BaseHTTPRequestHandler):
     def _send_json(self, payload: dict, status: int = 200) -> None:
         self._send(status, json.dumps(payload).encode("utf-8"))
 
+    def _send_text(
+        self, text: str, status: int = 200, content_type: str = "text/plain"
+    ) -> None:
+        self._send(status, text.encode("utf-8"), content_type)
+
     def _send_redirect(self, location: str) -> None:
         body = json.dumps({"location": location}).encode("utf-8")
+        self.server.observe_http(308)
         self.send_response(308)
         self.send_header("Location", location)
         self.send_header("Content-Type", "application/json")
@@ -424,7 +511,17 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self._send_json(router.fleet_health())
             return
         if method == "GET" and path == "/metrics":
-            self._send_json(router.fleet_metrics())
+            params = urllib.parse.parse_qs(query)
+            if params.get("format", [""])[0] == "prometheus":
+                self._send_text(
+                    render_prometheus(router.fleet_metrics()),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                self._send_json(router.fleet_metrics())
+            return
+        if method == "GET" and path == "/traces":
+            self._send_json(router.merged_traces(query))
             return
         if method == "GET" and path == "/shards":
             self._send_json(router.describe())
@@ -442,9 +539,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
             return
         if path == "/sessions":
             if method == "GET":
-                self._send_json(
-                    {"sessions": router.merged_sessions()}
-                )
+                self._send_json(router.merged_session_listing())
                 return
             if method == "POST":
                 session_id = router.session_id_of(body)
@@ -465,10 +560,19 @@ class _RouterHandler(BaseHTTPRequestHandler):
                     router.migrate(session_id, body)
                 )
                 return
+            # A client-supplied trace id survives the router hop, so
+            # one id names the slice's whole lifecycle fleet-wide.
+            trace_id = self.headers.get(TRACE_HEADER)
+            headers = {TRACE_HEADER: trace_id} if trace_id else None
             with router.session_lock(session_id):
                 shard = router.placement(session_id)
                 status, payload = router.forward(
-                    shard, method, path, body=body, query=query
+                    shard,
+                    method,
+                    path,
+                    body=body,
+                    query=query,
+                    headers=headers,
                 )
                 if method == "DELETE" and status < 400:
                     router.forget_placement(session_id)
@@ -567,6 +671,9 @@ class ShardRouterServer(ThreadingHTTPServer):
         self._migrations = 0
         self._proxied = 0
         self._retried = 0
+        self._http_requests = 0
+        self._http_errors_4xx = 0
+        self._http_errors_5xx = 0
         self._load_placements = 0
         self._rebalances = 0
         self._failovers = 0
@@ -806,6 +913,7 @@ class ShardRouterServer(ThreadingHTTPServer):
         *,
         body: bytes = b"",
         query: str = "",
+        headers: dict | None = None,
     ) -> tuple[int, bytes]:
         """One request to one shard; (status, body) relayed verbatim.
 
@@ -830,14 +938,17 @@ class ShardRouterServer(ThreadingHTTPServer):
                 )
                 with self._state_lock:
                     self._retried += 1
+            request_headers = {
+                "Accept": "application/json",
+                "Content-Type": "application/json",
+            }
+            if headers:
+                request_headers.update(headers)
             request = urllib.request.Request(
                 url,
                 data=body if body else None,
                 method=method,
-                headers={
-                    "Accept": "application/json",
-                    "Content-Type": "application/json",
-                },
+                headers=request_headers,
             )
             try:
                 with urllib.request.urlopen(
@@ -912,6 +1023,15 @@ class ShardRouterServer(ThreadingHTTPServer):
         merged["router"] = self.router_metrics()
         return merged
 
+    def observe_http(self, status: int) -> None:
+        """Count one router HTTP response (and its error class)."""
+        with self._state_lock:
+            self._http_requests += 1
+            if 400 <= status < 500:
+                self._http_errors_4xx += 1
+            elif status >= 500:
+                self._http_errors_5xx += 1
+
     def router_metrics(self) -> dict:
         """The router's own counters (the ``"router"`` metrics block)."""
         with self._state_lock:
@@ -919,6 +1039,9 @@ class ShardRouterServer(ThreadingHTTPServer):
                 "shards": len(self.ring.shards),
                 "migrations": self._migrations,
                 "proxied_requests": self._proxied,
+                "http_requests": self._http_requests,
+                "http_errors_4xx": self._http_errors_4xx,
+                "http_errors_5xx": self._http_errors_5xx,
                 "placement_overrides": len(self._overrides),
                 "retried_requests": self._retried,
                 "load_placements": self._load_placements,
@@ -936,7 +1059,19 @@ class ShardRouterServer(ThreadingHTTPServer):
 
     def merged_sessions(self) -> list[str]:
         """The union of every reachable shard's listing, sorted."""
-        merged: set[str] = set()
+        return self.merged_session_listing()["sessions"]
+
+    def merged_session_listing(self) -> dict:
+        """Fleet ``GET /v1/sessions``: merged ids plus per-session stats.
+
+        Session ids are unique across the fleet (the router places each
+        session on exactly one shard), so the per-shard ``stats`` maps
+        union without collisions; a stale duplicate left by a mid-flight
+        migration resolves last-shard-wins, which is harmless for a
+        monitoring read.
+        """
+        ids: set[str] = set()
+        stats: dict[str, dict] = {}
         for shard in self.ring.shards:
             status, payload = self.forward(shard, "GET", "/sessions")
             if status >= 400:
@@ -945,8 +1080,45 @@ class ShardRouterServer(ThreadingHTTPServer):
                 listing = json.loads(payload.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
                 continue
-            merged.update(listing.get("sessions", ()))
-        return sorted(merged)
+            ids.update(listing.get("sessions", ()))
+            for sid, entry in (listing.get("stats") or {}).items():
+                stats[sid] = dict(entry, shard=shard)
+        return {"sessions": sorted(ids), "stats": stats}
+
+    def merged_traces(self, query: str = "") -> dict:
+        """Fleet ``GET /v1/traces``: every shard's spans, one list.
+
+        The original query string (session/trace filters, limit) is
+        forwarded verbatim so each shard filters locally; spans are
+        annotated with their shard URL and ordered oldest-first across
+        the fleet.  Tracing stats are summed.
+        """
+        spans: list[dict] = []
+        tracing = {"recorded": 0, "dropped": 0}
+        for shard in self.ring.shards:
+            status, payload = self.forward(
+                shard, "GET", "/traces", query=query
+            )
+            if status >= 400:
+                continue
+            try:
+                listing = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            for span in listing.get("traces", ()):
+                spans.append(dict(span, shard=shard))
+            for key in tracing:
+                tracing[key] += int(
+                    (listing.get("tracing") or {}).get(key) or 0
+                )
+        # Shard clocks are independent monotonic clocks, so cross-shard
+        # ordering by timestamp is approximate — good enough for a
+        # monitoring read, meaningless for causality across shards.
+        spans.sort(
+            key=lambda span: (span.get("stages") or {}).get("accepted")
+            or 0.0
+        )
+        return {"traces": spans, "tracing": tracing}
 
     def describe(self) -> dict:
         """The ``GET /v1/shards`` topology + health snapshot."""

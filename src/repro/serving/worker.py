@@ -52,6 +52,11 @@ class FlushRequest:
     the session from its completed warmup window (``warmup_ys`` set).
     ``step_seqs``/``step_ys``/``step_masks`` describe the dynamic-phase
     slices to apply after any initialization, oldest first.
+
+    ``trace_ids`` maps sequence numbers to lifecycle trace ids for the
+    slices that are being traced (usually none).  The worker echoes it
+    back on the result, so the trace context demonstrably survives the
+    pickle round-trip of the ``"state"`` transport.
     """
 
     session_id: str
@@ -66,6 +71,7 @@ class FlushRequest:
     step_seqs: list[int] = field(default_factory=list)
     step_ys: np.ndarray | None = None
     step_masks: np.ndarray | None = None
+    trace_ids: dict[int, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -77,6 +83,14 @@ class FlushResult:
     on the same transport the request used; ``error`` is the formatted
     exception when execution failed (the other fields then describe
     nothing and the manager marks the session failed).
+
+    ``quality`` carries one ``(seq, observed, residual_ss, signal_ss,
+    outliers)`` tuple per dynamic-phase slice — scalar aggregates of
+    arrays the step already produced (one-step-ahead forecast
+    residuals, outlier indicators), folded into the session's quality
+    window at commit.  ``error_scale`` is the post-batch mean of the
+    model's running error scale Sigma-hat.  ``trace_ids`` is the
+    request's map, echoed across the transport.
     """
 
     session_id: str
@@ -86,6 +100,9 @@ class FlushResult:
     state: bytes | None = None
     error: str | None = None
     seconds: float = 0.0
+    quality: list[tuple] = field(default_factory=list)
+    error_scale: float | None = None
+    trace_ids: dict[int, str] = field(default_factory=dict)
 
 
 def _backend_scope(name: str | None):
@@ -122,6 +139,31 @@ def execute_request(request: FlushRequest) -> FlushResult:
                     for seq, step in zip(request.step_seqs, steps)
                 )
                 result.consumed += len(request.step_seqs)
+                # Quality aggregates from arrays the step already
+                # computed — reductions only, no new linear algebra.
+                for seq, step, y, m in zip(
+                    request.step_seqs,
+                    steps,
+                    request.step_ys,
+                    request.step_masks,
+                ):
+                    mask = np.asarray(m, dtype=bool)
+                    y_arr = np.asarray(y, dtype=float)
+                    forecast = np.asarray(step.prediction, dtype=float)
+                    residual = np.where(mask, y_arr - forecast, 0.0)
+                    signal = np.where(mask, y_arr, 0.0)
+                    result.quality.append(
+                        (
+                            seq,
+                            int(mask.sum()),
+                            float(np.sum(residual * residual)),
+                            float(np.sum(signal * signal)),
+                            int(np.count_nonzero(np.asarray(step.outliers))),
+                        )
+                    )
+                result.error_scale = float(
+                    np.mean(np.asarray(sofia.state.sigma))
+                )
         if request.transport == "state":
             result.state = dumps_sofia(sofia)
         else:
@@ -131,6 +173,10 @@ def execute_request(request: FlushRequest) -> FlushResult:
             session_id=request.session_id,
             error=f"{type(exc).__name__}: {exc}",
         )
+    # Echoed even on error results, so a failed flush still completes
+    # its slices' spans (with the error recorded) instead of leaving
+    # dangling traces.
+    result.trace_ids = dict(request.trace_ids)
     result.seconds = time.perf_counter() - started
     return result
 

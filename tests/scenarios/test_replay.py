@@ -11,10 +11,12 @@ from repro.scenarios.replay import (
     format_replay_report,
     main as replay_main,
     run_replay,
+    validate_trace_chains,
 )
 from repro.serving import SessionManager
 from repro.serving.gateway import serve
 from tests.serving.faults import start_chaos_proxy
+from tools.check_prom import check_exposition
 
 
 @pytest.fixture
@@ -117,6 +119,91 @@ class TestRunReplay:
         text = format_replay_report(report)
         assert "blackout_windows" in text
         assert "p95" in text
+
+
+class TestTracedReplay:
+    def test_full_sampling_produces_complete_chains(self, tmp_path):
+        jsonl = tmp_path / "traces.jsonl"
+        prom = tmp_path / "prom.txt"
+        # No slice cap: sessions must pass warmup and initialize, or
+        # no slice ever commits and no span ever completes.
+        report = run_replay(
+            "bursty_arrival",
+            rate=400.0,
+            tiny=True,
+            shards=2,
+            trace_sample_rate=1.0,
+            trace_jsonl=str(jsonl),
+            prom_dump=str(prom),
+        )
+        assert report.drained
+        assert report.trace_complete, report.trace_problems
+        # Every acked slice traced at rate 1.0, across both shards.
+        assert (
+            report.trace_spans
+            == report.n_sessions * report.slices_per_session
+        )
+        spans = [
+            json.loads(line)
+            for line in jsonl.read_text().splitlines()
+        ]
+        assert len(spans) == report.trace_spans
+        assert validate_trace_chains(spans) == []
+        text = prom.read_text()
+        assert check_exposition(text) == []
+        assert "repro_router_http_requests_total" in text
+        assert "traces: " in format_replay_report(report)
+        assert report.as_dict()["trace_complete"] is True
+
+    def test_tracing_off_by_default(self):
+        report = run_replay(
+            "bursty_arrival", rate=400.0, slices=12, tiny=True
+        )
+        assert report.trace_sample_rate == 0.0
+        assert report.trace_spans == 0
+        assert report.trace_complete
+
+
+class TestValidateTraceChains:
+    GOOD = {
+        "session_id": "s",
+        "seq": 0,
+        "trace_id": "t",
+        "error": None,
+        "stages": {
+            "accepted": 1.0,
+            "enqueued": 2.0,
+            "dispatched": 3.0,
+            "executed": 4.0,
+            "committed": 5.0,
+        },
+    }
+
+    def test_accepts_complete_monotone_chain(self):
+        assert validate_trace_chains([self.GOOD]) == []
+
+    def test_flags_missing_stage(self):
+        span = dict(self.GOOD, stages={"accepted": 1.0})
+        problems = validate_trace_chains([span])
+        assert problems and "missing stage" in problems[0]
+
+    def test_flags_non_monotone_chain(self):
+        stages = dict(self.GOOD["stages"], dispatched=0.5)
+        problems = validate_trace_chains([dict(self.GOOD, stages=stages)])
+        assert problems and "non-monotone" in problems[0]
+
+    def test_flags_missing_expected_seqs(self):
+        problems = validate_trace_chains(
+            [self.GOOD], expected_seqs={"s": {0, 1, 2}}
+        )
+        assert problems and "no complete span" in problems[0]
+
+    def test_error_spans_do_not_satisfy_expectations(self):
+        span = dict(self.GOOD, error="boom")
+        problems = validate_trace_chains(
+            [span], expected_seqs={"s": {0}}
+        )
+        assert problems
 
 
 class TestFailureAccounting:

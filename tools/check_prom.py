@@ -1,0 +1,233 @@
+"""Validate a Prometheus text-exposition dump.
+
+The observability CI gate scrapes ``/v1/metrics?format=prometheus``
+from a replayed gateway (or router fleet) and runs this checker over
+the dump: a malformed exposition fails silently at scrape time in a
+real deployment, so the gate treats parse problems as build failures.
+
+Checks, per the text exposition format (version 0.0.4):
+
+* every sample line parses as ``name[{labels}] value``, with a metric
+  name matching ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and a float-parseable
+  value;
+* every sample is preceded by a ``# TYPE`` line for its family
+  (histogram/summary samples belong to the family's base name);
+* counter samples are named ``*_total`` and are non-negative;
+* histogram families are internally consistent: ``_bucket`` lines
+  carry ``le`` labels in strictly increasing order, cumulative counts
+  are non-decreasing, the ``+Inf`` bucket is present and equals
+  ``_count``, and ``_sum`` exists.
+
+Exit status is non-zero if anything fails.  Run::
+
+    python tools/check_prom.py prom.txt
+
+The ``parse_exposition`` / ``check_exposition`` functions are
+importable — the observability test-suite runs them over freshly
+rendered snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import pathlib
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+#: Suffixes that attach a sample to its family's base name.
+FAMILY_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_exposition(text: str) -> tuple[dict, list[str]]:
+    """Parse exposition text into families; returns (families, problems).
+
+    ``families`` maps family base name to ``{"type": str, "samples":
+    [(name, labels_dict, value), ...]}``.  Problems are human-readable
+    parse failures; a failed line is skipped but parsing continues so
+    one bad line reports every problem it causes, not just the first.
+    """
+    families: dict[str, dict] = {}
+    problems: list[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE"):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE: {raw!r}")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                problems.append(
+                    f"line {lineno}: bad metric name {name!r}"
+                )
+                continue
+            if name in families:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {name}"
+                )
+                continue
+            families[name] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+        match = SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample: {raw!r}")
+            continue
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        bad_label = False
+        if match.group("labels"):
+            for pair in match.group("labels").split(","):
+                label = LABEL_RE.match(pair.strip())
+                if not label:
+                    problems.append(
+                        f"line {lineno}: bad label {pair!r} in {raw!r}"
+                    )
+                    bad_label = True
+                    break
+                labels[label.group("key")] = label.group("value")
+        if bad_label:
+            continue
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: unparseable value in {raw!r}"
+            )
+            continue
+        family = name
+        for suffix in FAMILY_SUFFIXES:
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family = name[: -len(suffix)]
+                break
+        if family not in families:
+            problems.append(
+                f"line {lineno}: sample {name} has no preceding TYPE"
+            )
+            continue
+        families[family]["samples"].append((name, labels, value))
+    return families, problems
+
+
+def _check_histogram(name: str, family: dict) -> list[str]:
+    problems: list[str] = []
+    buckets: list[tuple[float, float]] = []
+    total_sum = None
+    total_count = None
+    for sample, labels, value in family["samples"]:
+        if sample == f"{name}_bucket":
+            if "le" not in labels:
+                problems.append(f"{name}: bucket sample without le label")
+                continue
+            try:
+                bound = _parse_value(labels["le"])
+            except ValueError:
+                problems.append(
+                    f"{name}: unparseable le {labels['le']!r}"
+                )
+                continue
+            buckets.append((bound, value))
+        elif sample == f"{name}_sum":
+            total_sum = value
+        elif sample == f"{name}_count":
+            total_count = value
+    if not buckets:
+        problems.append(f"{name}: histogram has no _bucket samples")
+        return problems
+    bounds = [bound for bound, _ in buckets]
+    if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+        problems.append(f"{name}: le bounds not strictly increasing")
+    counts = [count for _, count in buckets]
+    if any(a > b for a, b in zip(counts, counts[1:])):
+        problems.append(f"{name}: bucket counts not cumulative")
+    if bounds[-1] != math.inf:
+        problems.append(f"{name}: missing le=\"+Inf\" bucket")
+    if total_count is None:
+        problems.append(f"{name}: missing _count")
+    elif bounds[-1] == math.inf and counts[-1] != total_count:
+        problems.append(
+            f"{name}: +Inf bucket {counts[-1]} != _count {total_count}"
+        )
+    if total_sum is None:
+        problems.append(f"{name}: missing _sum")
+    return problems
+
+
+def check_exposition(text: str) -> list[str]:
+    """Every problem with one exposition dump (empty list: valid)."""
+    families, problems = parse_exposition(text)
+    if not families:
+        problems.append("no metric families found")
+    for name, family in families.items():
+        kind = family["type"]
+        if kind == "histogram":
+            problems.extend(_check_histogram(name, family))
+            continue
+        if not family["samples"]:
+            problems.append(f"{name}: TYPE with no samples")
+        if kind == "counter":
+            for sample, _labels, value in family["samples"]:
+                if not sample.endswith("_total"):
+                    problems.append(
+                        f"{name}: counter sample {sample} not *_total"
+                    )
+                if value < 0 or value != value:
+                    problems.append(
+                        f"{name}: counter value {value} negative or NaN"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a Prometheus text-exposition dump."
+    )
+    parser.add_argument("path", type=pathlib.Path)
+    args = parser.parse_args(argv)
+    text = args.path.read_text(encoding="utf-8")
+    problems = check_exposition(text)
+    for problem in problems:
+        print(f"check_prom: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"check_prom: {len(problems)} problem(s) in {args.path}",
+            file=sys.stderr,
+        )
+        return 1
+    families, _ = parse_exposition(text)
+    print(
+        f"check_prom: OK ({len(families)} families in {args.path})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
